@@ -1,0 +1,72 @@
+"""Shared benchmark configuration and reporting.
+
+Each benchmark regenerates one table/figure of the paper and renders it
+as an ASCII table, printed to stdout (visible with ``pytest -s``) and
+saved under ``benchmarks/results/`` so EXPERIMENTS.md comparisons can
+be re-derived from artifacts.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``fast`` — smoke-test scale (seconds per figure);
+* ``default`` — the documented bench scale (tens of seconds);
+* ``full`` — closer to paper scale (minutes per figure).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.figures import FigureScale
+from repro.metrics.reporting import render_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SCALES = {
+    "fast": FigureScale(
+        num_vms=160, hadoop_flows=800, websearch_flows=40,
+        microburst_bursts=80, video_streams=16, alibaba_rpcs=500,
+        alibaba_services=20, ratios=(0.5, 4.0, 32.0)),
+    "default": FigureScale(
+        num_vms=320, hadoop_flows=3000, websearch_flows=100,
+        microburst_bursts=250, video_streams=32, alibaba_rpcs=1500,
+        alibaba_services=40, ratios=(0.25, 1.0, 4.0, 16.0, 64.0)),
+    "full": FigureScale(
+        num_vms=640, hadoop_flows=8000, websearch_flows=200,
+        microburst_bursts=500, video_streams=64, alibaba_rpcs=4000,
+        alibaba_services=80, ratios=(0.125, 0.5, 2.0, 8.0, 32.0, 128.0)),
+}
+
+
+def bench_scale() -> FigureScale:
+    """The scale selected via REPRO_BENCH_SCALE (default: 'default')."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCALES))
+        raise ValueError(f"REPRO_BENCH_SCALE={name!r}; expected one of {known}")
+
+
+def report(name: str, headers, rows, title: str) -> str:
+    """Render, print, and persist one reproduced artifact."""
+    text = render_table(headers, rows, title=title)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def sweep_rows_table(rows):
+    """Standard formatting for cache-size sweep rows."""
+    return [
+        [row.scheme, row.x_value, f"{row.hit_rate:.3f}",
+         f"{row.fct_improvement:.2f}", f"{row.first_packet_improvement:.2f}",
+         row.result.drops]
+        for row in rows
+    ]
+
+
+SWEEP_HEADERS = ["scheme", "cache(x addr space)", "hit rate",
+                 "FCT impr.", "first-pkt impr.", "drops"]

@@ -1,0 +1,52 @@
+"""Ablation: the rejected DHT design vs SwitchV2P (paper §2.4).
+
+The DHT stores every mapping on exactly one resolver switch: updates
+are cheap and hit rate is 100% by construction, but packets detour via
+the resolver, so the path-length (and with it FCT/latency) advantage of
+en-route caching disappears, and resolver switches become critical
+infrastructure.
+"""
+
+from common import bench_scale, report
+from repro.experiments import build_trace, ft8_spec
+from repro.experiments.runner import run_experiment
+
+SCHEMES = ("SwitchV2P", "DhtStore", "NoCache", "Direct")
+
+
+def run():
+    scale = bench_scale()
+    flows, num_vms = build_trace("hadoop", scale)
+    results = {}
+    for scheme in SCHEMES:
+        results[scheme] = run_experiment(
+            ft8_spec(), scheme, flows, num_vms, cache_ratio=16.0,
+            seed=scale.seed, trace_name="hadoop")
+    return results
+
+
+def test_ablation_dht(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = results["NoCache"]
+    table = [[name,
+              f"{r.hit_rate:.3f}",
+              f"{base.avg_fct_ns / r.avg_fct_ns:.2f}",
+              f"{r.avg_stretch:.2f}",
+              r.gateway_arrivals]
+             for name, r in results.items()]
+    report("ablation_dht",
+           ["scheme", "hit rate", "FCT impr.", "stretch", "gateway pkts"],
+           table, "Ablation — in-switch DHT vs caching (Hadoop, cache=16x)")
+    dht = results["DhtStore"]
+    v2p = results["SwitchV2P"]
+    direct = results["Direct"]
+    # The DHT never touches gateways and resolves at line rate, so its
+    # FCT sits between Direct and the caching schemes — §2.4 rejects it
+    # for *operational* reasons (resolver-failure criticality, hot-key
+    # concentration, memory inefficiency), not raw latency; see
+    # tests/test_dht.py::test_resolver_failure_blackholes_its_vips.
+    assert dht.gateway_arrivals == 0
+    assert dht.avg_fct_ns >= direct.avg_fct_ns
+    # The detour costs path length: SwitchV2P's en-route hits give it
+    # a strictly shorter average packet path.
+    assert v2p.avg_stretch < dht.avg_stretch

@@ -1,0 +1,29 @@
+"""Appendix A.2: the centralized Controller baseline on WebSearch.
+
+Paper shape: with frequent re-solving (150 us) the omniscient
+controller places entries well at small cache sizes, but its advantage
+shrinks with staleness — slower invocation (300 us) does worse, and at
+larger caches the reactive SwitchV2P catches up or wins.
+"""
+
+from common import SWEEP_HEADERS, bench_scale, report, sweep_rows_table
+from repro.experiments import appendix_controller
+
+
+def run():
+    return appendix_controller(bench_scale())
+
+
+def test_appendix_controller(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("appendix_controller", SWEEP_HEADERS, sweep_rows_table(rows),
+           "Appendix A.2 — Controller vs SwitchV2P (WebSearch)")
+    largest = max(r.x_value for r in rows)
+    at = {r.scheme: r for r in rows if r.x_value == largest}
+    fast = at["Controller@150us"]
+    slow = at["Controller@300us"]
+    # Fresher traffic information cannot hurt.
+    assert fast.hit_rate >= 0.9 * slow.hit_rate
+    # At the largest cache size SwitchV2P is competitive with the
+    # impractical centralized allocation (the paper's conclusion).
+    assert at["SwitchV2P"].fct_improvement >= 0.9 * fast.fct_improvement

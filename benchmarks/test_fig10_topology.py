@@ -1,0 +1,28 @@
+"""Figure 10: topology scaling (Hadoop, fixed aggregate cache).
+
+The 128 servers are re-arranged from 1 pod (32 servers/rack) up to 32
+pods (1 server/rack).  Paper shape: SwitchV2P scales gracefully with
+topology size, while LocalLearning struggles to place learned state in
+large topologies; GwCache stays roughly flat.
+"""
+
+from common import bench_scale, report
+from repro.experiments import figure10
+
+
+def run():
+    return figure10(bench_scale())
+
+
+def test_fig10_topology_scaling(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = [[int(r.x_value), r.scheme, f"{r.hit_rate:.3f}",
+              f"{r.fct_improvement:.2f}", f"{r.first_packet_improvement:.2f}"]
+             for r in rows]
+    report("fig10_topology",
+           ["#pods", "scheme", "hit rate", "FCT impr.", "first-pkt impr."],
+           table, "Figure 10 — topology scaling (Hadoop)")
+    largest_pods = max(r.x_value for r in rows)
+    at = {r.scheme: r for r in rows if r.x_value == largest_pods}
+    assert at["SwitchV2P"].fct_improvement >= \
+        at["LocalLearning"].fct_improvement

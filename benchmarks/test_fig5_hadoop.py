@@ -1,0 +1,35 @@
+"""Figure 5a: Hadoop on FT8 — hit rate, FCT and first-packet latency
+improvement (normalized by NoCache) across cache sizes.
+
+Paper shape to verify: SwitchV2P's FCT beats GwCache/LocalLearning and
+overtakes OnDemand at larger caches; Bluebird collapses under punt-
+channel drops; Direct bounds everything from above.
+"""
+
+from common import SWEEP_HEADERS, bench_scale, report, sweep_rows_table
+from repro.experiments import figure5
+
+
+def run():
+    return figure5("hadoop", bench_scale())
+
+
+def test_fig5a_hadoop(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig5a_hadoop", SWEEP_HEADERS, sweep_rows_table(rows),
+           "Figure 5a — Hadoop (FT8)")
+    by_scheme = {}
+    for row in rows:
+        by_scheme.setdefault(row.scheme, []).append(row)
+    largest = max(row.x_value for row in rows)
+    at_largest = {s: r for s in by_scheme
+                  for r in by_scheme[s] if r.x_value == largest}
+    # Paper orderings at large caches.
+    assert at_largest["SwitchV2P"].hit_rate > 0.85
+    assert at_largest["SwitchV2P"].fct_improvement > \
+        at_largest["LocalLearning"].fct_improvement
+    assert at_largest["SwitchV2P"].fct_improvement > \
+        at_largest["OnDemand"].fct_improvement
+    assert at_largest["Bluebird"].fct_improvement < 1.0  # drops hurt
+    assert at_largest["Direct"].fct_improvement >= \
+        at_largest["SwitchV2P"].fct_improvement

@@ -1,0 +1,23 @@
+"""Figure 5b: Microbursts (UDP mice) on FT8 across cache sizes.
+
+Paper shape: like Hadoop, SwitchV2P exploits the cross-flow reuse of
+bursty destinations and beats the greedy/gateway-bound schemes.
+"""
+
+from common import SWEEP_HEADERS, bench_scale, report, sweep_rows_table
+from repro.experiments import figure5
+
+
+def run():
+    return figure5("microbursts", bench_scale())
+
+
+def test_fig5b_microbursts(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig5b_microbursts", SWEEP_HEADERS, sweep_rows_table(rows),
+           "Figure 5b — Microbursts (FT8)")
+    largest = max(row.x_value for row in rows)
+    at = {r.scheme: r for r in rows if r.x_value == largest}
+    assert at["SwitchV2P"].hit_rate > at["LocalLearning"].hit_rate
+    assert at["SwitchV2P"].fct_improvement >= 1.0
+    assert at["SwitchV2P"].first_packet_improvement >= 0.99

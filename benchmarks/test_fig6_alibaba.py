@@ -1,0 +1,24 @@
+"""Figure 6: Alibaba microservice RPCs on the larger FT16-style fabric.
+
+Paper shape: source learning at ToRs (responses reveal requesters) plus
+heavy cross-flow reuse give SwitchV2P large FCT and first-packet gains.
+"""
+
+from common import SWEEP_HEADERS, bench_scale, report, sweep_rows_table
+from repro.experiments import figure6
+
+
+def run():
+    return figure6(bench_scale())
+
+
+def test_fig6_alibaba(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("fig6_alibaba", SWEEP_HEADERS, sweep_rows_table(rows),
+           "Figure 6 — Alibaba RPC (FT16)")
+    largest = max(row.x_value for row in rows)
+    at = {r.scheme: r for r in rows if r.x_value == largest}
+    assert at["SwitchV2P"].fct_improvement > 1.0
+    assert at["SwitchV2P"].hit_rate > at["LocalLearning"].hit_rate
+    assert at["SwitchV2P"].first_packet_improvement >= \
+        at["OnDemand"].first_packet_improvement

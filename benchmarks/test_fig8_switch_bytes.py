@@ -1,0 +1,29 @@
+"""Figure 8: per-switch processed bytes inside gateway pod 8 (Hadoop,
+cache=50%).
+
+Paper shape: SwitchV2P cuts the gateway-ToR's traffic several-fold
+versus NoCache (6.1x in the paper) and GwCache (3.7x), because hits
+happen before packets ever enter the gateway pod.
+"""
+
+from common import bench_scale, report
+from repro.experiments import figure8
+
+
+def run():
+    return figure8(bench_scale())
+
+
+def test_fig8_switch_bytes(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    labels = list(next(iter(results.values())).keys())
+    headers = ["scheme"] + labels
+    rows = [[scheme] + [by_switch[label] // 1_000_000 for label in labels]
+            for scheme, by_switch in results.items()]
+    report("fig8_switch_bytes", headers, rows,
+           "Figure 8 — bytes (MB) per switch in gateway pod 8 "
+           "(Hadoop, cache=50%)")
+    assert results["SwitchV2P"]["gateway-tor"] < \
+        results["NoCache"]["gateway-tor"]
+    assert results["SwitchV2P"]["gateway-tor"] < \
+        results["GwCache"]["gateway-tor"]

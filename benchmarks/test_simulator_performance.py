@@ -1,0 +1,59 @@
+"""Microbenchmarks of the simulator itself.
+
+Unlike the figure benchmarks (which run once and print tables), these
+use pytest-benchmark's statistical timing to track the substrate's
+performance: event throughput of the engine, packets/second through the
+full network datapath, and cache-operation costs — the quantities that
+bound how far paper-scale experiments can be pushed in pure Python.
+"""
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.experiments.runner import build_network, run_flows
+from repro.core import SwitchV2P
+from repro.net.topology import FatTreeSpec
+from repro.sim.engine import Engine
+from repro.traces.hadoop import HadoopTraceParams, generate
+
+import numpy as np
+
+
+def test_engine_event_throughput(benchmark):
+    def run_events():
+        engine = Engine()
+
+        def chain(n):
+            if n:
+                engine.schedule_after(1, chain, n - 1)
+
+        engine.schedule(0, chain, 20_000)
+        engine.run()
+        return engine.events_processed
+
+    events = benchmark(run_events)
+    assert events == 20_001
+
+
+def test_cache_lookup_insert_throughput(benchmark):
+    cache = DirectMappedCache(4096, salt=3)
+    vips = list(range(10_000))
+
+    def churn():
+        for vip in vips:
+            cache.insert(vip, vip)
+            cache.lookup(vip)
+
+    benchmark(churn)
+    assert cache.stats.lookups >= len(vips)
+
+
+def test_end_to_end_packet_rate(benchmark):
+    params = HadoopTraceParams(num_vms=128, num_flows=300)
+    flows = generate(params, np.random.default_rng(4))
+
+    def simulate():
+        network = build_network(FatTreeSpec(), SwitchV2P(1024), 128, seed=4)
+        result = run_flows(network, list(flows), trace_name="hadoop")
+        return result
+
+    result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert result.completion_rate == 1.0

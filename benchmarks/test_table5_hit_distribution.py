@@ -1,0 +1,45 @@
+"""Table 5: distribution of SwitchV2P cache hits within the topology.
+
+Paper shape: in the TCP traces the bulk of per-packet hits land at ToRs
+(learning packets + source learning), while first packets hit higher in
+the topology (cross-flow reuse at spines/cores); UDP traces shift a
+larger share to the upper layers.
+"""
+
+from common import bench_scale, report
+from repro.experiments import table5
+from repro.net.node import Layer
+
+
+def run():
+    return table5(bench_scale(), cache_ratio=4.0)
+
+
+def test_table5_hit_distribution(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for row in rows:
+        table.append([
+            row.trace,
+            f"{row.total[Layer.CORE]:.1%}",
+            f"{row.total[Layer.SPINE]:.1%}",
+            f"{row.total[Layer.TOR]:.1%}",
+            f"{row.first_packet[Layer.CORE]:.1%}",
+            f"{row.first_packet[Layer.SPINE]:.1%}",
+            f"{row.first_packet[Layer.TOR]:.1%}",
+        ])
+    report("table5_hit_distribution",
+           ["trace", "core", "spine", "tor",
+            "core(1st)", "spine(1st)", "tor(1st)"],
+           table, "Table 5 — SwitchV2P cache-hit distribution by layer")
+
+    by_trace = {row.trace: row for row in rows}
+    # TCP traces: ToR-dominated per-packet hits.
+    for trace in ("hadoop", "alibaba"):
+        assert by_trace[trace].total[Layer.TOR] > 0.5, trace
+    # First packets hit upper layers more than packets overall.
+    hadoop = by_trace["hadoop"]
+    upper_total = hadoop.total[Layer.CORE] + hadoop.total[Layer.SPINE]
+    upper_first = (hadoop.first_packet[Layer.CORE]
+                   + hadoop.first_packet[Layer.SPINE])
+    assert upper_first >= upper_total

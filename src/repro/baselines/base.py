@@ -1,0 +1,97 @@
+"""The translation-scheme interface.
+
+A *scheme* decides where V2P mappings live and how packets get
+translated: at the sender (Direct/OnDemand), at gateways (NoCache), at
+gateway ToRs (GwCache), at every switch greedily (LocalLearning), in
+the ToR control plane (Bluebird), by an omniscient controller
+(Controller), or collaboratively in the network (SwitchV2P).
+
+All schemes plug into the same three hook points:
+
+* ``on_host_send`` — the sender's hypervisor chooses the outer header;
+* ``on_switch`` — every switch runs this before forwarding;
+* ``on_misdelivery`` — the old host re-forwards packets for moved VMs.
+
+The base class implements the common gateway-driven behaviour so
+subclasses override only what differs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.link import Link
+    from repro.net.node import Switch
+    from repro.vnet.hypervisor import Host
+    from repro.vnet.network import VirtualNetwork
+
+
+class TranslationScheme:
+    """Base scheme: pure gateway forwarding, follow-me on misdelivery."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.network: "VirtualNetwork | None" = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def setup(self, network: "VirtualNetwork") -> None:
+        """Bind to a network; subclasses build caches and roles here."""
+        self.network = network
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def on_host_send(self, host: "Host", packet: Packet) -> None:
+        """Default: unresolved packets head to a per-flow gateway."""
+        self.send_via_gateway(packet)
+
+    def on_switch(self, switch: "Switch", packet: Packet,
+                  ingress: "Link | None") -> bool:
+        """Default: plain forwarding, no in-network state."""
+        return True
+
+    def on_misdelivery(self, host: "Host", packet: Packet) -> None:
+        """Default: Andromeda-style follow-me redirection at the old host."""
+        new_pip = host.follow_me.get(packet.dst_vip)
+        if new_pip is not None:
+            packet.outer_dst = new_pip
+            packet.resolved = True
+            host.reforward(packet)
+            return
+        # No rule (e.g. VM gone entirely): fall back to the gateway.
+        self.send_misdelivered_via_gateway(host, packet)
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def send_via_gateway(self, packet: Packet) -> None:
+        """Address ``packet`` to its flow's gateway, unresolved."""
+        assert self.network is not None, "scheme not attached to a network"
+        gateway = self.network.gateway_for(packet.flow_id)
+        packet.outer_dst = gateway.pip
+        packet.resolved = False
+
+    def send_misdelivered_via_gateway(self, host: "Host", packet: Packet) -> None:
+        """Re-forward a misdelivered packet toward a gateway.
+
+        The stale ``(vip, old_pip)`` pair is carried in-band so caches
+        en route can distinguish their entry being stale from having
+        already learned the new mapping (paper §3.3).
+        """
+        packet.carried_mapping = (packet.dst_vip, host.pip)
+        self.send_via_gateway(packet)
+        host.reforward(packet)
+
+    def resolve(self, packet: Packet, pip: int) -> None:
+        """Rewrite the outer destination with a known mapping."""
+        packet.outer_dst = pip
+        packet.resolved = True
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

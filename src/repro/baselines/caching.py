@@ -1,0 +1,150 @@
+"""Shared machinery for schemes that cache mappings inside switches.
+
+GwCache, LocalLearning and SwitchV2P all place
+:class:`~repro.cache.direct_mapped.DirectMappedCache` instances on some
+subset of switches, perform lookups for unresolved packets and learn
+mappings from passing traffic.  This module centralizes that plumbing —
+including the paper's cache-budget convention (one aggregate budget
+divided equally across the caching switches) and the misdelivery-tag
+semantics every cached lookup must respect (§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.baselines.base import TranslationScheme
+from repro.cache.direct_mapped import DirectMappedCache, InsertResult
+from repro.net.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Switch
+    from repro.vnet.network import VirtualNetwork
+
+
+def is_first_packet(packet: Packet) -> bool:
+    """True for the opening data packet of a flow (first-packet metrics)."""
+    return packet.kind == PacketKind.DATA and packet.seq == 0
+
+
+class CachingScheme(TranslationScheme):
+    """Base for schemes with in-switch caches.
+
+    Args:
+        total_cache_slots: aggregate cache budget (entries), divided
+            equally among this scheme's caching switches, per the
+            paper's sizing convention (§5 "In-switch memory size").
+    """
+
+    def __init__(self, total_cache_slots: int) -> None:
+        super().__init__()
+        if total_cache_slots < 0:
+            raise ValueError(f"negative cache budget: {total_cache_slots}")
+        self.total_cache_slots = total_cache_slots
+        self.caches: dict[int, DirectMappedCache] = {}
+
+    # ------------------------------------------------------------------
+    # cache construction
+    # ------------------------------------------------------------------
+    def caching_switch_ids(self, network: "VirtualNetwork") -> Iterable[int]:
+        """Which switches cache; subclasses narrow this (default: all)."""
+        return [switch.switch_id for switch in network.fabric.switches]
+
+    def setup(self, network: "VirtualNetwork") -> None:
+        super().setup(network)
+        self.prepare(network)
+        ids = list(self.caching_switch_ids(network))
+        slots = self.slots_by_switch(network, ids)
+        self.caches = {
+            switch_id: self.make_cache(slots[switch_id],
+                                       salt=switch_id * 0x9E3779B1)
+            for switch_id in ids
+        }
+
+    def make_cache(self, num_slots: int, salt: int) -> DirectMappedCache:
+        """Cache constructor; subclasses may swap the geometry."""
+        return DirectMappedCache(num_slots, salt=salt)
+
+    def prepare(self, network: "VirtualNetwork") -> None:
+        """Hook run before cache construction (roles, RNGs, ...)."""
+
+    def slots_by_switch(self, network: "VirtualNetwork",
+                        ids: list[int]) -> dict[int, int]:
+        """Per-switch slot counts; default is the equal split of §5."""
+        per_switch = self.total_cache_slots // len(ids) if ids else 0
+        return {switch_id: per_switch for switch_id in ids}
+
+    def cache_of(self, switch: "Switch") -> DirectMappedCache | None:
+        return self.caches.get(switch.switch_id)
+
+    # ------------------------------------------------------------------
+    # data-plane building blocks
+    # ------------------------------------------------------------------
+    def try_resolve(self, switch: "Switch", packet: Packet) -> bool:
+        """Look up an unresolved packet in ``switch``'s cache.
+
+        Handles the misdelivery-tag protocol: a tagged packet carries
+        its stale ``(vip, old_pip)`` pair; a cache holding exactly that
+        value invalidates it and reports a miss, while a cache holding
+        a *different* (fresher) value may still serve the packet.
+
+        Returns:
+            True if the packet was resolved by this switch.
+        """
+        cache = self.cache_of(switch)
+        if cache is None or packet.resolved:
+            return False
+        vip = packet.dst_vip
+        if packet.misdelivery_tag and packet.carried_mapping is not None:
+            stale_vip, stale_pip = packet.carried_mapping
+            if stale_vip == vip and cache.invalidate(vip, stale_pip):
+                return False
+        pip = cache.lookup(vip)
+        if pip is None:
+            return False
+        if packet.misdelivery_tag and packet.carried_mapping is not None:
+            stale_vip, stale_pip = packet.carried_mapping
+            if stale_vip == vip and pip == stale_pip:
+                # Defensive: a racing insert could re-introduce the
+                # stale value between the invalidate and the lookup.
+                cache.invalidate(vip, stale_pip)
+                return False
+        self.resolve(packet, pip)
+        packet.hit_switch = switch.switch_id
+        assert self.network is not None
+        self.network.collector.record_hit(switch.layer, is_first_packet(packet))
+        return True
+
+    def learn_destination(self, switch: "Switch", packet: Packet,
+                          only_if_clear: bool = False) -> InsertResult | None:
+        """Destination learning: cache (dst VIP -> outer dst) if resolved."""
+        if not packet.resolved:
+            return None
+        cache = self.cache_of(switch)
+        if cache is None:
+            return None
+        return cache.insert(packet.dst_vip, packet.outer_dst, only_if_clear)
+
+    def learn_source(self, switch: "Switch", packet: Packet,
+                     only_if_clear: bool = False) -> InsertResult | None:
+        """Source learning: cache (src VIP -> outer src); always valid."""
+        cache = self.cache_of(switch)
+        if cache is None:
+            return None
+        return cache.insert(packet.src_vip, packet.outer_src, only_if_clear)
+
+    def is_traffic(self, packet: Packet) -> bool:
+        """Data-plane traffic that carries learnable headers."""
+        return packet.kind in (PacketKind.DATA, PacketKind.ACK)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def total_cached_entries(self) -> int:
+        return sum(cache.occupancy() for cache in self.caches.values())
+
+    def aggregate_hit_stats(self) -> tuple[int, int]:
+        """(lookups, hits) summed over every cache in the scheme."""
+        lookups = sum(cache.stats.lookups for cache in self.caches.values())
+        hits = sum(cache.stats.hits for cache in self.caches.values())
+        return lookups, hits

@@ -1,0 +1,80 @@
+"""Hoverboard: Andromeda's hybrid gateway/host design (paper §1, §5).
+
+All traffic initially flows through gateways (the "hoverboard" path);
+the control plane watches per-destination traffic and installs host
+flow-cache rules for sufficiently hot destinations, after a
+controller-speed delay (milliseconds in Andromeda/Zeta).  The paper's
+NoCache baseline is Hoverboard without offloading (its traces never
+cross the offload threshold), and OnDemand is the immediate-offload
+variant; this class provides the general thresholded model so the
+hybrid design point is explorable.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import TranslationScheme
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import msec
+from repro.vnet.hypervisor import Host
+from repro.vnet.network import VirtualNetwork
+
+
+class Hoverboard(TranslationScheme):
+    """Gateway-first forwarding with thresholded host-rule offload.
+
+    Args:
+        offload_threshold: packets from one host to one destination
+            that trigger a rule install (Zeta-style flow threshold).
+        install_delay_ns: controller reaction time; Andromeda reports
+            milliseconds for rule installment.
+    """
+
+    name = "Hoverboard"
+
+    def __init__(self, offload_threshold: int = 20,
+                 install_delay_ns: int = msec(1)) -> None:
+        super().__init__()
+        if offload_threshold < 1:
+            raise ValueError("offload threshold must be at least 1")
+        self.offload_threshold = offload_threshold
+        self.install_delay_ns = install_delay_ns
+        self._host_rules: dict[int, dict[int, int]] = {}
+        self._counts: dict[tuple[int, int], int] = {}
+        self._pending: set[tuple[int, int]] = set()
+        self.rules_installed = 0
+
+    def setup(self, network: VirtualNetwork) -> None:
+        super().setup(network)
+        self._host_rules = {host.pip: {} for host in network.hosts}
+        self._counts.clear()
+        self._pending.clear()
+
+    def on_host_send(self, host: Host, packet: Packet) -> None:
+        rules = self._host_rules[host.pip]
+        pip = rules.get(packet.dst_vip)
+        if pip is not None:
+            self.resolve(packet, pip)
+            return
+        self.send_via_gateway(packet)
+        if packet.kind not in (PacketKind.DATA, PacketKind.ACK):
+            return
+        key = (host.pip, packet.dst_vip)
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        if count >= self.offload_threshold and key not in self._pending:
+            self._pending.add(key)
+            assert self.network is not None
+            self.network.engine.schedule_after(
+                self.install_delay_ns, self._install, host.pip, packet.dst_vip)
+
+    def _install(self, host_pip: int, vip: int) -> None:
+        assert self.network is not None
+        self._pending.discard((host_pip, vip))
+        pip = self.network.database.get(vip)
+        if pip is not None:
+            self._host_rules[host_pip][vip] = pip
+            self.rules_installed += 1
+
+    def host_rules(self, host: Host) -> dict[int, int]:
+        """The host's installed flow rules (read-only view)."""
+        return dict(self._host_rules.get(host.pip, {}))

@@ -1,0 +1,17 @@
+"""NoCache: the pure gateway-driven baseline (paper §5).
+
+Every packet is forwarded to a per-flow gateway, which performs the
+translation and forwards it on — the Hoverboard/Andromeda model without
+host offloading.  This baseline normalizes all FCT and first-packet
+latency improvement factors in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import TranslationScheme
+
+
+class NoCache(TranslationScheme):
+    """Pure gateway forwarding; the behaviour is entirely the base class."""
+
+    name = "NoCache"

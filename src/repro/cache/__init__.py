@@ -1,0 +1,14 @@
+"""In-switch cache structures and sizing conventions."""
+
+from repro.cache.direct_mapped import CacheStats, DirectMappedCache, InsertResult
+from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.sizing import aggregate_slots, per_switch_slots
+
+__all__ = [
+    "DirectMappedCache",
+    "SetAssociativeCache",
+    "InsertResult",
+    "CacheStats",
+    "aggregate_slots",
+    "per_switch_slots",
+]

@@ -1,0 +1,188 @@
+"""The in-switch direct-mapped V2P cache (paper §3.2).
+
+Each switch holds three parallel register arrays — keys (VIPs), values
+(PIPs) and one *access bit* per line — exactly the structure the P4
+prototype implements with three Tofino register arrays.  The access bit
+is set on a hit and cleared when a lookup lands on the line but
+mismatches (a conflict miss), giving a one-bit recency signal without
+sketches.  Admission is the caller's policy decision; the cache itself
+only exposes the primitive operations.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+_EMPTY = -1
+_MIX = 2654435761  # Knuth multiplicative hash constant.
+
+
+class InsertResult(NamedTuple):
+    """Outcome of an insert attempt.
+
+    Attributes:
+        admitted: whether the entry now resides in the cache.
+        evicted: the ``(vip, pip)`` pair displaced by the insert, if
+            any — the spillover mechanism forwards it downstream.
+    """
+
+    admitted: bool
+    evicted: tuple[int, int] | None
+
+
+class CacheStats:
+    """Operation counters for one cache instance."""
+
+    __slots__ = ("lookups", "hits", "insertions", "evictions", "rejections",
+                 "invalidations")
+
+    def __init__(self) -> None:
+        self.lookups = 0
+        self.hits = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.rejections = 0
+        self.invalidations = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class DirectMappedCache:
+    """A fixed-size direct-mapped VIP -> PIP cache with access bits.
+
+    Args:
+        num_slots: number of cache lines; 0 creates a degenerate cache
+            where every lookup misses and every insert is rejected
+            (used when a switch's share of the aggregate cache budget
+            rounds to nothing).
+        salt: per-switch hash salt so co-located caches don't all
+            conflict on the same VIPs.
+    """
+
+    __slots__ = ("num_slots", "salt", "_keys", "_values", "_abits", "stats")
+
+    def __init__(self, num_slots: int, salt: int = 0) -> None:
+        if num_slots < 0:
+            raise ValueError(f"negative cache size: {num_slots}")
+        self.num_slots = num_slots
+        self.salt = salt
+        self._keys = [_EMPTY] * num_slots
+        self._values = [0] * num_slots
+        self._abits = [0] * num_slots
+        self.stats = CacheStats()
+
+    def _slot(self, vip: int) -> int:
+        return (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_slots
+
+    # ------------------------------------------------------------------
+    # data-plane primitives
+    # ------------------------------------------------------------------
+    def lookup(self, vip: int) -> int | None:
+        """Look up ``vip``; maintains the access bit (hit=set, miss=clear)."""
+        self.stats.lookups += 1
+        if self.num_slots == 0:
+            return None
+        slot = self._slot(vip)
+        if self._keys[slot] == vip:
+            self._abits[slot] = 1
+            self.stats.hits += 1
+            return self._values[slot]
+        if self._keys[slot] != _EMPTY:
+            # The line was consulted and did not help: age it.
+            self._abits[slot] = 0
+        return None
+
+    def insert(self, vip: int, pip: int, only_if_clear: bool = False) -> InsertResult:
+        """Install a mapping.
+
+        Args:
+            only_if_clear: conservative admission (spine/core policy) —
+                refuse to evict a line whose access bit is set.
+        """
+        if self.num_slots == 0:
+            self.stats.rejections += 1
+            return InsertResult(False, None)
+        slot = self._slot(vip)
+        key = self._keys[slot]
+        if key == vip:
+            self._values[slot] = pip
+            return InsertResult(True, None)
+        if key != _EMPTY:
+            if only_if_clear and self._abits[slot] == 1:
+                self.stats.rejections += 1
+                return InsertResult(False, None)
+            evicted = (key, self._values[slot])
+            self._keys[slot] = vip
+            self._values[slot] = pip
+            self._abits[slot] = 0
+            self.stats.insertions += 1
+            self.stats.evictions += 1
+            return InsertResult(True, evicted)
+        self._keys[slot] = vip
+        self._values[slot] = pip
+        self._abits[slot] = 0
+        self.stats.insertions += 1
+        return InsertResult(True, None)
+
+    def invalidate(self, vip: int, stale_pip: int | None = None) -> bool:
+        """Remove ``vip`` from the cache.
+
+        Args:
+            stale_pip: if given, invalidate only when the cached value
+                equals it — a fresher mapping already learned is kept
+                (paper §3.3 misdelivery-tag semantics).
+        """
+        if self.num_slots == 0:
+            return False
+        slot = self._slot(vip)
+        if self._keys[slot] != vip:
+            return False
+        if stale_pip is not None and self._values[slot] != stale_pip:
+            return False
+        self._keys[slot] = _EMPTY
+        self._abits[slot] = 0
+        self.stats.invalidations += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection (control plane / tests; does not touch access bits)
+    # ------------------------------------------------------------------
+    def peek(self, vip: int) -> int | None:
+        """Read the cached value for ``vip`` without side effects."""
+        if self.num_slots == 0:
+            return None
+        slot = self._slot(vip)
+        if self._keys[slot] == vip:
+            return self._values[slot]
+        return None
+
+    def access_bit(self, vip: int) -> int | None:
+        """The access bit of ``vip``'s line, or None if not cached."""
+        if self.num_slots == 0:
+            return None
+        slot = self._slot(vip)
+        if self._keys[slot] == vip:
+            return self._abits[slot]
+        return None
+
+    def occupancy(self) -> int:
+        """Number of occupied lines."""
+        return sum(1 for key in self._keys if key != _EMPTY)
+
+    def entries(self) -> list[tuple[int, int, int]]:
+        """All ``(vip, pip, access_bit)`` triples currently cached."""
+        return [(key, self._values[slot], self._abits[slot])
+                for slot, key in enumerate(self._keys) if key != _EMPTY]
+
+    def clear(self) -> None:
+        """Empty the cache (control-plane reset; stats are preserved)."""
+        for slot in range(self.num_slots):
+            self._keys[slot] = _EMPTY
+            self._abits[slot] = 0
+
+    def __len__(self) -> int:
+        return self.occupancy()

@@ -1,0 +1,155 @@
+"""A set-associative cache variant for the design-choice ablation.
+
+The paper chooses a *direct-mapped* cache (§3.2, citing Hill's "A Case
+for Direct-Mapped Caches") because it fits the Tofino register model:
+one hash, one read-modify-write per array, no pointer chasing.  A
+set-associative organization with LRU would reduce conflict misses at
+the cost of multi-way matching, which Tofino cannot do in registers at
+line rate.  Implementing it lets the ablation quantify what the
+hardware constraint costs (``benchmarks/test_ablation_cache_geometry``).
+
+The class mirrors :class:`~repro.cache.direct_mapped.DirectMappedCache`'s
+interface, including access-bit semantics generalized per entry:
+
+* a hit sets the entry's access bit and refreshes its LRU position;
+* a miss that lands in a full set ages (clears the access bit of) the
+  set's LRU entry — the multi-way analogue of the direct-mapped
+  "conflict miss clears the line's bit";
+* conservative admission (``only_if_clear``) refuses to evict when
+  every entry in the set has its access bit set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.direct_mapped import CacheStats, InsertResult
+
+_MIX = 2654435761
+
+
+class SetAssociativeCache:
+    """An N-way set-associative VIP -> PIP cache with per-entry A bits.
+
+    Args:
+        num_slots: total entries (sets = num_slots // ways; a remainder
+            is dropped, matching how a hardware layout would round).
+        ways: associativity; 1 behaves like a direct-mapped cache with
+            LRU == the single line.
+        salt: per-switch hash salt.
+    """
+
+    __slots__ = ("num_slots", "ways", "num_sets", "salt", "_sets", "stats")
+
+    def __init__(self, num_slots: int, ways: int = 2, salt: int = 0) -> None:
+        if num_slots < 0:
+            raise ValueError(f"negative cache size: {num_slots}")
+        if ways < 1:
+            raise ValueError(f"associativity must be >= 1, got {ways}")
+        self.ways = ways
+        self.num_sets = num_slots // ways
+        self.num_slots = self.num_sets * ways
+        self.salt = salt
+        # Each set maps vip -> [pip, abit] in LRU order (oldest first).
+        self._sets: list[OrderedDict[int, list[int]]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def _set_of(self, vip: int) -> OrderedDict[int, list[int]]:
+        index = (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_sets
+        return self._sets[index]
+
+    # ------------------------------------------------------------------
+    def lookup(self, vip: int) -> int | None:
+        self.stats.lookups += 1
+        if self.num_sets == 0:
+            return None
+        entries = self._set_of(vip)
+        entry = entries.get(vip)
+        if entry is not None:
+            entry[1] = 1
+            entries.move_to_end(vip)
+            self.stats.hits += 1
+            return entry[0]
+        if len(entries) >= self.ways:
+            # Age the LRU entry under conflict pressure.
+            oldest = next(iter(entries))
+            entries[oldest][1] = 0
+        return None
+
+    def insert(self, vip: int, pip: int, only_if_clear: bool = False) -> InsertResult:
+        if self.num_sets == 0:
+            self.stats.rejections += 1
+            return InsertResult(False, None)
+        entries = self._set_of(vip)
+        if vip in entries:
+            entries[vip][0] = pip
+            entries.move_to_end(vip)
+            return InsertResult(True, None)
+        if len(entries) < self.ways:
+            entries[vip] = [pip, 0]
+            self.stats.insertions += 1
+            return InsertResult(True, None)
+        victim = self._pick_victim(entries, only_if_clear)
+        if victim is None:
+            self.stats.rejections += 1
+            return InsertResult(False, None)
+        evicted = (victim, entries[victim][0])
+        del entries[victim]
+        entries[vip] = [pip, 0]
+        self.stats.insertions += 1
+        self.stats.evictions += 1
+        return InsertResult(True, evicted)
+
+    def _pick_victim(self, entries: OrderedDict[int, list[int]],
+                     only_if_clear: bool) -> int | None:
+        if only_if_clear:
+            for vip, entry in entries.items():  # LRU order
+                if entry[1] == 0:
+                    return vip
+            return None
+        return next(iter(entries))
+
+    def invalidate(self, vip: int, stale_pip: int | None = None) -> bool:
+        if self.num_sets == 0:
+            return False
+        entries = self._set_of(vip)
+        entry = entries.get(vip)
+        if entry is None:
+            return False
+        if stale_pip is not None and entry[0] != stale_pip:
+            return False
+        del entries[vip]
+        self.stats.invalidations += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def peek(self, vip: int) -> int | None:
+        if self.num_sets == 0:
+            return None
+        entry = self._set_of(vip).get(vip)
+        return None if entry is None else entry[0]
+
+    def access_bit(self, vip: int) -> int | None:
+        if self.num_sets == 0:
+            return None
+        entry = self._set_of(vip).get(vip)
+        return None if entry is None else entry[1]
+
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    def entries(self) -> list[tuple[int, int, int]]:
+        out = []
+        for entries in self._sets:
+            for vip, (pip, abit) in entries.items():
+                out.append((vip, pip, abit))
+        return out
+
+    def clear(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+
+    def __len__(self) -> int:
+        return self.occupancy()

@@ -1,0 +1,37 @@
+"""Cache-size bookkeeping shared by all caching schemes.
+
+The paper reports cache size as the *aggregate* memory of all caching
+switches, expressed relative to the number of virtual addresses in the
+experiment (1% ... 1500x), and divides it equally among the caching
+switches (§5, "In-switch memory size").  These helpers implement that
+convention so every scheme and benchmark sizes caches identically.
+"""
+
+from __future__ import annotations
+
+
+def aggregate_slots(address_space: int, ratio: float) -> int:
+    """Total cache entries for a relative cache size.
+
+    Args:
+        address_space: number of VIPs in the experiment.
+        ratio: aggregate size relative to the address space (0.5 = 50%,
+            1500.0 = the paper's upper end).
+    """
+    if address_space < 0:
+        raise ValueError(f"negative address space: {address_space}")
+    if ratio < 0:
+        raise ValueError(f"negative cache ratio: {ratio}")
+    return int(round(address_space * ratio))
+
+
+def per_switch_slots(address_space: int, ratio: float, num_switches: int) -> int:
+    """Equal per-switch share of the aggregate budget (floor division).
+
+    The paper's smallest configuration — 1% of 10K addresses over 80
+    switches — yields exactly one entry per switch; rounding down
+    preserves that interpretation.
+    """
+    if num_switches <= 0:
+        raise ValueError(f"need at least one caching switch, got {num_switches}")
+    return aggregate_slots(address_space, ratio) // num_switches

@@ -1,0 +1,256 @@
+"""Command-line interface: run experiments and reproduce paper artifacts.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --trace hadoop --scheme SwitchV2P --cache-ratio 4
+    python -m repro reproduce fig5a --ratios 0.5 4 32
+    python -m repro migrate --senders 16 --packets 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.figures import (
+    FIG5_SCHEMES,
+    FigureScale,
+    appendix_controller,
+    build_trace,
+    figure5,
+    figure6,
+    figure7,
+    figure9,
+    figure10,
+    ft8_spec,
+    ft16_spec,
+    table5,
+)
+from repro.experiments.runner import SCHEME_FACTORIES, run_experiment
+from repro.metrics.reporting import render_table
+from repro.net.node import Layer
+
+TRACES = ("hadoop", "websearch", "alibaba", "microbursts", "video")
+ARTIFACTS = ("fig5a", "fig5b", "fig5c", "fig5d", "fig6", "fig7", "fig9",
+             "fig10", "table5", "table6", "appendix")
+
+
+def _scale_from_args(args: argparse.Namespace) -> FigureScale:
+    kwargs = {}
+    if getattr(args, "vms", None):
+        kwargs["num_vms"] = args.vms
+    if getattr(args, "flows", None):
+        kwargs["hadoop_flows"] = args.flows
+    if getattr(args, "ratios", None):
+        kwargs["ratios"] = tuple(args.ratios)
+    if getattr(args, "seed", None) is not None:
+        kwargs["seed"] = args.seed
+    return FigureScale(**kwargs)
+
+
+def _print_sweep(rows) -> None:
+    table = [[r.scheme, r.x_value, f"{r.hit_rate:.3f}",
+              f"{r.fct_improvement:.2f}", f"{r.first_packet_improvement:.2f}"]
+             for r in rows]
+    print(render_table(
+        ["scheme", "x", "hit rate", "FCT impr.", "first-pkt impr."], table))
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("schemes:   " + ", ".join(sorted(SCHEME_FACTORIES)))
+    print("traces:    " + ", ".join(TRACES))
+    print("artifacts: " + ", ".join(ARTIFACTS))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    flows, num_vms = build_trace(args.trace, scale)
+    spec = ft16_spec() if args.trace == "alibaba" else ft8_spec()
+    result = run_experiment(spec, args.scheme, flows, num_vms,
+                            args.cache_ratio, scale.seed,
+                            trace_name=args.trace)
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["scheme", result.scheme],
+            ["trace", result.trace],
+            ["cache ratio", result.cache_ratio],
+            ["flows completed", f"{result.completion_rate:.1%}"],
+            ["hit rate", f"{result.hit_rate:.3f}"],
+            ["avg FCT [us]", f"{result.avg_fct_ns / 1000:.1f}"],
+            ["avg first-packet [us]", f"{result.avg_first_packet_ns / 1000:.1f}"],
+            ["avg stretch", f"{result.avg_stretch:.2f}"],
+            ["gateway packets", result.gateway_arrivals],
+            ["drops", result.drops],
+        ]))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    artifact = args.artifact
+    if artifact in ("fig5a", "fig5b", "fig5c", "fig5d"):
+        trace = {"fig5a": "hadoop", "fig5b": "microbursts",
+                 "fig5c": "websearch", "fig5d": "video"}[artifact]
+        schemes = FIG5_SCHEMES if trace != "video" else (
+            "SwitchV2P", "GwCache", "LocalLearning", "NoCache")
+        _print_sweep(figure5(trace, scale, schemes=schemes))
+    elif artifact == "fig6":
+        _print_sweep(figure6(scale))
+    elif artifact == "fig7":
+        results = figure7(scale)
+        pods = len(next(iter(results.values())).pod_bytes)
+        table = [[s] + [b // 1_000_000 for b in r.pod_bytes]
+                 + [f"{r.avg_stretch:.1f}"] for s, r in results.items()]
+        print(render_table(["scheme"] + [f"pod{p + 1}" for p in range(pods)]
+                           + ["stretch"], table))
+    elif artifact == "fig9":
+        _print_sweep(figure9(scale))
+    elif artifact == "fig10":
+        _print_sweep(figure10(scale))
+    elif artifact == "table5":
+        rows = table5(scale, cache_ratio=4.0)
+        table = [[r.trace] + [f"{r.total[layer]:.1%}" for layer in Layer]
+                 + [f"{r.first_packet[layer]:.1%}" for layer in Layer]
+                 for r in rows]
+        print(render_table(
+            ["trace", "tor", "spine", "core", "tor(1st)", "spine(1st)",
+             "core(1st)"], table))
+    elif artifact == "table6":
+        from repro.hw import TABLE6_ENTRIES_PER_SWITCH, estimate_utilization
+        estimate = estimate_utilization(TABLE6_ENTRIES_PER_SWITCH)
+        print(render_table(["resource", "utilization"],
+                           [[k, f"{v:.1f}%"] for k, v in estimate.items()]))
+    elif artifact == "appendix":
+        _print_sweep(appendix_controller(scale))
+    else:
+        print(f"unknown artifact {artifact!r}; see 'repro list'",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.experiments.migration import run_migration_table
+    from repro.traces.incast import IncastTraceParams
+    params = IncastTraceParams(num_senders=args.senders,
+                               packets_per_sender=args.packets)
+    rows = run_migration_table(params)
+    base = rows[0]
+    table = [[r.label, f"{r.gateway_packet_fraction:.1%}",
+              f"{r.avg_packet_latency_ns / base.avg_packet_latency_ns:.2f}x",
+              f"{(r.last_misdelivered_arrival_ns or 0) / 1000:.0f}",
+              r.misdelivered_packets, r.invalidation_packets]
+             for r in rows]
+    print(render_table(
+        ["variant", "gateway pkts", "latency", "last misdeliv [us]",
+         "misdelivered", "invalidations"], table))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Assemble all persisted benchmark tables into one report."""
+    from pathlib import Path
+    results_dir = Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(f"no results at {results_dir}; run "
+              "'pytest benchmarks/ --benchmark-only' first", file=sys.stderr)
+        return 1
+    files = sorted(results_dir.glob("*.txt"))
+    if not files:
+        print(f"no result tables in {results_dir}", file=sys.stderr)
+        return 1
+    for path in files:
+        print(f"==== {path.stem} " + "=" * max(1, 60 - len(path.stem)))
+        print(path.read_text().rstrip())
+        print()
+    return 0
+
+
+def cmd_trace_generate(args: argparse.Namespace) -> int:
+    from repro.traces.io import save_flows
+    scale = _scale_from_args(args)
+    flows, num_vms = build_trace(args.name, scale)
+    count = save_flows(args.output, flows)
+    print(f"wrote {count} flows over {num_vms} VMs to {args.output}")
+    return 0
+
+
+def cmd_trace_inspect(args: argparse.Namespace) -> int:
+    from repro.traces.io import load_flows, trace_stats
+    stats = trace_stats(load_flows(args.path))
+    print(render_table(["statistic", "value"],
+                       [[key, value] for key, value in stats.items()]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SwitchV2P reproduction: simulate and reproduce the "
+                    "paper's experiments")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list schemes, traces, artifacts") \
+        .set_defaults(func=cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("--trace", choices=TRACES, default="hadoop")
+    run_parser.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES),
+                            default="SwitchV2P")
+    run_parser.add_argument("--cache-ratio", type=float, default=4.0,
+                            help="aggregate cache size relative to the "
+                                 "VIP address space")
+    run_parser.add_argument("--vms", type=int, default=None)
+    run_parser.add_argument("--flows", type=int, default=None)
+    run_parser.add_argument("--seed", type=int, default=None)
+    run_parser.set_defaults(func=cmd_run)
+
+    repro_parser = subparsers.add_parser(
+        "reproduce", help="regenerate one of the paper's tables/figures")
+    repro_parser.add_argument("artifact", choices=ARTIFACTS)
+    repro_parser.add_argument("--vms", type=int, default=None)
+    repro_parser.add_argument("--flows", type=int, default=None)
+    repro_parser.add_argument("--ratios", type=float, nargs="+", default=None)
+    repro_parser.add_argument("--seed", type=int, default=None)
+    repro_parser.set_defaults(func=cmd_reproduce)
+
+    migrate_parser = subparsers.add_parser(
+        "migrate", help="the VM-migration experiment (Table 4)")
+    migrate_parser.add_argument("--senders", type=int, default=16)
+    migrate_parser.add_argument("--packets", type=int, default=500)
+    migrate_parser.set_defaults(func=cmd_migrate)
+
+    report_parser = subparsers.add_parser(
+        "report", help="print every persisted benchmark table")
+    report_parser.add_argument("--results-dir", default="benchmarks/results")
+    report_parser.set_defaults(func=cmd_report)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="generate or inspect workload trace files")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command",
+                                            required=True)
+    gen = trace_sub.add_parser("generate", help="write a trace to a file")
+    gen.add_argument("name", choices=TRACES)
+    gen.add_argument("output", help="output path (JSON lines)")
+    gen.add_argument("--vms", type=int, default=None)
+    gen.add_argument("--flows", type=int, default=None)
+    gen.add_argument("--seed", type=int, default=None)
+    gen.set_defaults(func=cmd_trace_generate)
+    inspect = trace_sub.add_parser("inspect", help="summarize a trace file")
+    inspect.add_argument("path")
+    inspect.set_defaults(func=cmd_trace_inspect)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

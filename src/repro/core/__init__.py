@@ -1,0 +1,41 @@
+"""SwitchV2P: the paper's in-network address-caching protocol."""
+
+from repro.core.allocation import (
+    CORE_HEAVY,
+    EDGE_HEAVY,
+    NAMED_POLICIES,
+    TOR_ONLY,
+    UNIFORM,
+    AllocationPolicy,
+    distribute_slots,
+)
+from repro.core.config import SwitchV2PConfig
+from repro.core.hybrid import HybridSwitchV2P
+from repro.core.multitenant import (
+    MultiTenantSwitchV2P,
+    PartitionedCache,
+    TenantRegistry,
+)
+from repro.core.policy import AdaptiveTenantPolicy, GatewayLoadMonitor
+from repro.core.protocol import SwitchV2P
+from repro.core.roles import Role, assign_roles
+
+__all__ = [
+    "SwitchV2P",
+    "SwitchV2PConfig",
+    "Role",
+    "assign_roles",
+    "AllocationPolicy",
+    "distribute_slots",
+    "UNIFORM",
+    "TOR_ONLY",
+    "EDGE_HEAVY",
+    "CORE_HEAVY",
+    "NAMED_POLICIES",
+    "HybridSwitchV2P",
+    "MultiTenantSwitchV2P",
+    "TenantRegistry",
+    "PartitionedCache",
+    "GatewayLoadMonitor",
+    "AdaptiveTenantPolicy",
+]

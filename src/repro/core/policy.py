@@ -1,0 +1,130 @@
+"""Operator policies for enabling SwitchV2P per tenant (paper §4).
+
+"As in-switch memory is a scarce resource, an operator may decide to
+enable SwitchV2P for a particular VPC based on a policy, e.g., when the
+gateway load exceeds a certain threshold."  This module implements that
+loop: a :class:`GatewayLoadMonitor` measures per-tenant gateway packet
+rates in sliding windows, and an :class:`AdaptiveTenantPolicy`
+enables/disables tenants' cache partitions at runtime (NetVRM-style
+memory allocation) based on those rates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.multitenant import MultiTenantSwitchV2P, TenantRegistry
+from repro.net.packet import Packet
+from repro.vnet.network import VirtualNetwork
+
+
+class GatewayLoadMonitor:
+    """Windowed per-tenant gateway packet counters.
+
+    Attaches to every gateway's packet observer (chaining with whatever
+    observer — normally the metrics collector — is already installed).
+    """
+
+    def __init__(self, network: VirtualNetwork, registry: TenantRegistry,
+                 window_ns: int) -> None:
+        if window_ns <= 0:
+            raise ValueError("window must be positive")
+        self.network = network
+        self.registry = registry
+        self.window_ns = window_ns
+        self._current: Counter = Counter()
+        self._previous: Counter = Counter()
+        self._window_start = 0
+        for gateway in network.gateways:
+            inner = gateway.on_packet
+
+            def observe(packet: Packet, _inner=inner) -> None:
+                if _inner is not None:
+                    _inner(packet)
+                self._record(packet)
+
+            gateway.on_packet = observe
+
+    def _record(self, packet: Packet) -> None:
+        now = self.network.engine.now
+        if now - self._window_start >= self.window_ns:
+            self._previous = self._current
+            self._current = Counter()
+            self._window_start = now
+        tenant = self.registry.tenant_of(packet.dst_vip)
+        if tenant is not None:
+            self._current[tenant] += 1
+
+    def window_counts(self, tenant: int) -> int:
+        """Gateway packets for ``tenant`` in the last complete window
+        (falls back to the in-progress window early in a run)."""
+        if self._previous:
+            return self._previous.get(tenant, 0)
+        return self._current.get(tenant, 0)
+
+
+class AdaptiveTenantPolicy:
+    """Enable a tenant's partitions when its gateway load is high.
+
+    Args:
+        scheme: the multi-tenant SwitchV2P instance to reconfigure.
+        monitor: the gateway-load measurement source.
+        enable_threshold: gateway packets per window above which a
+            tenant gets cache partitions.
+        disable_threshold: load below which partitions are reclaimed
+            (hysteresis; must be <= enable_threshold).
+        slots_per_switch: partition size granted to a newly enabled
+            tenant on each switch.
+        period_ns: policy evaluation interval.
+    """
+
+    def __init__(self, scheme: MultiTenantSwitchV2P,
+                 monitor: GatewayLoadMonitor,
+                 enable_threshold: int,
+                 disable_threshold: int,
+                 slots_per_switch: int,
+                 period_ns: int) -> None:
+        if disable_threshold > enable_threshold:
+            raise ValueError("disable threshold must not exceed enable "
+                             "threshold (hysteresis)")
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self.scheme = scheme
+        self.monitor = monitor
+        self.enable_threshold = enable_threshold
+        self.disable_threshold = disable_threshold
+        self.slots_per_switch = slots_per_switch
+        self.period_ns = period_ns
+        self.enabled: set[int] = set()
+        self.enable_events = 0
+        self.disable_events = 0
+
+    def start(self) -> None:
+        """Begin periodic evaluation on the scheme's network engine."""
+        assert self.scheme.network is not None
+        for cache in self.scheme.caches.values():
+            self.enabled.update(cache.partitions)
+        self.scheme.network.engine.schedule_after(self.period_ns, self._tick)
+
+    def _tick(self) -> None:
+        assert self.scheme.network is not None
+        for tenant in self.monitor.registry.tenants:
+            load = self.monitor.window_counts(tenant)
+            if tenant not in self.enabled and load >= self.enable_threshold:
+                self._enable(tenant)
+            elif tenant in self.enabled and load <= self.disable_threshold:
+                self._disable(tenant)
+        self.scheme.network.engine.schedule_after(self.period_ns, self._tick)
+
+    def _enable(self, tenant: int) -> None:
+        for cache in self.scheme.caches.values():
+            if tenant not in cache.partitions:
+                cache.add_partition(tenant, self.slots_per_switch)
+        self.enabled.add(tenant)
+        self.enable_events += 1
+
+    def _disable(self, tenant: int) -> None:
+        for cache in self.scheme.caches.values():
+            cache.remove_partition(tenant)
+        self.enabled.discard(tenant)
+        self.disable_events += 1

@@ -1,0 +1,360 @@
+"""SwitchV2P: the topology-aware in-network V2P caching protocol.
+
+This is the paper's primary contribution (§3).  Every switch carries a
+direct-mapped cache; packets are translated opportunistically en route
+to the gateway, and the switches collaboratively manage the distributed
+cache with per-role admission policies and four special functions:
+
+* **learning packets** — gateway ToRs disseminate mappings toward the
+  sender's ToR with probability ``p_learn``;
+* **cache spillover** — evicted entries ride on the packet being
+  processed and are re-admitted downstream;
+* **promotion** — spines push entries that are hot on the gateway path
+  up to the core switches so multiple pods can share them;
+* **lazy invalidation** — misdelivery tags on re-forwarded packets plus
+  targeted invalidation packets (rate-limited by a per-ToR timestamp
+  vector) clean up stale entries after VM migrations (§3.3).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.caching import CachingScheme
+from repro.cache.direct_mapped import InsertResult
+from repro.core.allocation import UNIFORM, AllocationPolicy, distribute_slots
+from repro.core.config import SwitchV2PConfig
+from repro.core.roles import Role, assign_roles
+from repro.net.addresses import pip_pod, pip_rack
+from repro.net.node import Layer, Switch
+from repro.net.packet import Packet, PacketKind
+from repro.vnet.hypervisor import Host
+from repro.vnet.network import VirtualNetwork
+
+#: Control packets (learning/invalidation) get flow ids far above any
+#: data flow so ECMP hashing and flow bookkeeping never collide.
+_CONTROL_FLOW_BASE = 1 << 40
+
+
+class SwitchV2P(CachingScheme):
+    """The SwitchV2P translation scheme.
+
+    Args:
+        total_cache_slots: aggregate in-network cache budget.
+        config: protocol feature configuration (defaults match §5).
+        allocation: how the budget is split across switch roles; the
+            default is the paper's equal split, alternatives implement
+            the §4 heterogeneous-allocation discussion.
+        cache_ways: cache associativity; 1 (the paper's direct-mapped
+            hardware design) by default, >1 enables the set-associative
+            ablation (not implementable at line rate on Tofino).
+    """
+
+    name = "SwitchV2P"
+
+    def __init__(self, total_cache_slots: int,
+                 config: SwitchV2PConfig | None = None,
+                 allocation: AllocationPolicy = UNIFORM,
+                 cache_ways: int = 1) -> None:
+        super().__init__(total_cache_slots)
+        self.config = config if config is not None else SwitchV2PConfig()
+        self.allocation = allocation
+        if cache_ways < 1:
+            raise ValueError(f"associativity must be >= 1, got {cache_ways}")
+        self.cache_ways = cache_ways
+        self.roles: dict[int, Role] = {}
+        self._learn_rng = None
+        self._control_flow_seq = _CONTROL_FLOW_BASE
+        #: Per-ToR timestamp vector: ToR id -> (target switch id -> last
+        #: invalidation send time).  Local timestamps only (§3.3).
+        self._timestamp_vectors: dict[int, dict[int, int]] = {}
+        self.learning_packets_sent = 0
+        self.invalidation_packets_sent = 0
+        self.spillovers_reinserted = 0
+        self.promotions_sent = 0
+        self.promotions_admitted = 0
+
+    def make_cache(self, num_slots: int, salt: int):
+        if self.cache_ways == 1:
+            return super().make_cache(num_slots, salt)
+        from repro.cache.set_associative import SetAssociativeCache
+        return SetAssociativeCache(num_slots, ways=self.cache_ways, salt=salt)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def prepare(self, network: VirtualNetwork) -> None:
+        """Assign roles and protocol state before caches are built."""
+        self.roles = assign_roles(network.fabric)
+        self._learn_rng = network.streams.stream("switchv2p-learning")
+        self._timestamp_vectors = {}
+        self._gateway_pips = network.gateway_pip_set()
+
+    def slots_by_switch(self, network: VirtualNetwork,
+                        ids: list[int]) -> dict[int, int]:
+        roles = {switch_id: self.roles[switch_id] for switch_id in ids}
+        return distribute_slots(self.total_cache_slots, roles, self.allocation)
+
+    def reassign_roles(self) -> None:
+        """Recompute switch roles after a gateway move (paper §4).
+
+        A control-plane operation: the former gateway ToR reverts to
+        regular ToR behaviour and the new one takes over.  Caches are
+        not migrated; they rebuild in place from traffic.
+        """
+        assert self.network is not None
+        self.roles = assign_roles(self.network.fabric,
+                                  self.network.gateway_pip_set())
+        self._gateway_pips = self.network.gateway_pip_set()
+
+    def _next_control_flow(self) -> int:
+        self._control_flow_seq += 1
+        return self._control_flow_seq
+
+    # ------------------------------------------------------------------
+    # host hooks
+    # ------------------------------------------------------------------
+    def on_misdelivery(self, host: Host, packet: Packet) -> None:
+        """Misdelivered packets return to the gateway, tagged en route."""
+        self.send_misdelivered_via_gateway(host, packet)
+
+    # ------------------------------------------------------------------
+    # switch hook
+    # ------------------------------------------------------------------
+    def on_switch(self, switch: Switch, packet: Packet, ingress) -> bool:
+        kind = packet.kind
+        if kind == PacketKind.LEARNING:
+            return self._on_learning_packet(switch, packet)
+        if kind == PacketKind.INVALIDATION:
+            self._apply_invalidation(switch, packet)
+            return True
+        if kind not in (PacketKind.DATA, PacketKind.ACK):
+            return True
+
+        role = self.roles[switch.switch_id] if self.config.role_aware else None
+
+        # 1. Misdelivery tagging at ToRs (§3.3): a packet arriving from
+        #    a host port whose outer source is not the attached server
+        #    was re-forwarded by the hypervisor.  Gateways also attach
+        #    to host ports but are excluded (their node type differs).
+        if (
+            switch.layer == Layer.TOR
+            and ingress is not None
+            and isinstance(ingress.src, Host)
+            and packet.outer_src != ingress.src.pip
+            and not packet.misdelivery_tag
+        ):
+            self._tag_misdelivered(switch, packet)
+
+        # 2. Pick up in-band metadata: spilled entries (any non-core
+        #    switch) and promotions (cores only).
+        if packet.spill_entry is not None and self.config.enable_spillover:
+            self._try_pickup_spill(switch, packet, role)
+        if packet.promote_entry is not None and (role == Role.CORE
+                                                 or not self.config.role_aware):
+            self._admit_promotion(switch, packet)
+
+        # 3. Lookup for unresolved packets, with spine promotion on a
+        #    hot hit (access bit already set) for pod-leaving packets.
+        if not packet.resolved:
+            hot_before = False
+            if role == Role.SPINE and self.config.enable_promotion:
+                cache = self.cache_of(switch)
+                if cache is not None:
+                    hot_before = cache.access_bit(packet.dst_vip) == 1
+            if self.try_resolve(switch, packet):
+                if (
+                    hot_before
+                    and role == Role.SPINE
+                    and pip_pod(packet.outer_dst) != switch.pod
+                ):
+                    packet.promote_entry = (packet.dst_vip, packet.outer_dst)
+                    self.promotions_sent += 1
+
+        # 4. Learning (Table 1).
+        self._learn(switch, packet, role)
+        return True
+
+    # ------------------------------------------------------------------
+    # learning policies
+    # ------------------------------------------------------------------
+    def _learn(self, switch: Switch, packet: Packet, role: Role | None) -> None:
+        if role is None:
+            # Role-unaware ablation: greedy destination learning.
+            result = self.learn_destination(switch, packet)
+            self._handle_eviction(packet, result)
+            return
+        if role == Role.GATEWAY_TOR:
+            already_known = False
+            if self.config.learning_packet_on_new_only:
+                cache = self.cache_of(switch)
+                if cache is not None and packet.resolved:
+                    already_known = cache.peek(packet.dst_vip) == packet.outer_dst
+            result = self.learn_destination(switch, packet)
+            self._handle_eviction(packet, result)
+            if packet.resolved and not already_known:
+                self._maybe_send_learning_packet(switch, packet)
+        elif role == Role.GATEWAY_SPINE:
+            result = self.learn_destination(switch, packet, only_if_clear=True)
+            self._handle_eviction(packet, result)
+        elif role == Role.TOR:
+            result = self.learn_source(switch, packet)
+            self._handle_eviction(packet, result)
+        elif role == Role.SPINE:
+            result = self.learn_destination(switch, packet, only_if_clear=True)
+            self._handle_eviction(packet, result)
+        # Cores learn only from promotions (handled in pickup).
+
+    def _handle_eviction(self, packet: Packet, result: InsertResult | None) -> None:
+        """Spillover (§3.2.2): evicted entries ride the current packet."""
+        if result is None or not self.config.enable_spillover:
+            return
+        if result.evicted is not None:
+            packet.spill_entry = result.evicted
+
+    def _try_pickup_spill(self, switch: Switch, packet: Packet,
+                          role: Role | None) -> None:
+        """Downstream switches attempt to re-admit a spilled entry."""
+        if role == Role.CORE:
+            return  # Cores learn from promotions only (Table 1).
+        cache = self.cache_of(switch)
+        if cache is None:
+            return
+        vip, pip = packet.spill_entry
+        conservative = role in (Role.SPINE, Role.GATEWAY_SPINE)
+        result = cache.insert(vip, pip, only_if_clear=conservative)
+        if result.admitted:
+            packet.spill_entry = result.evicted
+            self.spillovers_reinserted += 1
+            assert self.network is not None
+            self.network.collector.spillover_inserts += 1
+
+    def _admit_promotion(self, switch: Switch, packet: Packet) -> None:
+        """Core switches admit promoted entries if the line is cold."""
+        cache = self.cache_of(switch)
+        if cache is None:
+            return
+        vip, pip = packet.promote_entry
+        result = cache.insert(vip, pip, only_if_clear=True)
+        packet.promote_entry = None
+        if result.admitted:
+            self.promotions_admitted += 1
+            assert self.network is not None
+            self.network.collector.promotions += 1
+
+    # ------------------------------------------------------------------
+    # learning packets (§3.2.2)
+    # ------------------------------------------------------------------
+    def _maybe_send_learning_packet(self, switch: Switch, packet: Packet) -> None:
+        if not self.config.enable_learning_packets:
+            return
+        if self._learn_rng.random() >= self.config.p_learn:
+            return
+        sender_pip = packet.outer_src
+        if sender_pip in self._gateway_pips or sender_pip < 0:
+            return
+        assert self.network is not None
+        target_pod, target_rack = pip_pod(sender_pip), pip_rack(sender_pip)
+        mapping = (packet.dst_vip, packet.outer_dst)
+        target_tor = self.network.fabric.tors.get((target_pod, target_rack))
+        if target_tor is None:
+            return
+        if target_tor is switch:
+            self._install_at_tor(switch, mapping)
+            return
+        learning = Packet(
+            PacketKind.LEARNING,
+            flow_id=self._next_control_flow(),
+            seq=0,
+            payload_bytes=0,
+            src_vip=packet.dst_vip,
+            dst_vip=packet.dst_vip,
+            outer_src=sender_pip,
+            outer_dst=sender_pip,
+            created_at=self.network.engine.now,
+        )
+        learning.carried_mapping = mapping
+        self.learning_packets_sent += 1
+        self.network.collector.learning_packets += 1
+        switch.forward(learning)
+
+    def _on_learning_packet(self, switch: Switch, packet: Packet) -> bool:
+        """ToRs absorb learning packets addressed to their rack."""
+        if switch.is_local_rack(packet.outer_dst):
+            if packet.carried_mapping is not None:
+                self._install_at_tor(switch, packet.carried_mapping)
+            return False
+        return True
+
+    def _install_at_tor(self, switch: Switch, mapping: tuple[int, int]) -> None:
+        cache = self.cache_of(switch)
+        if cache is None:
+            return
+        cache.insert(mapping[0], mapping[1])
+
+    # ------------------------------------------------------------------
+    # invalidation (§3.3)
+    # ------------------------------------------------------------------
+    def _tag_misdelivered(self, switch: Switch, packet: Packet) -> None:
+        packet.misdelivery_tag = True
+        if not self.config.enable_invalidation:
+            return
+        if packet.hit_switch is None or packet.carried_mapping is None:
+            return
+        if packet.hit_switch == switch.switch_id:
+            return  # The tagged packet itself will fix the local cache.
+        if self.config.enable_timestamp_vector and not self._timestamp_allows(
+                switch.switch_id, packet.hit_switch):
+            return
+        self._send_invalidation(switch, packet.hit_switch, packet.carried_mapping)
+
+    def _timestamp_allows(self, tor_id: int, target_id: int) -> bool:
+        """Timestamp-vector rate limiting: one packet per RTT per target."""
+        assert self.network is not None
+        now = self.network.engine.now
+        vector = self._timestamp_vectors.setdefault(tor_id, {})
+        last = vector.get(target_id)
+        if last is not None and now - last < self.config.invalidation_gap_ns:
+            return False
+        vector[target_id] = now
+        return True
+
+    def _send_invalidation(self, tor: Switch, target_id: int,
+                           stale: tuple[int, int]) -> None:
+        assert self.network is not None
+        fabric = self.network.fabric
+        target = fabric.switch_by_id.get(target_id)
+        if target is None:
+            return
+        if target is tor:
+            return
+        flow_id = self._next_control_flow()
+        route = fabric.path_from_tor(tor, target, key=flow_id)
+        if not route:
+            return
+        packet = Packet(
+            PacketKind.INVALIDATION,
+            flow_id=flow_id,
+            seq=0,
+            payload_bytes=0,
+            src_vip=stale[0],
+            dst_vip=stale[0],
+            outer_src=-1,
+            outer_dst=-1,
+            created_at=self.network.engine.now,
+        )
+        packet.carried_mapping = stale
+        packet.target_switch = target_id
+        packet.route_path = route
+        packet.route_index = 0
+        self.invalidation_packets_sent += 1
+        self.network.collector.invalidation_packets += 1
+        route[0].transmit(packet)
+
+    def _apply_invalidation(self, switch: Switch, packet: Packet) -> None:
+        """Every switch on an invalidation's path invalidates the entry."""
+        if packet.carried_mapping is None:
+            return
+        cache = self.cache_of(switch)
+        if cache is None:
+            return
+        vip, stale_pip = packet.carried_mapping
+        cache.invalidate(vip, stale_pip)

@@ -1,0 +1,71 @@
+"""Experiment harness: runners, sweeps, per-figure entry points."""
+
+from repro.experiments.figures import (
+    FigureScale,
+    appendix_controller,
+    build_trace,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    ft8_spec,
+    ft16_spec,
+    table5,
+)
+from repro.experiments.migration import (
+    MIGRATION_VARIANTS,
+    MigrationResult,
+    run_migration_table,
+    run_migration_variant,
+)
+from repro.experiments.parallel import (
+    ExperimentJob,
+    parallel_run_experiments,
+)
+from repro.experiments.runner import (
+    SCHEME_FACTORIES,
+    RunResult,
+    build_network,
+    make_scheme,
+    run_experiment,
+    run_flows,
+)
+from repro.experiments.sweeps import (
+    SweepRow,
+    cache_size_sweep,
+    gateway_count_sweep,
+    topology_scale_sweep,
+)
+
+__all__ = [
+    "RunResult",
+    "SweepRow",
+    "SCHEME_FACTORIES",
+    "make_scheme",
+    "build_network",
+    "run_flows",
+    "run_experiment",
+    "ExperimentJob",
+    "parallel_run_experiments",
+    "cache_size_sweep",
+    "gateway_count_sweep",
+    "topology_scale_sweep",
+    "FigureScale",
+    "ft8_spec",
+    "ft16_spec",
+    "build_trace",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "table5",
+    "appendix_controller",
+    "MigrationResult",
+    "MIGRATION_VARIANTS",
+    "run_migration_variant",
+    "run_migration_table",
+]

@@ -1,0 +1,72 @@
+"""Parallel execution of independent experiment runs.
+
+Cache-size sweeps are embarrassingly parallel: every (scheme, ratio)
+point is an independent simulation.  This module fans runs out over a
+process pool while preserving determinism (each run's seed and inputs
+are explicit, so results are identical to sequential execution).
+
+Enabled by passing ``workers`` to :func:`parallel_run_experiments` or
+setting the ``REPRO_PARALLEL`` environment variable (number of worker
+processes) for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.runner import RunResult, run_experiment
+from repro.net.topology import FatTreeSpec
+from repro.transport.flow import FlowSpec
+from repro.transport.reliable import TransportConfig
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One picklable experiment description."""
+
+    spec: FatTreeSpec
+    scheme_name: str
+    flows: tuple[FlowSpec, ...]
+    num_vms: int
+    cache_ratio: float
+    seed: int = 0
+    transport: TransportConfig | None = None
+    horizon_ns: int | None = None
+    trace_name: str = ""
+    scheme_kwargs: dict = field(default_factory=dict)
+
+
+def _run_job(job: ExperimentJob) -> RunResult:
+    return run_experiment(
+        job.spec, job.scheme_name, list(job.flows), job.num_vms,
+        job.cache_ratio, job.seed, job.transport, job.horizon_ns,
+        keep_network=False, trace_name=job.trace_name,
+        scheme_kwargs=dict(job.scheme_kwargs) or None)
+
+
+def default_workers() -> int:
+    """Worker count from REPRO_PARALLEL (0/unset = sequential)."""
+    value = os.environ.get("REPRO_PARALLEL", "0")
+    try:
+        return max(0, int(value))
+    except ValueError:
+        raise ValueError(f"REPRO_PARALLEL={value!r} is not an integer")
+
+
+def parallel_run_experiments(jobs: Sequence[ExperimentJob],
+                             workers: int | None = None) -> list[RunResult]:
+    """Run jobs, in order, optionally over a process pool.
+
+    Results are returned in job order regardless of completion order,
+    and are bit-identical to sequential execution (simulations are
+    deterministic given their explicit seeds).
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(jobs) <= 1:
+        return [_run_job(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_job, jobs))

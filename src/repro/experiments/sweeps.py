@@ -1,0 +1,205 @@
+"""Parameter sweeps: cache size, gateway count, topology scale.
+
+These implement the x-axes of the paper's figures.  Results are
+normalized against the NoCache baseline run with identical trace and
+topology, exactly as the paper normalizes Figures 5/6/9/10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.runner import RunResult, run_experiment
+from repro.metrics.reporting import improvement
+from repro.net.topology import FatTreeSpec
+from repro.transport.flow import FlowSpec
+from repro.transport.reliable import TransportConfig
+
+
+@dataclass
+class SweepRow:
+    """One (scheme, x-value) point of a figure."""
+
+    scheme: str
+    x_value: float
+    hit_rate: float
+    fct_improvement: float
+    first_packet_improvement: float
+    result: RunResult
+
+    def as_row(self) -> list:
+        return [self.scheme, self.x_value, self.hit_rate,
+                self.fct_improvement, self.first_packet_improvement]
+
+
+def cache_size_sweep(
+    spec: FatTreeSpec,
+    flows: Sequence[FlowSpec],
+    num_vms: int,
+    ratios: Sequence[float],
+    schemes: Sequence[str],
+    seed: int = 0,
+    trace_name: str = "",
+    transport: TransportConfig | None = None,
+    scheme_kwargs: dict[str, dict] | None = None,
+    horizon_ns: int | None = None,
+) -> list[SweepRow]:
+    """The Figure 5/6 sweep: schemes x aggregate cache sizes.
+
+    The NoCache reference is simulated once (its behaviour does not
+    depend on the cache budget) and reused to normalize every point.
+    """
+    from repro.experiments.parallel import (
+        ExperimentJob,
+        parallel_run_experiments,
+    )
+
+    kwargs_by_scheme = scheme_kwargs or {}
+    baseline = run_experiment(spec, "NoCache", flows, num_vms, 0.0, seed,
+                              transport, horizon_ns, trace_name=trace_name)
+    # Schemes without in-switch caches produce identical results at
+    # every ratio; simulate them once and replicate the row.
+    ratio_independent = {"NoCache": baseline}
+    for scheme in schemes:
+        if scheme in ("Direct", "OnDemand"):
+            ratio_independent[scheme] = run_experiment(
+                spec, scheme, flows, num_vms, 0.0, seed, transport,
+                horizon_ns, trace_name=trace_name,
+                scheme_kwargs=kwargs_by_scheme.get(scheme))
+
+    # The remaining (scheme, ratio) points are independent simulations;
+    # they run through the parallel executor (sequential unless
+    # REPRO_PARALLEL or `workers` asks otherwise).
+    flow_tuple = tuple(flows)
+    jobs: list[ExperimentJob] = []
+    grid: list[tuple[float, str]] = []
+    for ratio in ratios:
+        for scheme in schemes:
+            grid.append((ratio, scheme))
+            if scheme not in ratio_independent:
+                jobs.append(ExperimentJob(
+                    spec=spec, scheme_name=scheme, flows=flow_tuple,
+                    num_vms=num_vms, cache_ratio=ratio, seed=seed,
+                    transport=transport, horizon_ns=horizon_ns,
+                    trace_name=trace_name,
+                    scheme_kwargs=kwargs_by_scheme.get(scheme) or {}))
+    job_results = iter(parallel_run_experiments(jobs))
+    rows: list[SweepRow] = []
+    for ratio, scheme in grid:
+        result = ratio_independent.get(scheme)
+        if result is None:
+            result = next(job_results)
+        rows.append(_normalized_row(result, baseline, ratio))
+    return rows
+
+
+def gateway_count_sweep(
+    base_spec: FatTreeSpec,
+    trace_factory,
+    num_vms: int,
+    gateways_per_pod_values: Sequence[int],
+    schemes: Sequence[str],
+    cache_ratio: float,
+    seed: int = 0,
+    trace_name: str = "",
+    horizon_ns: int | None = None,
+) -> list[SweepRow]:
+    """The Figure 9 sweep: vary deployed gateways, fixed cache budget.
+
+    ``trace_factory(spec)`` regenerates the flow list per topology (the
+    flows themselves do not depend on gateway count, but regenerating
+    keeps the interface uniform with the topology sweep).
+
+    All rows are normalized against NoCache at the *first* (largest)
+    gateway deployment, so the degradation of gateway-bound schemes as
+    the fleet shrinks is visible — the comparison Figure 9 makes.
+    """
+    rows: list[SweepRow] = []
+    reference: RunResult | None = None
+    for per_pod in gateways_per_pod_values:
+        spec = FatTreeSpec(
+            pods=base_spec.pods,
+            racks_per_pod=base_spec.racks_per_pod,
+            servers_per_rack=base_spec.servers_per_rack,
+            spines_per_pod=base_spec.spines_per_pod,
+            num_cores=base_spec.num_cores,
+            gateway_pods=base_spec.gateway_pods,
+            gateways_per_pod=per_pod,
+            host_link_bps=base_spec.host_link_bps,
+            fabric_link_bps=base_spec.fabric_link_bps,
+            propagation_ns=base_spec.propagation_ns,
+            buffer_bytes=base_spec.buffer_bytes,
+        )
+        flows = trace_factory(spec)
+        num_gateways = spec.num_gateways
+        baseline = run_experiment(spec, "NoCache", flows, num_vms, 0.0, seed,
+                                  horizon_ns=horizon_ns, trace_name=trace_name)
+        if reference is None:
+            reference = baseline
+        for scheme in schemes:
+            if scheme == "NoCache":
+                result = baseline
+            else:
+                result = run_experiment(spec, scheme, flows, num_vms,
+                                        cache_ratio, seed,
+                                        horizon_ns=horizon_ns,
+                                        trace_name=trace_name)
+            rows.append(_normalized_row(result, reference, float(num_gateways)))
+    return rows
+
+
+def topology_scale_sweep(
+    pods_values: Sequence[int],
+    total_servers: int,
+    racks_per_pod: int,
+    trace_factory,
+    num_vms: int,
+    schemes: Sequence[str],
+    cache_ratio: float,
+    seed: int = 0,
+    trace_name: str = "",
+    horizon_ns: int | None = None,
+) -> list[SweepRow]:
+    """The Figure 10 sweep: scale pods while keeping servers constant."""
+    rows: list[SweepRow] = []
+    for pods in pods_values:
+        servers_per_rack = total_servers // (pods * racks_per_pod)
+        if servers_per_rack < 1:
+            raise ValueError(
+                f"{pods} pods x {racks_per_pod} racks exceeds {total_servers} "
+                "servers")
+        gateway_pods = tuple(range(0, pods, 2)) if pods > 1 else (0,)
+        spec = FatTreeSpec(
+            pods=pods,
+            racks_per_pod=racks_per_pod,
+            servers_per_rack=servers_per_rack,
+            gateway_pods=gateway_pods,
+            gateways_per_pod=max(1, 40 // max(1, len(gateway_pods))),
+        )
+        flows = trace_factory(spec)
+        baseline = run_experiment(spec, "NoCache", flows, num_vms, 0.0, seed,
+                                  horizon_ns=horizon_ns, trace_name=trace_name)
+        for scheme in schemes:
+            if scheme == "NoCache":
+                result = baseline
+            else:
+                result = run_experiment(spec, scheme, flows, num_vms,
+                                        cache_ratio, seed,
+                                        horizon_ns=horizon_ns,
+                                        trace_name=trace_name)
+            rows.append(_normalized_row(result, baseline, float(pods)))
+    return rows
+
+
+def _normalized_row(result: RunResult, baseline: RunResult,
+                    x_value: float) -> SweepRow:
+    return SweepRow(
+        scheme=result.scheme,
+        x_value=x_value,
+        hit_rate=result.hit_rate,
+        fct_improvement=improvement(result.avg_fct_ns, baseline.avg_fct_ns),
+        first_packet_improvement=improvement(result.avg_first_packet_ns,
+                                             baseline.avg_first_packet_ns),
+        result=result,
+    )

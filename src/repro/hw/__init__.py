@@ -1,0 +1,39 @@
+"""Hardware feasibility models (Tofino pipeline accounting, Table 6)."""
+
+from repro.hw.pipeline import (
+    SWITCHV2P_OPERATIONS,
+    Pipeline,
+    PipelineError,
+    RegisterArray,
+    build_switchv2p_pipeline,
+    max_entries_per_stage,
+    validate_feasibility,
+)
+from repro.hw.tofino import (
+    ENTRY_BITS,
+    TABLE6_ENTRIES_PER_SWITCH,
+    TOFINO_RESOURCES,
+    ResourceModel,
+    estimate_utilization,
+    fits_pipeline,
+    max_entries,
+    register_bits,
+)
+
+__all__ = [
+    "ResourceModel",
+    "TOFINO_RESOURCES",
+    "TABLE6_ENTRIES_PER_SWITCH",
+    "ENTRY_BITS",
+    "estimate_utilization",
+    "fits_pipeline",
+    "max_entries",
+    "register_bits",
+    "Pipeline",
+    "PipelineError",
+    "RegisterArray",
+    "SWITCHV2P_OPERATIONS",
+    "build_switchv2p_pipeline",
+    "validate_feasibility",
+    "max_entries_per_stage",
+]

@@ -1,0 +1,23 @@
+"""Metrics collection and reporting."""
+
+from repro.metrics.collector import Collector, FlowRecord
+from repro.metrics.reporting import improvement, render_table
+from repro.metrics.timeline import (
+    RatioTimeline,
+    Sample,
+    WindowedRateSampler,
+    track_gateway_load,
+    track_hit_rate,
+)
+
+__all__ = [
+    "Collector",
+    "FlowRecord",
+    "render_table",
+    "improvement",
+    "Sample",
+    "WindowedRateSampler",
+    "RatioTimeline",
+    "track_gateway_load",
+    "track_hit_rate",
+]

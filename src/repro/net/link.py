@@ -1,0 +1,111 @@
+"""Point-to-point links with FIFO queueing, serialization and drops.
+
+Each :class:`Link` is unidirectional and models a single-server FIFO
+queue: a packet admitted at time *t* begins serialization when the link
+becomes free, occupies the link for ``wire_bytes * 8 / rate`` and
+arrives at the peer one propagation delay later.  The backlog implied
+by ``busy_until`` is the queue occupancy; packets that would push it
+past the configured buffer are dropped.  This is the standard
+store-and-forward abstraction NS3 point-to-point devices implement, so
+gateway-pod congestion (paper Figures 7/8) emerges from the same
+mechanics as in the paper's simulations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+    from repro.net.packet import Packet
+
+
+class LinkStats:
+    """Byte/packet/drop counters for one link direction."""
+
+    __slots__ = ("packets", "bytes", "drops")
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+        self.drops = 0
+
+
+class Link:
+    """A unidirectional link from ``src`` to ``dst``.
+
+    Args:
+        engine: simulation engine used to schedule deliveries.
+        src: transmitting node (kept for introspection/debugging).
+        dst: receiving node; its ``receive`` method is the delivery
+            callback.
+        rate_bps: line rate in bits per second.
+        propagation_ns: signal propagation delay in nanoseconds.
+        buffer_bytes: maximum queue backlog before tail drop.
+    """
+
+    __slots__ = (
+        "engine",
+        "src",
+        "dst",
+        "rate_bps",
+        "propagation_ns",
+        "buffer_bytes",
+        "_busy_until",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        src: "Node",
+        dst: "Node",
+        rate_bps: float,
+        propagation_ns: int,
+        buffer_bytes: int,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if propagation_ns < 0:
+            raise ValueError(f"negative propagation delay: {propagation_ns}")
+        self.engine = engine
+        self.src = src
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.propagation_ns = propagation_ns
+        self.buffer_bytes = buffer_bytes
+        self._busy_until = 0
+        self.stats = LinkStats()
+
+    def queue_backlog_bytes(self, now: int) -> int:
+        """Bytes currently waiting or in transmission on this link."""
+        pending_ns = self._busy_until - now
+        if pending_ns <= 0:
+            return 0
+        return int(pending_ns * self.rate_bps / 8e9)
+
+    def serialization_ns(self, wire_bytes: int) -> int:
+        """Time to clock ``wire_bytes`` onto the wire, in nanoseconds."""
+        return int(round(wire_bytes * 8e9 / self.rate_bps))
+
+    def transmit(self, packet: "Packet") -> bool:
+        """Enqueue ``packet`` for transmission.
+
+        Returns:
+            True if the packet was admitted, False if it was tail-dropped.
+        """
+        now = self.engine.now
+        backlog = self.queue_backlog_bytes(now)
+        size = packet.wire_bytes
+        if backlog + size > self.buffer_bytes:
+            self.stats.drops += 1
+            return False
+        start = self._busy_until if self._busy_until > now else now
+        finish = start + self.serialization_ns(size)
+        self._busy_until = finish
+        self.stats.packets += 1
+        self.stats.bytes += size
+        self.engine.schedule(finish + self.propagation_ns, self.dst.receive, packet, self)
+        return True

@@ -1,0 +1,259 @@
+"""Network nodes: the common node interface and the switch data plane.
+
+A :class:`Switch` implements scheme-agnostic forwarding over a fat-tree
+(ToR / spine / core) fabric: ECMP up, deterministic down, host delivery
+at ToRs.  All translation-scheme behaviour (cache lookups, learning,
+invalidation...) is delegated to a pluggable handler so that SwitchV2P
+and every baseline run on the *same* forwarding substrate, mirroring
+the paper's methodology of comparing schemes inside one simulator.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import TYPE_CHECKING, Protocol
+
+from repro.net.addresses import pip_pod, pip_rack
+from repro.net.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.link import Link
+
+
+class Layer(IntEnum):
+    """Position of a switch in the fat-tree hierarchy."""
+
+    TOR = 0
+    SPINE = 1
+    CORE = 2
+
+
+class Node:
+    """Anything a link can deliver packets to."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def receive(self, packet: Packet, link: "Link | None" = None) -> None:
+        """Deliver ``packet`` arriving over ``link`` (None for injection)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class SwitchHandler(Protocol):
+    """Protocol implemented by translation schemes for in-switch hooks.
+
+    ``on_switch`` runs for every packet entering a switch, *before*
+    forwarding; it may rewrite the outer header (translation), learn
+    mappings, or absorb the packet entirely (returning False).
+    """
+
+    def on_switch(self, switch: "Switch", packet: Packet,
+                  ingress: "Link | None") -> bool:
+        """Return False to consume the packet instead of forwarding it."""
+        ...  # pragma: no cover - protocol
+
+
+class _NullHandler:
+    """Default no-op handler (plain forwarding, no caching)."""
+
+    def on_switch(self, switch: "Switch", packet: Packet,
+                  ingress: "Link | None") -> bool:
+        return True
+
+
+NULL_HANDLER = _NullHandler()
+
+
+def ecmp_index(key: int, salt: int, n: int) -> int:
+    """Deterministic ECMP hash: pick one of ``n`` equal-cost paths.
+
+    Uses a Knuth multiplicative mix so consecutive flow ids spread
+    across paths, as a real switch hash would.
+    """
+    mixed = ((key ^ salt) * 2654435761) & 0xFFFFFFFF
+    return mixed % n
+
+
+class SwitchStats:
+    """Per-switch traffic counters used by the Figure 7/8 analyses."""
+
+    __slots__ = ("packets", "bytes", "drops")
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+        self.drops = 0
+
+
+class Switch(Node):
+    """A fat-tree switch: forwarding tables plus a scheme handler hook.
+
+    Link attachment is performed by the topology builder:
+
+    * ToR: ``host_links`` (PIP -> link) and ``up_links`` (to pod spines).
+    * Spine: ``down_links`` (rack index -> link to ToR) and ``up_links``
+      (to this spine's core group).
+    * Core: ``pod_links`` (pod index -> link to the peer spine).
+
+    Attributes:
+        switch_id: globally unique integer (also used as the identifier
+            stamped into packets on cache hits, paper §3.3).
+        layer: hierarchy level.
+        pod: pod index (ToR and spine only; -1 for cores).
+        rack: rack index (ToR only; for spines this is the spine index
+            within its pod, for cores the core index).
+    """
+
+    __slots__ = (
+        "switch_id",
+        "layer",
+        "pod",
+        "rack",
+        "host_links",
+        "up_links",
+        "down_links",
+        "pod_links",
+        "handler",
+        "stats",
+        "attached_pips",
+        "failed",
+    )
+
+    def __init__(self, name: str, switch_id: int, layer: Layer, pod: int, rack: int) -> None:
+        super().__init__(name)
+        self.switch_id = switch_id
+        self.layer = layer
+        self.pod = pod
+        self.rack = rack
+        self.host_links: dict[int, "Link"] = {}
+        self.up_links: list["Link"] = []
+        self.down_links: dict[int, "Link"] = {}
+        self.pod_links: dict[int, "Link"] = {}
+        self.handler: SwitchHandler = NULL_HANDLER
+        self.stats = SwitchStats()
+        #: Failed switches drop everything; neighbours route around
+        #: them (ECMP re-hash over the surviving equal-cost paths).
+        self.failed = False
+        #: PIPs of directly attached servers (ToRs only) — used for
+        #: misdelivery tagging (paper §3.3).
+        self.attached_pips: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, link: "Link | None" = None) -> None:
+        if self.failed:
+            self.stats.drops += 1
+            return
+        packet.hops += 1
+        self.stats.packets += 1
+        self.stats.bytes += packet.wire_bytes
+
+        if packet.kind == PacketKind.INVALIDATION:
+            self._receive_invalidation(packet, link)
+            return
+
+        if packet.route_path is not None:
+            # Switch-addressed transit (e.g. the DHT design's detour to
+            # a resolver switch, §2.4): follow the precomputed route
+            # without per-hop processing until the target is reached.
+            if packet.target_switch != self.switch_id:
+                self._forward_along_route(packet)
+                return
+            packet.route_path = None
+            packet.target_switch = None
+
+        if not self.handler.on_switch(self, packet, link):
+            return
+        self.forward(packet)
+
+    def _forward_along_route(self, packet: Packet) -> None:
+        route = packet.route_path
+        index = packet.route_index + 1
+        if route is None or index >= len(route):
+            self.stats.drops += 1
+            return
+        packet.route_index = index
+        if not route[index].transmit(packet):
+            self.stats.drops += 1
+
+    def _receive_invalidation(self, packet: Packet, link: "Link | None") -> None:
+        """Process an invalidation en route (handler hook at every hop)."""
+        self.handler.on_switch(self, packet, link)
+        if packet.target_switch == self.switch_id:
+            return
+        route = packet.route_path
+        if route is None:
+            return
+        index = packet.route_index + 1
+        if index >= len(route):
+            return
+        packet.route_index = index
+        link = route[index]
+        if not link.transmit(packet):
+            self.stats.drops += 1
+
+    def forward(self, packet: Packet) -> None:
+        """Route ``packet`` one hop toward its outer destination."""
+        link = self.next_hop(packet)
+        if link is None or not link.transmit(packet):
+            self.stats.drops += 1
+
+    def next_hop(self, packet: Packet) -> "Link | None":
+        """Select the egress link for ``packet`` (ECMP up, exact down).
+
+        Equal-cost choices skip links whose peer switch has failed
+        (liveness known via the routing protocol in real fabrics);
+        deterministic down-paths through a failed switch drop.
+        """
+        dst = packet.outer_dst
+        dst_pod = pip_pod(dst)
+        layer = self.layer
+        if layer == Layer.TOR:
+            if dst_pod == self.pod and pip_rack(dst) == self.rack:
+                if packet.kind == PacketKind.LEARNING:
+                    # Learning packets terminate at the destination ToR
+                    # (handled by the scheme hook); reaching here means
+                    # the scheme left it unconsumed — drop quietly.
+                    return None
+                return self.host_links.get(dst)
+            return self._ecmp_up(packet, dst)
+        if layer == Layer.SPINE:
+            if dst_pod == self.pod:
+                return self.down_links.get(pip_rack(dst))
+            return self._ecmp_up(packet, dst)
+        # Core: one link per pod.
+        return self.pod_links.get(dst_pod)
+
+    def _ecmp_up(self, packet: Packet, dst: int) -> "Link | None":
+        ups = self.up_links
+        index = ecmp_index(packet.flow_id ^ dst, self.switch_id, len(ups))
+        choice = ups[index]
+        peer = choice.dst
+        if isinstance(peer, Switch) and peer.failed:
+            alive = [link for link in ups
+                     if not (isinstance(link.dst, Switch) and link.dst.failed)]
+            if not alive:
+                return None
+            return alive[ecmp_index(packet.flow_id ^ dst, self.switch_id,
+                                    len(alive))]
+        return choice
+
+    def is_local_rack(self, pip: int) -> bool:
+        """True if ``pip`` belongs to this ToR's rack."""
+        return (
+            self.layer == Layer.TOR
+            and pip_pod(pip) == self.pod
+            and pip_rack(pip) == self.rack
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Switch({self.name} id={self.switch_id} layer={self.layer.name} "
+            f"pod={self.pod} idx={self.rack})"
+        )

@@ -1,0 +1,241 @@
+"""Fat-tree fabric construction and switch-to-switch path computation.
+
+The builder produces the two-level-pod + core fabric the paper
+evaluates on (Table 3): each pod has ``racks_per_pod`` ToR switches and
+``spines_per_pod`` spine switches in a full bipartite mesh; cores are
+partitioned into one group per spine index, and core group *j* connects
+spine *j* of every pod (the classic fat-tree wiring).  Gateways attach
+to a designated *gateway ToR* (the last rack) in each gateway pod,
+matching the paper's Figure 8 layout where pod 8's switch 8 is the
+gateway ToR.
+
+The fabric is purely physical: hosts and gateways are attached later by
+the virtualization layer (:mod:`repro.vnet.fabric`), keeping the
+layering identical to a real deployment where the overlay is built on
+an existing underlay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addresses import make_pip
+from repro.net.link import Link
+from repro.net.node import Layer, Node, Switch, ecmp_index
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class FatTreeSpec:
+    """Parameters of a fat-tree fabric.
+
+    Defaults correspond to the paper's FT8-10K topology scaled by
+    server count (8 pods x 4 racks x 4 servers = 128 servers, 32 ToRs,
+    32 spines, 16 cores = 80 switches; gateways in pods 1,3,6,8 —
+    zero-based 0,2,5,7).
+    """
+
+    pods: int = 8
+    racks_per_pod: int = 4
+    servers_per_rack: int = 4
+    spines_per_pod: int = 4
+    num_cores: int = 16
+    gateway_pods: tuple[int, ...] = (0, 2, 5, 7)
+    gateways_per_pod: int = 10
+    host_link_bps: float = 100e9
+    fabric_link_bps: float = 400e9
+    propagation_ns: int = 1_000
+    buffer_bytes: int = 32 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.pods < 1:
+            raise ValueError("need at least one pod")
+        if self.num_cores and self.num_cores % self.spines_per_pod != 0:
+            raise ValueError(
+                f"num_cores ({self.num_cores}) must be a multiple of "
+                f"spines_per_pod ({self.spines_per_pod}) for group wiring"
+            )
+        for pod in self.gateway_pods:
+            if not 0 <= pod < self.pods:
+                raise ValueError(f"gateway pod {pod} outside [0, {self.pods})")
+
+    @property
+    def num_servers(self) -> int:
+        return self.pods * self.racks_per_pod * self.servers_per_rack
+
+    @property
+    def num_gateways(self) -> int:
+        return len(self.gateway_pods) * self.gateways_per_pod
+
+    @property
+    def num_switches(self) -> int:
+        return self.pods * (self.racks_per_pod + self.spines_per_pod) + self.num_cores
+
+    @property
+    def gateway_rack(self) -> int:
+        """Rack index of the gateway ToR within gateway pods."""
+        return self.racks_per_pod - 1
+
+
+class Fabric:
+    """A wired fat-tree switch fabric with host attachment points."""
+
+    def __init__(self, engine: Engine, spec: FatTreeSpec) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.tors: dict[tuple[int, int], Switch] = {}
+        self.spines: dict[tuple[int, int], Switch] = {}
+        self.cores: list[Switch] = []
+        self.switches: list[Switch] = []
+        self.switch_by_id: dict[int, Switch] = {}
+        self._switch_links: dict[tuple[int, int], Link] = {}
+        self._next_switch_id = 0
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _new_switch(self, name: str, layer: Layer, pod: int, index: int) -> Switch:
+        switch = Switch(name, self._next_switch_id, layer, pod, index)
+        self._next_switch_id += 1
+        self.switches.append(switch)
+        self.switch_by_id[switch.switch_id] = switch
+        return switch
+
+    def _wire(self, a: Switch, b: Switch) -> tuple[Link, Link]:
+        """Create the two directed links of a switch-to-switch cable."""
+        spec = self.spec
+        forward = Link(self.engine, a, b, spec.fabric_link_bps, spec.propagation_ns,
+                       spec.buffer_bytes)
+        backward = Link(self.engine, b, a, spec.fabric_link_bps, spec.propagation_ns,
+                        spec.buffer_bytes)
+        self._switch_links[(a.switch_id, b.switch_id)] = forward
+        self._switch_links[(b.switch_id, a.switch_id)] = backward
+        return forward, backward
+
+    def _build(self) -> None:
+        spec = self.spec
+        for pod in range(spec.pods):
+            for rack in range(spec.racks_per_pod):
+                self.tors[(pod, rack)] = self._new_switch(
+                    f"tor-p{pod}r{rack}", Layer.TOR, pod, rack)
+            for j in range(spec.spines_per_pod):
+                self.spines[(pod, j)] = self._new_switch(
+                    f"spine-p{pod}s{j}", Layer.SPINE, pod, j)
+        for c in range(spec.num_cores):
+            self.cores.append(self._new_switch(f"core-{c}", Layer.CORE, -1, c))
+
+        # ToR <-> spine full mesh within each pod.
+        for pod in range(spec.pods):
+            for rack in range(spec.racks_per_pod):
+                tor = self.tors[(pod, rack)]
+                for j in range(spec.spines_per_pod):
+                    spine = self.spines[(pod, j)]
+                    up, down = self._wire(tor, spine)
+                    tor.up_links.append(up)
+                    spine.down_links[rack] = down
+
+        # Spine j <-> its core group, across all pods.
+        group_size = spec.num_cores // spec.spines_per_pod if spec.spines_per_pod else 0
+        for pod in range(spec.pods):
+            for j in range(spec.spines_per_pod):
+                spine = self.spines[(pod, j)]
+                for g in range(group_size):
+                    core = self.cores[j * group_size + g]
+                    up, down = self._wire(spine, core)
+                    spine.up_links.append(up)
+                    core.pod_links[pod] = down
+
+    # ------------------------------------------------------------------
+    # host / gateway attachment
+    # ------------------------------------------------------------------
+    def attach_host(self, node: Node, pod: int, rack: int, host_index: int,
+                    rate_bps: float | None = None) -> tuple[int, Link]:
+        """Attach ``node`` under ToR (pod, rack) at ``host_index``.
+
+        Returns:
+            The assigned PIP and the node's uplink to its ToR.
+        """
+        spec = self.spec
+        pip = make_pip(pod, rack, host_index)
+        tor = self.tors[(pod, rack)]
+        if pip in tor.host_links:
+            raise ValueError(f"host slot already taken: pod={pod} rack={rack} "
+                             f"host={host_index}")
+        rate = rate_bps if rate_bps is not None else spec.host_link_bps
+        uplink = Link(self.engine, node, tor, rate, spec.propagation_ns,
+                      spec.buffer_bytes)
+        downlink = Link(self.engine, tor, node, rate, spec.propagation_ns,
+                        spec.buffer_bytes)
+        tor.host_links[pip] = downlink
+        tor.attached_pips.add(pip)
+        return pip, uplink
+
+    # ------------------------------------------------------------------
+    # lookup helpers
+    # ------------------------------------------------------------------
+    def tor_of(self, pod: int, rack: int) -> Switch:
+        return self.tors[(pod, rack)]
+
+    def link_between(self, a: Switch, b: Switch) -> Link:
+        """The directed link from switch ``a`` to switch ``b``."""
+        return self._switch_links[(a.switch_id, b.switch_id)]
+
+    def gateway_tor_ids(self) -> set[int]:
+        """Switch ids of gateway ToRs (paper §3.2: role assignment)."""
+        rack = self.spec.gateway_rack
+        return {self.tors[(pod, rack)].switch_id for pod in self.spec.gateway_pods}
+
+    def gateway_spine_ids(self) -> set[int]:
+        """Switch ids of spines directly attached to a gateway ToR."""
+        ids = set()
+        for pod in self.spec.gateway_pods:
+            for j in range(self.spec.spines_per_pod):
+                ids.add(self.spines[(pod, j)].switch_id)
+        return ids
+
+    # ------------------------------------------------------------------
+    # switch-to-switch paths (invalidation packet routing, §3.3)
+    # ------------------------------------------------------------------
+    def path_from_tor(self, tor: Switch, target: Switch, key: int) -> list[Link]:
+        """Hop-by-hop links from ``tor`` to an arbitrary ``target`` switch.
+
+        Invalidation packets are addressed to switches, not hosts, so
+        the generating ToR computes the route explicitly (it can: PIPs
+        and switch identifiers encode topology coordinates).
+        """
+        if tor.layer != Layer.TOR:
+            raise ValueError(f"paths originate at ToRs, got {tor}")
+        if target is tor:
+            return []
+        spec = self.spec
+        group_size = spec.num_cores // spec.spines_per_pod
+
+        if target.layer == Layer.TOR:
+            j = ecmp_index(key, 17, spec.spines_per_pod)
+            first = self.spines[(tor.pod, j)]
+            if target.pod == tor.pod:
+                return [self.link_between(tor, first),
+                        self.link_between(first, target)]
+            core = self.cores[j * group_size + ecmp_index(key, 31, group_size)]
+            far = self.spines[(target.pod, j)]
+            return [self.link_between(tor, first),
+                    self.link_between(first, core),
+                    self.link_between(core, far),
+                    self.link_between(far, target)]
+
+        if target.layer == Layer.SPINE:
+            j = target.rack
+            local = self.spines[(tor.pod, j)]
+            if target.pod == tor.pod:
+                return [self.link_between(tor, local)]
+            core = self.cores[j * group_size + ecmp_index(key, 31, group_size)]
+            return [self.link_between(tor, local),
+                    self.link_between(local, core),
+                    self.link_between(core, target)]
+
+        # Core target: reachable via this pod's spine of the core's group.
+        j = target.rack // group_size
+        local = self.spines[(tor.pod, j)]
+        return [self.link_between(tor, local),
+                self.link_between(local, target)]

@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate (engine, clock units, RNG streams)."""
+
+from repro.sim.engine import (
+    MICROSECOND,
+    MILLISECOND,
+    NANOSECOND,
+    SECOND,
+    Engine,
+    SimulationError,
+    msec,
+    usec,
+)
+from repro.sim.randomness import RandomStreams, derive_seed
+
+__all__ = [
+    "Engine",
+    "SimulationError",
+    "RandomStreams",
+    "derive_seed",
+    "NANOSECOND",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "usec",
+    "msec",
+]

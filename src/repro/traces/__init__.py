@@ -1,0 +1,48 @@
+"""Workload generators for the paper's five traces plus the incast."""
+
+from repro.traces import alibaba, hadoop, incast, microbursts, video, websearch
+from repro.traces.alibaba import AlibabaTraceParams
+from repro.traces.io import load_flows, save_flows, trace_stats
+from repro.traces.base import TraceSummary, draw_pairs, summarize
+from repro.traces.distributions import (
+    HADOOP_CDF,
+    WEBSEARCH_CDF,
+    load_to_arrival_rate,
+    mean_size,
+    poisson_arrival_times,
+    sample_sizes,
+    validate_cdf,
+)
+from repro.traces.hadoop import HadoopTraceParams
+from repro.traces.incast import IncastTraceParams
+from repro.traces.microbursts import MicroburstTraceParams
+from repro.traces.video import VideoTraceParams
+from repro.traces.websearch import WebSearchTraceParams
+
+__all__ = [
+    "hadoop",
+    "websearch",
+    "alibaba",
+    "microbursts",
+    "video",
+    "incast",
+    "HadoopTraceParams",
+    "WebSearchTraceParams",
+    "AlibabaTraceParams",
+    "MicroburstTraceParams",
+    "VideoTraceParams",
+    "IncastTraceParams",
+    "TraceSummary",
+    "summarize",
+    "draw_pairs",
+    "HADOOP_CDF",
+    "WEBSEARCH_CDF",
+    "sample_sizes",
+    "validate_cdf",
+    "mean_size",
+    "poisson_arrival_times",
+    "load_to_arrival_rate",
+    "save_flows",
+    "load_flows",
+    "trace_stats",
+]

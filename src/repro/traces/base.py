@@ -1,0 +1,79 @@
+"""Common trace-generation machinery.
+
+Each workload module produces a list of
+:class:`~repro.transport.flow.FlowSpec` from a parameter dataclass and
+a seeded RNG stream, so traces are reproducible and scalable: the
+benchmark defaults shrink flow counts to keep pure-Python simulation
+fast, while full-scale parameters match the paper (documented in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.transport.flow import FlowSpec
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Destination-reuse statistics of a generated trace (§5 analysis)."""
+
+    num_flows: int
+    num_vms: int
+    destinations: int
+    destinations_reused: int
+    mean_flow_bytes: float
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Share of destinations appearing in at least two flows."""
+        if self.destinations == 0:
+            return 0.0
+        return self.destinations_reused / self.destinations
+
+
+def summarize(flows: list[FlowSpec], num_vms: int) -> TraceSummary:
+    """Compute the destination-reuse characteristics of a trace."""
+    counts: dict[int, int] = {}
+    total_bytes = 0
+    for flow in flows:
+        counts[flow.dst_vip] = counts.get(flow.dst_vip, 0) + 1
+        total_bytes += flow.size_bytes
+    reused = sum(1 for c in counts.values() if c >= 2)
+    mean = total_bytes / len(flows) if flows else 0.0
+    return TraceSummary(
+        num_flows=len(flows),
+        num_vms=num_vms,
+        destinations=len(counts),
+        destinations_reused=reused,
+        mean_flow_bytes=mean,
+    )
+
+
+def draw_pairs(num_vms: int, count: int, rng: np.random.Generator,
+               dst_zipf: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``count`` (src, dst) VIP pairs with src != dst.
+
+    Args:
+        dst_zipf: 0 for uniform destinations (the paper's Hadoop /
+            WebSearch setup); >0 applies Zipf-like skew over a random
+            permanent popularity ranking of the VMs.
+    """
+    if num_vms < 2:
+        raise ValueError("need at least two VMs to form flows")
+    sources = rng.integers(0, num_vms, count)
+    if dst_zipf > 0.0:
+        ranks = np.arange(1, num_vms + 1, dtype=np.float64)
+        weights = ranks ** (-dst_zipf)
+        weights /= weights.sum()
+        popularity = rng.permutation(num_vms)
+        destinations = popularity[rng.choice(num_vms, count, p=weights)]
+    else:
+        destinations = rng.integers(0, num_vms, count)
+    # Resolve src == dst collisions by shifting the destination.
+    collisions = sources == destinations
+    destinations = np.where(collisions, (destinations + 1) % num_vms, destinations)
+    return sources.astype(np.int64), destinations.astype(np.int64)

@@ -1,0 +1,48 @@
+"""8K video streaming workload (paper §5 "Datasets").
+
+64 constant-rate UDP senders at 48 Mbps each, with disjoint
+source/destination pairs — zero destination reuse, so in-network
+caching cannot improve first-packet latency or FCT here; its benefit is
+purely the reduced gateway load (§5.1 "Benefits of moving mappings to
+traffic").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.transport.flow import FlowSpec
+
+
+@dataclass(frozen=True)
+class VideoTraceParams:
+    """Parameters for the video-streaming generator."""
+
+    num_vms: int = 1024
+    num_streams: int = 64
+    stream_rate_bps: float = 48e6
+    duration_ns: int = 2_000_000
+    start_offset_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_vms < 2 * self.num_streams:
+            raise ValueError("need 2 VMs per stream for disjoint pairs")
+
+
+def generate(params: VideoTraceParams, rng: np.random.Generator) -> list[FlowSpec]:
+    """Generate disjoint constant-rate streams."""
+    vips = rng.permutation(params.num_vms)[: 2 * params.num_streams]
+    size = max(1, int(params.stream_rate_bps * params.duration_ns / 8e9))
+    flows = []
+    for s in range(params.num_streams):
+        flows.append(FlowSpec(
+            src_vip=int(vips[2 * s]),
+            dst_vip=int(vips[2 * s + 1]),
+            size_bytes=size,
+            start_ns=params.start_offset_ns,
+            transport="udp",
+            udp_rate_bps=params.stream_rate_bps,
+        ))
+    return flows

@@ -1,0 +1,16 @@
+"""Transport layer: reliable windowed transport, UDP, traffic player."""
+
+from repro.transport.flow import FlowSpec
+from repro.transport.player import TrafficPlayer
+from repro.transport.reliable import ReliableReceiver, ReliableSender, TransportConfig
+from repro.transport.udp import UdpReceiver, UdpSender
+
+__all__ = [
+    "FlowSpec",
+    "TrafficPlayer",
+    "TransportConfig",
+    "ReliableSender",
+    "ReliableReceiver",
+    "UdpSender",
+    "UdpReceiver",
+]

@@ -1,0 +1,202 @@
+"""A simplified reliable windowed transport (TCP-like).
+
+The paper's FCT results hinge on how translation detours and drops
+interact with a window-based transport: slow start amplifies the
+first-RTT latency of short flows, and drops near overloaded gateways
+depress throughput.  This implementation models exactly those effects —
+IW10 slow start, AIMD-style backoff, duplicate-ACK fast retransmit and
+an exponential-backoff RTO — while staying cheap enough to simulate
+hundreds of thousands of packets in pure Python.
+
+Reordering tolerance: SwitchV2P can reorder packets when a cache
+becomes populated mid-burst (§4).  Modern stacks tolerate large
+reordering (Linux allows up to 300 reordered segments; RACK-TLP is
+similarly robust), so the default duplicate-ACK threshold is high and
+configurable; the reordering a run experienced is still recorded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.metrics.collector import FlowRecord
+from repro.net.packet import MSS_BYTES, Packet, PacketKind
+from repro.sim.engine import usec
+from repro.vnet.hypervisor import Host
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Reliable-transport tuning parameters."""
+
+    mss_bytes: int = MSS_BYTES
+    initial_cwnd: int = 10
+    max_cwnd: int = 128
+    dupack_threshold: int = 50
+    initial_rto_ns: int = usec(500)
+    min_rto_ns: int = usec(100)
+    max_rto_ns: int = usec(64_000)
+
+    def __post_init__(self) -> None:
+        if self.mss_bytes <= 0:
+            raise ValueError("mss must be positive")
+        if self.initial_cwnd < 1 or self.max_cwnd < self.initial_cwnd:
+            raise ValueError("invalid congestion window bounds")
+
+
+class ReliableSender:
+    """Sender half of one reliable flow."""
+
+    def __init__(self, record: FlowRecord, host: Host, config: TransportConfig,
+                 engine) -> None:
+        self.record = record
+        self.host = host
+        self.config = config
+        self.engine = engine
+        self.total_packets = max(1, math.ceil(record.size_bytes / config.mss_bytes))
+        self.snd_una = 0
+        self.snd_next = 0
+        self.cwnd = float(config.initial_cwnd)
+        self.ssthresh = float(config.max_cwnd)
+        self.dup_acks = 0
+        self.rto_ns = config.initial_rto_ns
+        self._timer_epoch = 0
+        self.done = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._send_window()
+        self._arm_timer()
+
+    def _payload_of(self, seq: int) -> int:
+        if seq == self.total_packets - 1:
+            remainder = self.record.size_bytes - seq * self.config.mss_bytes
+            return remainder if remainder > 0 else self.config.mss_bytes
+        return self.config.mss_bytes
+
+    def _send_segment(self, seq: int) -> None:
+        packet = Packet(
+            PacketKind.DATA,
+            flow_id=self.record.flow_id,
+            seq=seq,
+            payload_bytes=self._payload_of(seq),
+            src_vip=self.record.src_vip,
+            dst_vip=self.record.dst_vip,
+            outer_src=self.host.pip,
+        )
+        self.host.send(packet)
+
+    def _send_window(self) -> None:
+        limit = min(self.total_packets, self.snd_una + int(self.cwnd))
+        while self.snd_next < limit:
+            self._send_segment(self.snd_next)
+            self.snd_next += 1
+
+    # ------------------------------------------------------------------
+    def on_ack(self, cumulative_seq: int) -> None:
+        if self.done:
+            return
+        config = self.config
+        if cumulative_seq > self.snd_una:
+            newly_acked = cumulative_seq - self.snd_una
+            self.snd_una = cumulative_seq
+            self.dup_acks = 0
+            self.rto_ns = config.initial_rto_ns
+            if self.cwnd < self.ssthresh:
+                self.cwnd = min(config.max_cwnd, self.cwnd + newly_acked)
+            else:
+                self.cwnd = min(config.max_cwnd,
+                                self.cwnd + newly_acked / self.cwnd)
+            if self.snd_una >= self.total_packets:
+                self.done = True
+                return
+            self._send_window()
+            self._arm_timer()
+            return
+        # Duplicate cumulative ACK.
+        self.dup_acks += 1
+        if self.dup_acks >= config.dupack_threshold:
+            self.dup_acks = 0
+            self._enter_recovery()
+            self._send_segment(self.snd_una)
+            self.record.retransmissions += 1
+
+    def _enter_recovery(self) -> None:
+        self.ssthresh = max(2.0, self.cwnd / 2)
+        self.cwnd = self.ssthresh
+
+    # ------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        self._timer_epoch += 1
+        self.engine.schedule_after(self.rto_ns, self._on_timeout,
+                                   self._timer_epoch, self.snd_una)
+
+    def _on_timeout(self, epoch: int, una_at_arm: int) -> None:
+        if self.done or epoch != self._timer_epoch:
+            return
+        if self.snd_una > una_at_arm:
+            # Progress since arming; re-arm fresh.
+            self._arm_timer()
+            return
+        # Retransmission timeout: go back to the hole, collapse cwnd.
+        self.ssthresh = max(2.0, self.cwnd / 2)
+        self.cwnd = float(self.config.initial_cwnd)
+        self.snd_next = max(self.snd_next, self.snd_una + 1)
+        self._send_segment(self.snd_una)
+        self.record.retransmissions += 1
+        self.rto_ns = min(self.config.max_rto_ns, self.rto_ns * 2)
+        self._arm_timer()
+
+
+class ReliableReceiver:
+    """Receiver half of one reliable flow: cumulative ACKs, completion."""
+
+    def __init__(self, record: FlowRecord, config: TransportConfig, engine,
+                 collector, total_packets: int,
+                 on_complete=None) -> None:
+        self.record = record
+        self.config = config
+        self.engine = engine
+        self.collector = collector
+        self.total_packets = total_packets
+        self.rcv_next = 0
+        self._out_of_order: set[int] = set()
+        self._max_seen = -1
+        self.on_complete = on_complete
+        self._completed = False
+
+    def on_data(self, packet: Packet, host: Host) -> None:
+        now = self.engine.now
+        record = self.record
+        if record.first_packet_latency_ns is None:
+            record.first_packet_latency_ns = now - record.start_ns
+        seq = packet.seq
+        if seq < self._max_seen:
+            self.collector.reorder_events += 1
+        if seq > self._max_seen:
+            self._max_seen = seq
+        if seq >= self.rcv_next and seq not in self._out_of_order:
+            record.bytes_received += packet.payload_bytes
+            self._out_of_order.add(seq)
+            while self.rcv_next in self._out_of_order:
+                self._out_of_order.discard(self.rcv_next)
+                self.rcv_next += 1
+        self._send_ack(packet, host)
+        if not self._completed and self.rcv_next >= self.total_packets:
+            self._completed = True
+            record.fct_ns = now - record.start_ns
+            if self.on_complete is not None:
+                self.on_complete(record)
+
+    def _send_ack(self, packet: Packet, host: Host) -> None:
+        ack = Packet(
+            PacketKind.ACK,
+            flow_id=packet.flow_id,
+            seq=self.rcv_next,
+            payload_bytes=0,
+            src_vip=packet.dst_vip,
+            dst_vip=packet.src_vip,
+            outer_src=host.pip,
+        )
+        host.send(ack)

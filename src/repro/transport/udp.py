@@ -1,0 +1,89 @@
+"""Constant-rate UDP senders and byte-counting receivers.
+
+Used by the Microbursts, Video and migration-incast workloads, whose
+behaviour under the paper's schemes is dominated by per-packet latency
+and misdelivery rather than congestion control.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.metrics.collector import FlowRecord
+from repro.net.packet import MSS_BYTES, Packet, PacketKind
+from repro.vnet.hypervisor import Host
+
+
+class UdpSender:
+    """Emits a flow's packets at a fixed rate with no feedback."""
+
+    def __init__(self, record: FlowRecord, host: Host, engine,
+                 rate_bps: float, mss_bytes: int = MSS_BYTES) -> None:
+        if rate_bps <= 0:
+            raise ValueError("UDP rate must be positive")
+        self.record = record
+        self.host = host
+        self.engine = engine
+        self.rate_bps = rate_bps
+        self.mss_bytes = mss_bytes
+        self.total_packets = max(1, math.ceil(record.size_bytes / mss_bytes))
+        self.next_seq = 0
+        self.gap_ns = max(1, int(round(mss_bytes * 8e9 / rate_bps)))
+
+    def start(self) -> None:
+        self._send_next()
+
+    def _payload_of(self, seq: int) -> int:
+        if seq == self.total_packets - 1:
+            remainder = self.record.size_bytes - seq * self.mss_bytes
+            return remainder if remainder > 0 else self.mss_bytes
+        return self.mss_bytes
+
+    def _send_next(self) -> None:
+        if self.next_seq >= self.total_packets:
+            return
+        packet = Packet(
+            PacketKind.DATA,
+            flow_id=self.record.flow_id,
+            seq=self.next_seq,
+            payload_bytes=self._payload_of(self.next_seq),
+            src_vip=self.record.src_vip,
+            dst_vip=self.record.dst_vip,
+            outer_src=self.host.pip,
+        )
+        self.host.send(packet)
+        self.next_seq += 1
+        if self.next_seq < self.total_packets:
+            self.engine.schedule_after(self.gap_ns, self._send_next)
+
+
+class UdpReceiver:
+    """Counts received bytes; completion = all bytes arrived."""
+
+    def __init__(self, record: FlowRecord, engine, collector,
+                 on_complete=None) -> None:
+        self.record = record
+        self.engine = engine
+        self.collector = collector
+        self.on_complete = on_complete
+        self._seen: set[int] = set()
+        self._max_seen = -1
+        self._completed = False
+
+    def on_data(self, packet: Packet, host: Host) -> None:
+        now = self.engine.now
+        record = self.record
+        if record.first_packet_latency_ns is None:
+            record.first_packet_latency_ns = now - record.start_ns
+        if packet.seq < self._max_seen:
+            self.collector.reorder_events += 1
+        if packet.seq > self._max_seen:
+            self._max_seen = packet.seq
+        if packet.seq not in self._seen:
+            self._seen.add(packet.seq)
+            record.bytes_received += packet.payload_bytes
+        if not self._completed and record.bytes_received >= record.size_bytes:
+            self._completed = True
+            record.fct_ns = now - record.start_ns
+            if self.on_complete is not None:
+                self.on_complete(record)

@@ -1,0 +1,18 @@
+"""Virtual-network layer: mappings, gateways, hypervisors, assembly."""
+
+from repro.vnet.gateway import Gateway
+from repro.vnet.hypervisor import Host
+from repro.vnet.mapping import MappingDatabase, MappingError
+from repro.vnet.network import NetworkConfig, VirtualNetwork
+from repro.vnet.validation import assert_valid, validate_network
+
+__all__ = [
+    "MappingDatabase",
+    "MappingError",
+    "Gateway",
+    "Host",
+    "NetworkConfig",
+    "VirtualNetwork",
+    "validate_network",
+    "assert_valid",
+]

@@ -1,0 +1,106 @@
+"""Translation gateways.
+
+A gateway is a dedicated server that holds the full, always-fresh V2P
+table (via :class:`repro.vnet.mapping.MappingDatabase`) and resolves
+packets the network could not.  Following Sailfish's measurements, each
+packet spends a fixed *processing latency* (40 us by default) inside
+the gateway; throughput is bounded by the gateway's NIC, which the
+simulator models as the gateway's access link.  Optionally a serial
+service rate can be set to model CPU-bound software gateways.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.sim.engine import Engine, usec
+from repro.vnet.mapping import MappingDatabase, MappingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.link import Link
+
+DEFAULT_PROCESSING_NS = usec(40)
+
+
+class Gateway(Node):
+    """A V2P translation gateway attached under a gateway ToR.
+
+    Attributes:
+        pip: the gateway's physical address (assigned at attachment).
+        processing_ns: per-packet translation latency.
+        service_ns: if nonzero, packets are additionally serialized
+            through a single server with this per-packet service time
+            (models a CPU-bound gateway); 0 means line-rate pipelining.
+    """
+
+    __slots__ = (
+        "engine",
+        "database",
+        "pip",
+        "uplink",
+        "processing_ns",
+        "service_ns",
+        "_busy_until",
+        "packets_processed",
+        "resolution_failures",
+        "on_packet",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        engine: Engine,
+        database: MappingDatabase,
+        processing_ns: int = DEFAULT_PROCESSING_NS,
+        service_ns: int = 0,
+    ) -> None:
+        super().__init__(name)
+        self.engine = engine
+        self.database = database
+        self.pip = -1
+        self.uplink: "Link | None" = None
+        self.processing_ns = processing_ns
+        self.service_ns = service_ns
+        self._busy_until = 0
+        self.packets_processed = 0
+        self.resolution_failures = 0
+        #: Observer hook invoked for every packet the gateway handles
+        #: (schemes/metrics subscribe to count gateway load).
+        self.on_packet: Callable[[Packet], None] | None = None
+
+    def receive(self, packet: Packet, link=None) -> None:
+        self.packets_processed += 1
+        packet.gateway_visits += 1
+        if self.on_packet is not None:
+            self.on_packet(packet)
+        # Translation happens on arrival; packets then sit in the
+        # processing pipeline for ``processing_ns``.  Resolving up
+        # front matters for fidelity: packets buffered inside the
+        # gateway during a migration leave with the *old* mapping and
+        # are misdelivered, exactly the NoCache behaviour the paper's
+        # migration experiment reports (§5.2).
+        try:
+            true_pip = self.database.lookup(packet.dst_vip)
+        except MappingError:
+            self.resolution_failures += 1
+            return
+        packet.outer_dst = true_pip
+        packet.resolved = True
+        # A packet leaving the gateway has been authoritatively
+        # translated, so any stale-mapping protection is moot.
+        packet.misdelivery_tag = False
+        packet.carried_mapping = None
+        delay = self.processing_ns
+        if self.service_ns:
+            now = self.engine.now
+            start = self._busy_until if self._busy_until > now else now
+            self._busy_until = start + self.service_ns
+            delay += self._busy_until - now
+        self.engine.schedule_after(delay, self._emit, packet)
+
+    def _emit(self, packet: Packet) -> None:
+        """Forward after the processing delay."""
+        if self.uplink is not None:
+            self.uplink.transmit(packet)

@@ -1,0 +1,243 @@
+"""The assembled virtual network: fabric + hosts + gateways + mappings.
+
+:class:`VirtualNetwork` is the top-level simulation object.  It builds
+the physical fabric from a :class:`~repro.net.topology.FatTreeSpec`,
+attaches one :class:`~repro.vnet.hypervisor.Host` per server and the
+configured gateways, owns the authoritative mapping database, and wires
+a *translation scheme* (SwitchV2P or any baseline) into every node's
+hooks.  Transports and trace players then drive traffic through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.collector import Collector
+from repro.net.node import ecmp_index
+from repro.net.packet import Packet
+from repro.net.topology import Fabric, FatTreeSpec
+from repro.sim.engine import Engine, usec
+from repro.sim.randomness import RandomStreams
+from repro.vnet.gateway import Gateway
+from repro.vnet.hypervisor import Host
+from repro.vnet.mapping import MappingDatabase
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Everything needed to instantiate a simulated virtual network."""
+
+    spec: FatTreeSpec = field(default_factory=FatTreeSpec)
+    gateway_processing_ns: int = usec(40)
+    gateway_service_ns: int = 0
+    host_forward_delay_ns: int = usec(10)
+    seed: int = 0
+
+
+class VirtualNetwork:
+    """A simulated data center running one V2P translation scheme.
+
+    Args:
+        config: topology and latency parameters.
+        scheme: a translation scheme implementing the host/switch hooks
+            (see :class:`repro.baselines.base.TranslationScheme`).
+        collector: metrics sink; a fresh one is created if omitted.
+    """
+
+    def __init__(self, config: NetworkConfig, scheme, collector: Collector | None = None):
+        self.config = config
+        self.scheme = scheme
+        self.collector = collector if collector is not None else Collector()
+        self.engine = Engine()
+        self.streams = RandomStreams(config.seed)
+        self.fabric = Fabric(self.engine, config.spec)
+        self.database = MappingDatabase()
+        self.hosts: list[Host] = []
+        self.host_by_pip: dict[int, Host] = {}
+        self.gateways: list[Gateway] = []
+        self._gateway_salt = int(self.streams.stream("gateway-lb").integers(0, 2**31))
+        self._build_hosts()
+        self._build_gateways()
+        self._wire_scheme()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_hosts(self) -> None:
+        spec = self.config.spec
+        deliver = self._on_host_deliver
+        misdeliver = self._on_host_misdeliver
+        for pod in range(spec.pods):
+            for rack in range(spec.racks_per_pod):
+                for index in range(spec.servers_per_rack):
+                    host = Host(f"host-p{pod}r{rack}h{index}", self.engine,
+                                self.config.host_forward_delay_ns)
+                    pip, uplink = self.fabric.attach_host(host, pod, rack, index)
+                    host.pip = pip
+                    host.uplink = uplink
+                    host.on_deliver = deliver
+                    host.on_misdeliver = misdeliver
+                    self.hosts.append(host)
+                    self.host_by_pip[pip] = host
+
+    def _build_gateways(self) -> None:
+        spec = self.config.spec
+        rack = spec.gateway_rack
+        for pod in spec.gateway_pods:
+            for index in range(spec.gateways_per_pod):
+                gateway = Gateway(f"gw-p{pod}g{index}", self.engine, self.database,
+                                  self.config.gateway_processing_ns,
+                                  self.config.gateway_service_ns)
+                pip, uplink = self.fabric.attach_host(
+                    gateway, pod, rack, spec.servers_per_rack + index)
+                gateway.pip = pip
+                gateway.uplink = uplink
+                gateway.on_packet = self.collector.record_gateway_arrival
+                self.gateways.append(gateway)
+        if not self.gateways:
+            raise ValueError("topology has no gateways; every scheme needs at "
+                             "least one translation gateway")
+
+    def _wire_scheme(self) -> None:
+        for switch in self.fabric.switches:
+            switch.handler = self.scheme
+        for host in self.hosts:
+            host.handler = self.scheme
+        self.scheme.setup(self)
+
+    def _on_host_deliver(self, packet: Packet) -> None:
+        self.collector.record_delivery(packet, self.engine.now)
+
+    def _on_host_misdeliver(self, packet: Packet) -> None:
+        self.collector.record_misdelivery(self.engine.now)
+
+    # ------------------------------------------------------------------
+    # VM placement and migration (control plane)
+    # ------------------------------------------------------------------
+    def place_vms(self, count: int) -> None:
+        """Place ``count`` VMs round-robin across all servers.
+
+        VIP ``v`` lands on server ``v % num_servers``, which yields the
+        uniform VMs-per-server placement the paper's trace setup uses.
+        """
+        for vip in range(count):
+            self.place_vm(vip, self.hosts[vip % len(self.hosts)])
+
+    def place_vm(self, vip: int, host: Host) -> None:
+        host.add_vm(vip)
+        self.database.set(vip, host.pip)
+
+    def host_of(self, vip: int) -> Host:
+        """The host currently running ``vip`` (authoritative view)."""
+        return self.host_by_pip[self.database.lookup(vip)]
+
+    def migrate(self, vip: int, target: Host) -> None:
+        """Move a VM: follow-me at the old host, then update the DB.
+
+        Matches the Andromeda-style migration the paper assumes (§3.3):
+        the follow-me rule is installed before the mapping update so
+        packets are never black-holed.
+        """
+        old_host = self.host_of(vip)
+        if old_host is target:
+            return
+        endpoint = old_host.remove_vm(vip)
+        old_host.follow_me[vip] = target.pip
+        target.add_vm(vip)
+        if endpoint is not None:
+            target.endpoints[vip] = endpoint
+        self.database.set(vip, target.pip)
+
+    # ------------------------------------------------------------------
+    # gateway fleet management (paper §4, "Gateway migration")
+    # ------------------------------------------------------------------
+    def decommission_gateway(self, gateway: Gateway) -> None:
+        """Remove a gateway from the load-balancing pool.
+
+        The device stays physically attached (packets already in
+        flight toward it still resolve), but no new flows select it.
+        """
+        self.gateways.remove(gateway)
+        if not self.gateways:
+            raise ValueError("cannot decommission the last gateway")
+
+    def commission_gateway(self, pod: int, rack: int | None = None) -> Gateway:
+        """Attach and activate a new gateway under (pod, rack).
+
+        After commissioning, call the scheme's role reassignment (e.g.
+        ``SwitchV2P.reassign_roles``) so switch roles match the new
+        gateway placement.
+        """
+        from repro.net.addresses import pip_host
+        spec = self.config.spec
+        if rack is None:
+            rack = spec.gateway_rack
+        tor = self.fabric.tor_of(pod, rack)
+        taken = {pip_host(pip) for pip in tor.attached_pips}
+        host_index = max(taken, default=-1) + 1
+        gateway = Gateway(f"gw-p{pod}r{rack}h{host_index}", self.engine,
+                          self.database, self.config.gateway_processing_ns,
+                          self.config.gateway_service_ns)
+        pip, uplink = self.fabric.attach_host(gateway, pod, rack, host_index)
+        gateway.pip = pip
+        gateway.uplink = uplink
+        gateway.on_packet = self.collector.record_gateway_arrival
+        self.gateways.append(gateway)
+        return gateway
+
+    # ------------------------------------------------------------------
+    # gateway selection
+    # ------------------------------------------------------------------
+    def gateway_for(self, flow_id: int) -> Gateway:
+        """Per-flow gateway load balancing, as done by each server (§5)."""
+        index = ecmp_index(flow_id, self._gateway_salt, len(self.gateways))
+        return self.gateways[index]
+
+    # ------------------------------------------------------------------
+    # running and finalizing
+    # ------------------------------------------------------------------
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Run the simulation, then fold node counters into the collector."""
+        end = self.engine.run(until=until, max_events=max_events)
+        self.finalize()
+        return end
+
+    def finalize(self) -> None:
+        """Aggregate per-node counters into the metrics collector."""
+        collector = self.collector
+        collector.packets_sent = sum(host.packets_sent for host in self.hosts)
+        collector.misdeliveries = sum(host.misdeliveries for host in self.hosts)
+        collector.drops = sum(switch.stats.drops for switch in self.fabric.switches)
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def pod_bytes(self) -> list[int]:
+        """Total bytes processed by the switches of each pod (Figure 7)."""
+        spec = self.config.spec
+        totals = [0] * spec.pods
+        for switch in self.fabric.switches:
+            if switch.pod >= 0:
+                totals[switch.pod] += switch.stats.bytes
+        return totals
+
+    def pod_switch_bytes(self, pod: int) -> dict[str, int]:
+        """Per-switch byte counts within one pod (Figure 8)."""
+        result: dict[str, int] = {}
+        spec = self.config.spec
+        for j in range(spec.spines_per_pod):
+            switch = self.fabric.spines[(pod, j)]
+            result[f"spine-{j}"] = switch.stats.bytes
+        for rack in range(spec.racks_per_pod):
+            switch = self.fabric.tors[(pod, rack)]
+            label = "gateway-tor" if (pod in spec.gateway_pods
+                                      and rack == spec.gateway_rack) else f"tor-{rack}"
+            result[label] = switch.stats.bytes
+        return result
+
+    def total_switch_bytes(self) -> int:
+        """Bytes processed by all switches (bandwidth-overhead metric)."""
+        return sum(switch.stats.bytes for switch in self.fabric.switches)
+
+    def gateway_pip_set(self) -> set[int]:
+        return {gateway.pip for gateway in self.gateways}

@@ -1,0 +1,105 @@
+"""Network invariant checks.
+
+A virtual network accumulates cross-referenced state — the mapping
+database, per-host VM sets, per-ToR attachment tables, fabric wiring.
+``validate_network`` audits all of it and returns human-readable
+descriptions of any inconsistencies; tests and long experiments run it
+to catch state-corruption bugs early.
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import pip_pod, pip_rack
+from repro.net.node import Layer
+from repro.vnet.network import VirtualNetwork
+
+
+def validate_network(network: VirtualNetwork) -> list[str]:
+    """Audit cross-referenced network state; returns found issues."""
+    issues: list[str] = []
+    issues.extend(_check_placement(network))
+    issues.extend(_check_attachments(network))
+    issues.extend(_check_wiring(network))
+    issues.extend(_check_gateways(network))
+    return issues
+
+
+def assert_valid(network: VirtualNetwork) -> None:
+    """Raise :class:`AssertionError` listing any invariant violations."""
+    issues = validate_network(network)
+    if issues:
+        raise AssertionError("network invariants violated:\n  "
+                             + "\n  ".join(issues))
+
+
+def _check_placement(network: VirtualNetwork) -> list[str]:
+    issues = []
+    for vip, pip in network.database.items():
+        host = network.host_by_pip.get(pip)
+        if host is None:
+            issues.append(f"vip {vip} maps to unknown pip {pip}")
+        elif vip not in host.vms:
+            issues.append(f"vip {vip} maps to {host.name} but the host "
+                          "does not run it")
+    for host in network.hosts:
+        for vip in host.vms:
+            if network.database.get(vip) != host.pip:
+                issues.append(f"{host.name} runs vip {vip} but the database "
+                              "disagrees")
+        for vip in host.endpoints:
+            if vip not in host.vms:
+                issues.append(f"{host.name} holds an endpoint for vip {vip} "
+                              "without the VM")
+    return issues
+
+
+def _check_attachments(network: VirtualNetwork) -> list[str]:
+    issues = []
+    for host in network.hosts:
+        pod, rack = pip_pod(host.pip), pip_rack(host.pip)
+        tor = network.fabric.tors.get((pod, rack))
+        if tor is None:
+            issues.append(f"{host.name} pip names missing ToR ({pod},{rack})")
+            continue
+        if host.pip not in tor.attached_pips:
+            issues.append(f"{host.name} not in its ToR's attachment table")
+        link = tor.host_links.get(host.pip)
+        if link is None or link.dst is not host:
+            issues.append(f"{host.name} has no consistent downlink at its ToR")
+        if host.uplink is None or host.uplink.dst is not tor:
+            issues.append(f"{host.name} uplink does not reach its ToR")
+    return issues
+
+
+def _check_wiring(network: VirtualNetwork) -> list[str]:
+    issues = []
+    fabric = network.fabric
+    spec = network.config.spec
+    for (pod, rack), tor in fabric.tors.items():
+        if len(tor.up_links) != spec.spines_per_pod:
+            issues.append(f"{tor.name} has {len(tor.up_links)} uplinks, "
+                          f"expected {spec.spines_per_pod}")
+        for link in tor.up_links:
+            peer = link.dst
+            if peer.layer != Layer.SPINE or peer.pod != pod:
+                issues.append(f"{tor.name} uplink reaches {peer.name}")
+    for core in fabric.cores:
+        if set(core.pod_links) != set(range(spec.pods)):
+            issues.append(f"{core.name} does not reach every pod")
+    return issues
+
+
+def _check_gateways(network: VirtualNetwork) -> list[str]:
+    issues = []
+    if not network.gateways:
+        issues.append("no gateways commissioned")
+    seen = set()
+    for gateway in network.gateways:
+        if gateway.pip in seen:
+            issues.append(f"duplicate gateway pip {gateway.pip}")
+        seen.add(gateway.pip)
+        if gateway.uplink is None:
+            issues.append(f"{gateway.name} has no uplink")
+        if gateway.pip in network.host_by_pip:
+            issues.append(f"{gateway.name} pip collides with a server")
+    return issues

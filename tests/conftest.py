@@ -1,0 +1,42 @@
+"""Shared fixtures: small topologies and networks that build fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.topology import FatTreeSpec
+from repro.vnet.network import NetworkConfig, VirtualNetwork
+
+
+def tiny_spec(**overrides) -> FatTreeSpec:
+    """A 2-pod fabric small enough for microscopic protocol tests.
+
+    2 pods x 2 racks x 2 servers, 2 spines/pod, 2 cores, gateways in
+    pod 1 — 10 switches total.
+    """
+    params = dict(
+        pods=2,
+        racks_per_pod=2,
+        servers_per_rack=2,
+        spines_per_pod=2,
+        num_cores=2,
+        gateway_pods=(1,),
+        gateways_per_pod=1,
+    )
+    params.update(overrides)
+    return FatTreeSpec(**params)
+
+
+def small_network(scheme, num_vms: int = 8, seed: int = 0,
+                  spec: FatTreeSpec | None = None) -> VirtualNetwork:
+    """A tiny network with VMs placed, ready for traffic."""
+    network = VirtualNetwork(
+        NetworkConfig(spec=spec if spec is not None else tiny_spec(), seed=seed),
+        scheme)
+    network.place_vms(num_vms)
+    return network
+
+
+@pytest.fixture
+def spec() -> FatTreeSpec:
+    return tiny_spec()

@@ -1,0 +1,63 @@
+"""Tests for hierarchical PIPs and flat VIPs."""
+
+import pytest
+
+from repro.net.addresses import (
+    MAX_HOSTS_PER_RACK,
+    MAX_PODS,
+    MAX_RACKS_PER_POD,
+    UNRESOLVED,
+    format_pip,
+    format_vip,
+    make_pip,
+    pip_host,
+    pip_pod,
+    pip_rack,
+    split_pip,
+)
+
+
+def test_roundtrip():
+    pip = make_pip(3, 7, 42)
+    assert pip_pod(pip) == 3
+    assert pip_rack(pip) == 7
+    assert pip_host(pip) == 42
+    assert split_pip(pip) == (3, 7, 42)
+
+
+def test_zero_coordinates():
+    assert split_pip(make_pip(0, 0, 0)) == (0, 0, 0)
+
+
+def test_max_coordinates():
+    pip = make_pip(MAX_PODS - 1, MAX_RACKS_PER_POD - 1, MAX_HOSTS_PER_RACK - 1)
+    assert split_pip(pip) == (MAX_PODS - 1, MAX_RACKS_PER_POD - 1,
+                              MAX_HOSTS_PER_RACK - 1)
+
+
+def test_distinct_hosts_get_distinct_pips():
+    seen = set()
+    for pod in range(4):
+        for rack in range(4):
+            for host in range(4):
+                seen.add(make_pip(pod, rack, host))
+    assert len(seen) == 64
+
+
+@pytest.mark.parametrize("pod,rack,host", [
+    (-1, 0, 0),
+    (0, -1, 0),
+    (0, 0, -1),
+    (MAX_PODS, 0, 0),
+    (0, MAX_RACKS_PER_POD, 0),
+    (0, 0, MAX_HOSTS_PER_RACK),
+])
+def test_out_of_range_raises(pod, rack, host):
+    with pytest.raises(ValueError):
+        make_pip(pod, rack, host)
+
+
+def test_format_helpers():
+    assert format_pip(make_pip(1, 2, 3)) == "pip(1.2.3)"
+    assert format_pip(UNRESOLVED) == "pip(unresolved)"
+    assert format_vip(9) == "vip(9)"

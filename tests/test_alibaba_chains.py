@@ -1,0 +1,75 @@
+"""Tests for microservice call chains in the Alibaba generator."""
+
+import numpy as np
+import pytest
+
+from repro.traces.alibaba import AlibabaTraceParams, generate
+
+
+def rng():
+    return np.random.default_rng(11)
+
+
+def test_no_chains_by_default():
+    params = AlibabaTraceParams(num_services=8, containers_per_service=4,
+                                num_rpcs=100)
+    flows = generate(params, rng())
+    assert len(flows) == 100
+
+
+def test_chains_add_dependent_rpcs():
+    params = AlibabaTraceParams(num_services=8, containers_per_service=4,
+                                num_rpcs=200, chain_probability=0.5)
+    flows = generate(params, rng())
+    assert len(flows) > 200
+    # Geometric chains: expect roughly prob/(1-prob) extra per RPC.
+    assert len(flows) < 200 * 3
+
+
+def test_chain_depth_bounded():
+    params = AlibabaTraceParams(num_services=8, containers_per_service=4,
+                                num_rpcs=50, chain_probability=0.99,
+                                max_chain_depth=2)
+    flows = generate(params, rng())
+    # Depth 2 means at most one chained call per root RPC.
+    assert len(flows) <= 100
+
+
+def test_chained_call_starts_after_parent():
+    params = AlibabaTraceParams(num_services=8, containers_per_service=4,
+                                num_rpcs=50, chain_probability=0.9,
+                                chain_gap_ns=10_000)
+    flows = generate(params, rng())
+    # A flow exactly one chain gap after its predecessor is a chain
+    # hop: it must originate at the predecessor's callee.
+    chain_hops = 0
+    for first, second in zip(flows, flows[1:]):
+        if second.start_ns - first.start_ns == params.chain_gap_ns:
+            assert second.src_vip == first.dst_vip
+            chain_hops += 1
+    assert chain_hops > 0
+
+
+def test_chain_validation():
+    with pytest.raises(ValueError):
+        AlibabaTraceParams(chain_probability=1.0)
+    with pytest.raises(ValueError):
+        AlibabaTraceParams(max_chain_depth=0)
+
+
+def test_chained_trace_runs_end_to_end():
+    from conftest import small_network
+    from repro.core import SwitchV2P
+    from repro.sim.engine import msec
+    from repro.transport.player import TrafficPlayer
+
+    params = AlibabaTraceParams(num_services=4, containers_per_service=2,
+                                num_rpcs=30, chain_probability=0.5,
+                                rpc_rate_per_ns=0.0001)
+    flows = generate(params, rng())
+    network = small_network(SwitchV2P(total_cache_slots=100),
+                            num_vms=params.num_vms)
+    player = TrafficPlayer(network)
+    player.add_flows(flows)
+    network.run(until=msec(100))
+    assert network.collector.completion_rate == 1.0

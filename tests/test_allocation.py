@@ -1,0 +1,94 @@
+"""Tests for heterogeneous memory allocation policies (paper §4)."""
+
+import pytest
+
+from repro.core import SwitchV2P
+from repro.core.allocation import (
+    CORE_HEAVY,
+    EDGE_HEAVY,
+    NAMED_POLICIES,
+    TOR_ONLY,
+    UNIFORM,
+    AllocationPolicy,
+    distribute_slots,
+)
+from repro.core.roles import Role
+from repro.net.node import Layer
+from repro.sim.engine import msec, usec
+from repro.transport.flow import FlowSpec
+from repro.transport.player import TrafficPlayer
+
+from conftest import small_network
+
+
+def sample_roles():
+    return {
+        0: Role.TOR, 1: Role.TOR, 2: Role.SPINE, 3: Role.CORE,
+        4: Role.GATEWAY_TOR, 5: Role.GATEWAY_SPINE,
+    }
+
+
+def test_uniform_distributes_equally():
+    slots = distribute_slots(60, sample_roles(), UNIFORM)
+    assert all(v == 10 for v in slots.values())
+
+
+def test_distribution_conserves_budget():
+    for policy in NAMED_POLICIES.values():
+        slots = distribute_slots(101, sample_roles(), policy)
+        assert sum(slots.values()) <= 101
+        assert sum(slots.values()) >= 101 - len(slots)
+
+
+def test_tor_only_zeroes_fabric_switches():
+    slots = distribute_slots(100, sample_roles(), TOR_ONLY)
+    assert slots[2] == 0 and slots[3] == 0 and slots[5] == 0
+    assert slots[0] > 0 and slots[4] > 0
+
+
+def test_edge_heavy_biases_tors():
+    slots = distribute_slots(1000, sample_roles(), EDGE_HEAVY)
+    assert slots[0] > slots[2]  # ToR > spine
+    assert slots[0] > slots[3]  # ToR > core
+
+
+def test_core_heavy_biases_cores():
+    slots = distribute_slots(1000, sample_roles(), CORE_HEAVY)
+    assert slots[3] > slots[0]
+
+
+def test_invalid_policies_rejected():
+    with pytest.raises(ValueError):
+        AllocationPolicy("bad", tor=-1)
+    with pytest.raises(ValueError):
+        AllocationPolicy("empty", tor=0, spine=0, core=0, gateway_tor=0,
+                         gateway_spine=0)
+    with pytest.raises(ValueError):
+        distribute_slots(-5, sample_roles(), UNIFORM)
+
+
+def test_switchv2p_applies_allocation_policy():
+    scheme = SwitchV2P(total_cache_slots=100, allocation=TOR_ONLY)
+    network = small_network(scheme, num_vms=8)
+    for switch in network.fabric.switches:
+        cache = scheme.caches[switch.switch_id]
+        if switch.layer == Layer.TOR:
+            assert cache.num_slots > 0
+        else:
+            assert cache.num_slots == 0
+
+
+def test_tor_only_still_translates_in_network():
+    """§4: a ToR-only allocation still reduces gateway load (via
+    learning packets and source learning at ToRs)."""
+    scheme = SwitchV2P(total_cache_slots=200, allocation=TOR_ONLY)
+    network = small_network(scheme, num_vms=8)
+    player = TrafficPlayer(network)
+    flows = [FlowSpec(src_vip=i % 4, dst_vip=5, size_bytes=3_000,
+                      start_ns=i * usec(100)) for i in range(12)]
+    player.add_flows(flows)
+    network.run(until=msec(10))
+    assert network.collector.in_network_hits > 0
+    assert all(layer == Layer.TOR
+               for layer in network.collector.hits_by_layer
+               if network.collector.hits_by_layer[layer] > 0)

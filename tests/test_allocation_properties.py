@@ -1,0 +1,56 @@
+"""Property-based tests for budget distribution and tenant splits."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.allocation import NAMED_POLICIES, UNIFORM, distribute_slots
+from repro.core.roles import Role
+
+role_maps = st.dictionaries(
+    keys=st.integers(0, 200),
+    values=st.sampled_from(list(Role)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(total=st.integers(0, 10_000), roles=role_maps,
+       policy=st.sampled_from(list(NAMED_POLICIES.values())))
+def test_distribution_never_exceeds_budget(total, roles, policy):
+    slots = distribute_slots(total, roles, policy)
+    assert set(slots) == set(roles)
+    assert all(v >= 0 for v in slots.values())
+    assert sum(slots.values()) <= total
+
+
+@given(total=st.integers(0, 10_000), roles=role_maps)
+def test_uniform_distribution_is_fair(total, roles):
+    slots = distribute_slots(total, roles, UNIFORM)
+    values = sorted(slots.values())
+    # Largest-remainder rounding: shares differ by at most one slot.
+    assert values[-1] - values[0] <= 1
+    # The whole budget is handed out under uniform weights.
+    assert sum(values) == total
+
+
+@given(total=st.integers(0, 5_000), roles=role_maps,
+       policy=st.sampled_from(list(NAMED_POLICIES.values())))
+def test_zero_weight_roles_get_nothing(total, roles, policy):
+    slots = distribute_slots(total, roles, policy)
+    for switch_id, role in roles.items():
+        if policy.weight(role) == 0:
+            assert slots[switch_id] == 0
+
+
+@given(total=st.integers(1, 5_000), roles=role_maps,
+       policy=st.sampled_from(list(NAMED_POLICIES.values())))
+def test_heavier_roles_never_get_less(total, roles, policy):
+    slots = distribute_slots(total, roles, policy)
+    by_role: dict[Role, list[int]] = {}
+    for switch_id, role in roles.items():
+        by_role.setdefault(role, []).append(slots[switch_id])
+    for role_a, values_a in by_role.items():
+        for role_b, values_b in by_role.items():
+            if policy.weight(role_a) > policy.weight(role_b):
+                # Allow one slot of rounding slack.
+                assert min(values_a) + 1 >= max(values_b)

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "SwitchV2P" in out
+    assert "hadoop" in out
+    assert "fig5a" in out
+
+
+def test_run_small_experiment(capsys):
+    code = main(["run", "--trace", "hadoop", "--scheme", "SwitchV2P",
+                 "--cache-ratio", "4", "--vms", "64", "--flows", "100",
+                 "--seed", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hit rate" in out
+    assert "avg FCT [us]" in out
+
+
+def test_run_nocache(capsys):
+    code = main(["run", "--trace", "hadoop", "--scheme", "NoCache",
+                 "--vms", "64", "--flows", "50"])
+    assert code == 0
+    assert "NoCache" in capsys.readouterr().out
+
+
+def test_reproduce_table6(capsys):
+    assert main(["reproduce", "table6"]) == 0
+    out = capsys.readouterr().out
+    assert "SRAM" in out
+    assert "Hash Bits" in out
+
+
+def test_reproduce_fig5a_tiny(capsys):
+    code = main(["reproduce", "fig5a", "--vms", "64", "--flows", "80",
+                 "--ratios", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SwitchV2P" in out
+    assert "hit rate" in out
+
+
+def test_migrate_tiny(capsys):
+    assert main(["migrate", "--senders", "4", "--packets", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "timestamp vector" in out
+
+
+def test_parser_rejects_unknown_scheme():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--scheme", "Nonsense"])
+
+
+def test_parser_rejects_unknown_artifact():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["reproduce", "fig99"])

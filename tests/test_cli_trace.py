@@ -1,0 +1,59 @@
+"""Tests for the CLI trace subcommands and heatmap rendering."""
+
+from repro.cli import main
+from repro.metrics.reporting import render_heatmap
+
+
+def test_trace_generate_and_inspect(tmp_path, capsys):
+    path = tmp_path / "hadoop.jsonl"
+    code = main(["trace", "generate", "hadoop", str(path),
+                 "--vms", "64", "--flows", "80", "--seed", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wrote 80 flows" in out
+    assert path.exists()
+
+    code = main(["trace", "inspect", str(path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "flows" in out
+    assert "80" in out
+
+
+def test_trace_generate_microbursts(tmp_path, capsys):
+    path = tmp_path / "bursts.jsonl"
+    assert main(["trace", "generate", "microbursts", str(path),
+                 "--vms", "64"]) == 0
+    assert main(["trace", "inspect", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "udp_flows" in out
+
+
+def test_render_heatmap_shades_by_magnitude():
+    text = render_heatmap(["a", "b"], ["c1", "c2"],
+                          [[0.0, 100.0], [50.0, 25.0]], title="H")
+    lines = text.splitlines()
+    assert lines[0] == "H"
+    row_a = next(line for line in lines if line.startswith("a"))
+    assert "@" in row_a  # 100 is the peak shade
+    assert " " in row_a.split("|", 1)[1]  # 0 is the lightest
+
+
+def test_render_heatmap_all_zero():
+    text = render_heatmap(["a"], ["c"], [[0.0]])
+    assert "@" not in text
+
+
+def test_report_command(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "alpha.txt").write_text("table-alpha\n")
+    (results / "beta.txt").write_text("table-beta\n")
+    assert main(["report", "--results-dir", str(results)]) == 0
+    out = capsys.readouterr().out
+    assert "table-alpha" in out
+    assert "==== beta" in out
+
+
+def test_report_command_missing_dir(tmp_path, capsys):
+    assert main(["report", "--results-dir", str(tmp_path / "nope")]) == 1

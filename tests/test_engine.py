@@ -1,0 +1,136 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    MICROSECOND,
+    MILLISECOND,
+    Engine,
+    SimulationError,
+    msec,
+    usec,
+)
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(30, fired.append, "c")
+    engine.schedule(10, fired.append, "a")
+    engine.schedule(20, fired.append, "b")
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    engine = Engine()
+    fired = []
+    for tag in range(5):
+        engine.schedule(7, fired.append, tag)
+    engine.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_clock_advances_to_event_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(42, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [42]
+    assert engine.now == 42
+
+
+def test_schedule_after_is_relative():
+    engine = Engine()
+    times = []
+
+    def first():
+        engine.schedule_after(5, lambda: times.append(engine.now))
+
+    engine.schedule(10, first)
+    engine.run()
+    assert times == [15]
+
+
+def test_scheduling_in_the_past_raises():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule_after(-1, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, fired.append, "early")
+    engine.schedule(100, fired.append, "late")
+    engine.run(until=50)
+    assert fired == ["early"]
+    assert engine.now == 50
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_when_queue_empties():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run(until=500)
+    assert engine.now == 500
+
+
+def test_events_scheduled_during_run_execute():
+    engine = Engine()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            engine.schedule_after(1, chain, n + 1)
+
+    engine.schedule(0, chain, 0)
+    engine.run()
+    assert fired == [0, 1, 2, 3]
+
+
+def test_max_events_bounds_execution():
+    engine = Engine()
+    fired = []
+    for i in range(10):
+        engine.schedule(i, fired.append, i)
+    engine.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+    assert engine.pending_events == 6
+
+
+def test_stop_halts_run_loop():
+    engine = Engine()
+    fired = []
+    engine.schedule(1, fired.append, 1)
+    engine.schedule(2, engine.stop)
+    engine.schedule(3, fired.append, 3)
+    engine.run()
+    assert fired == [1]
+    engine.run()
+    assert fired == [1, 3]
+
+
+def test_events_processed_counter():
+    engine = Engine()
+    for i in range(5):
+        engine.schedule(i, lambda: None)
+    engine.run()
+    assert engine.events_processed == 5
+
+
+def test_unit_helpers():
+    assert usec(1) == MICROSECOND
+    assert msec(1) == MILLISECOND
+    assert usec(2.5) == 2500
+    assert msec(0.001) == 1000

@@ -1,0 +1,47 @@
+"""Determinism of same-timestamp event ordering, including re-entrant
+scheduling — the property the whole simulation's reproducibility
+rests on."""
+
+from repro.sim.engine import Engine
+
+
+def test_events_scheduled_during_run_at_same_time_run_after():
+    """An event scheduled at the *current* time runs after all events
+    already queued for that time (FIFO within a timestamp)."""
+    engine = Engine()
+    order = []
+
+    def first():
+        order.append("first")
+        engine.schedule(5, lambda: order.append("late-add"))
+
+    engine.schedule(5, first)
+    engine.schedule(5, lambda: order.append("second"))
+    engine.run()
+    assert order == ["first", "second", "late-add"]
+
+
+def test_interleaved_schedules_stay_deterministic():
+    runs = []
+    for _ in range(2):
+        engine = Engine()
+        log = []
+
+        def tick(n):
+            log.append(n)
+            if n < 20:
+                engine.schedule_after(n % 3, tick, n + 1)
+
+        engine.schedule(0, tick, 0)
+        engine.schedule(1, tick, 100)
+        engine.run()
+        runs.append(tuple(log))
+    assert runs[0] == runs[1]
+
+
+def test_callbacks_with_multiple_args():
+    engine = Engine()
+    seen = []
+    engine.schedule(1, lambda a, b, c: seen.append((a, b, c)), 1, 2, 3)
+    engine.run()
+    assert seen == [(1, 2, 3)]

@@ -1,0 +1,54 @@
+"""Edge cases in the figure harness helpers."""
+
+from repro.experiments.figures import (
+    FigureScale,
+    _transport_for,
+    bluebird_kwargs,
+    build_trace,
+    ft8_spec,
+)
+
+
+def test_heavy_traces_use_jumbo_mss():
+    scale = FigureScale()
+    assert _transport_for("websearch", scale).mss_bytes == 9000
+    assert _transport_for("video", scale).mss_bytes == 9000
+    assert _transport_for("hadoop", scale) is None
+    assert _transport_for("alibaba", scale) is None
+
+
+def test_bluebird_kwargs_floor_values():
+    scale = FigureScale()
+    kwargs = bluebird_kwargs([], ft8_spec(), scale)
+    assert kwargs["punt_bps"] >= 20e6
+    assert kwargs["punt_buffer_bytes"] >= 16_384
+
+
+def test_bluebird_kwargs_scale_with_traffic():
+    scale = FigureScale()
+    light, _ = build_trace("hadoop", FigureScale(num_vms=64,
+                                                 hadoop_flows=100))
+    heavy, _ = build_trace("hadoop", FigureScale(num_vms=64,
+                                                 hadoop_flows=2000))
+    light_kwargs = bluebird_kwargs(light, ft8_spec(), scale)
+    heavy_kwargs = bluebird_kwargs(heavy, ft8_spec(), scale)
+    assert heavy_kwargs["punt_buffer_bytes"] >= \
+        light_kwargs["punt_buffer_bytes"]
+
+
+def test_video_trace_duration_supports_learning():
+    flows, _ = build_trace("video", FigureScale(num_vms=128,
+                                                video_streams=8))
+    # 20 ms at 48 Mbps = 120 KB per stream.
+    assert all(flow.size_bytes == 120_000 for flow in flows)
+
+
+def test_scales_are_deterministic_per_seed():
+    a, _ = build_trace("hadoop", FigureScale(num_vms=64, hadoop_flows=50,
+                                             seed=4))
+    b, _ = build_trace("hadoop", FigureScale(num_vms=64, hadoop_flows=50,
+                                             seed=4))
+    c, _ = build_trace("hadoop", FigureScale(num_vms=64, hadoop_flows=50,
+                                             seed=5))
+    assert a == b
+    assert a != c

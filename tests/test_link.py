@@ -1,0 +1,109 @@
+"""Tests for the FIFO link model."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.packet import HEADER_BYTES, Packet, PacketKind
+from repro.sim.engine import Engine
+
+
+class Sink(Node):
+    def __init__(self):
+        super().__init__("sink")
+        self.received = []
+
+    def receive(self, packet, link=None):
+        self.received.append((packet, link))
+
+
+def make_packet(payload=940):
+    return Packet(PacketKind.DATA, flow_id=1, seq=0, payload_bytes=payload,
+                  src_vip=0, dst_vip=1, outer_src=0, outer_dst=1)
+
+
+def test_delivery_with_serialization_and_propagation():
+    engine = Engine()
+    sink = Sink()
+    # 1000 wire bytes at 1 Gbps = 8000 ns serialization; +100 ns prop.
+    link = Link(engine, Sink(), sink, rate_bps=1e9, propagation_ns=100,
+                buffer_bytes=10_000)
+    packet = make_packet(1000 - HEADER_BYTES)
+    assert link.transmit(packet)
+    engine.run()
+    assert len(sink.received) == 1
+    assert engine.now == 8000 + 100
+    assert sink.received[0][1] is link
+
+
+def test_fifo_queueing_delays_second_packet():
+    engine = Engine()
+    arrivals = []
+
+    class TimedSink(Node):
+        def __init__(self):
+            super().__init__("timed")
+
+        def receive(self, packet, link=None):
+            arrivals.append(engine.now)
+
+    link = Link(engine, Sink(), TimedSink(), rate_bps=1e9, propagation_ns=0,
+                buffer_bytes=100_000)
+    link.transmit(make_packet(1000 - HEADER_BYTES))
+    link.transmit(make_packet(1000 - HEADER_BYTES))
+    engine.run()
+    assert arrivals == [8000, 16000]
+
+
+def test_tail_drop_when_buffer_full():
+    engine = Engine()
+    sink = Sink()
+    link = Link(engine, Sink(), sink, rate_bps=1e9, propagation_ns=0,
+                buffer_bytes=1_500)
+    assert link.transmit(make_packet(1000 - HEADER_BYTES))
+    # Second packet would make the backlog exceed 1500 bytes.
+    assert not link.transmit(make_packet(1000 - HEADER_BYTES))
+    assert link.stats.drops == 1
+    engine.run()
+    assert len(sink.received) == 1
+
+
+def test_backlog_drains_over_time():
+    engine = Engine()
+    sink = Sink()
+    link = Link(engine, Sink(), sink, rate_bps=1e9, propagation_ns=0,
+                buffer_bytes=1_500)
+    link.transmit(make_packet(1000 - HEADER_BYTES))
+    engine.run()  # drain
+    assert link.queue_backlog_bytes(engine.now) == 0
+    assert link.transmit(make_packet(1000 - HEADER_BYTES))
+
+
+def test_stats_accumulate():
+    engine = Engine()
+    sink = Sink()
+    link = Link(engine, Sink(), sink, rate_bps=1e9, propagation_ns=0,
+                buffer_bytes=100_000)
+    for _ in range(3):
+        link.transmit(make_packet(940))
+    assert link.stats.packets == 3
+    assert link.stats.bytes == 3 * 1000
+
+
+def test_invalid_parameters_raise():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        Link(engine, Sink(), Sink(), rate_bps=0, propagation_ns=0,
+             buffer_bytes=1)
+    with pytest.raises(ValueError):
+        Link(engine, Sink(), Sink(), rate_bps=1e9, propagation_ns=-1,
+             buffer_bytes=1)
+
+
+def test_serialization_time_scales_with_rate():
+    engine = Engine()
+    slow = Link(engine, Sink(), Sink(), rate_bps=1e9, propagation_ns=0,
+                buffer_bytes=1 << 20)
+    fast = Link(engine, Sink(), Sink(), rate_bps=100e9, propagation_ns=0,
+                buffer_bytes=1 << 20)
+    assert slow.serialization_ns(1500) == 100 * fast.serialization_ns(1500)

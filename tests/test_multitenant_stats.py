@@ -1,0 +1,45 @@
+"""Stats accounting in the partitioned cache."""
+
+from repro.core import PartitionedCache, TenantRegistry
+
+
+def build():
+    registry = TenantRegistry()
+    registry.add_tenant(1, 10)
+    registry.add_tenant(2, 10)
+    return PartitionedCache(registry, {1: 4, 2: 4})
+
+
+def test_aggregate_stats_track_operations():
+    cache = build()
+    cache.insert(0, 100)
+    cache.insert(10, 200)
+    cache.lookup(0)     # hit
+    cache.lookup(5)     # miss
+    cache.lookup(99)    # unallocated: miss
+    assert cache.stats.insertions == 2
+    assert cache.stats.lookups == 3
+    assert cache.stats.hits == 1
+    assert cache.stats.hit_rate == 1 / 3
+
+
+def test_rejections_counted_for_disabled_and_refused():
+    registry = TenantRegistry()
+    registry.add_tenant(1, 10)
+    cache = PartitionedCache(registry, {})  # tenant 1 disabled
+    assert not cache.insert(0, 1).admitted
+    assert cache.stats.rejections == 1
+
+
+def test_invalidation_counted():
+    cache = build()
+    cache.insert(0, 100)
+    assert cache.invalidate(0)
+    assert cache.stats.invalidations == 1
+    assert not cache.invalidate(0)
+    assert cache.stats.invalidations == 1
+
+
+def test_partition_salts_differ_per_tenant():
+    cache = build()
+    assert cache.partitions[1].salt != cache.partitions[2].salt

@@ -1,0 +1,110 @@
+"""Edge-case tests for switch forwarding internals."""
+
+from repro.baselines import NoCache
+from repro.net.node import Layer, Switch
+from repro.net.packet import Packet, PacketKind
+
+from conftest import small_network
+
+
+def make_packet(**overrides):
+    defaults = dict(kind=PacketKind.DATA, flow_id=1, seq=0, payload_bytes=64,
+                    src_vip=0, dst_vip=1, outer_src=0, outer_dst=0)
+    defaults.update(overrides)
+    kind = defaults.pop("kind")
+    return Packet(kind, **defaults)
+
+
+def test_unconsumed_learning_packet_dropped_at_destination_tor():
+    """A LEARNING packet that reaches its rack without being absorbed
+    (NoCache has no learning logic) is dropped, never host-delivered."""
+    network = small_network(NoCache(), num_vms=8)
+    dst = network.hosts[0]
+    tor = network.fabric.tor_of(0, 0)
+    packet = make_packet(kind=PacketKind.LEARNING, outer_dst=dst.pip)
+    drops_before = tor.stats.drops
+    tor.receive(packet)
+    network.engine.run()
+    assert tor.stats.drops == drops_before + 1
+
+
+def test_route_transit_skips_handler_until_target():
+    """Switch-addressed packets pass intermediate switches untouched."""
+    calls = []
+
+    class Recorder:
+        def on_switch(self, switch, packet, ingress):
+            calls.append(switch.switch_id)
+            return True
+
+    network = small_network(NoCache(), num_vms=8)
+    for switch in network.fabric.switches:
+        switch.handler = Recorder()
+    fabric = network.fabric
+    src_tor = fabric.tor_of(0, 0)
+    target = fabric.tor_of(1, 0)
+    route = fabric.path_from_tor(src_tor, target, key=5)
+    packet = make_packet()
+    packet.route_path = route
+    packet.route_index = 0
+    packet.target_switch = target.switch_id
+    route[0].transmit(packet)
+    network.engine.run()
+    # No switch before the target ran the handler; after the target the
+    # packet resumes normal forwarding (and may hit more handlers).
+    assert calls[0] == target.switch_id
+    assert packet.route_path is None
+
+
+def test_route_transit_exhausted_route_drops():
+    network = small_network(NoCache(), num_vms=8)
+    fabric = network.fabric
+    src_tor = fabric.tor_of(0, 0)
+    spine = fabric.spines[(0, 0)]
+    route = fabric.path_from_tor(src_tor, spine, key=5)
+    packet = make_packet()
+    packet.route_path = route
+    packet.route_index = 0
+    packet.target_switch = 9999  # never matches
+    drops_before = spine.stats.drops
+    route[0].transmit(packet)
+    network.engine.run()
+    assert spine.stats.drops == drops_before + 1
+
+
+def test_invalidation_without_route_is_consumed():
+    network = small_network(NoCache(), num_vms=8)
+    tor = network.fabric.tor_of(0, 0)
+    packet = make_packet(kind=PacketKind.INVALIDATION)
+    packet.target_switch = 9999
+    packet.route_path = None
+    tor.receive(packet)  # must not raise or forward
+    assert network.engine.pending_events == 0
+
+
+def test_core_drops_packet_for_unknown_pod():
+    network = small_network(NoCache(), num_vms=8)
+    core = network.fabric.cores[0]
+    from repro.net.addresses import make_pip
+    packet = make_packet(outer_dst=make_pip(9, 0, 0))  # pod 9 absent
+    packet.resolved = True
+    drops_before = core.stats.drops
+    core.receive(packet)
+    assert core.stats.drops == drops_before + 1
+
+
+def test_spine_drops_packet_for_unknown_rack():
+    network = small_network(NoCache(), num_vms=8)
+    spine = network.fabric.spines[(0, 0)]
+    from repro.net.addresses import make_pip
+    packet = make_packet(outer_dst=make_pip(0, 9, 0))  # rack 9 absent
+    packet.resolved = True
+    drops_before = spine.stats.drops
+    spine.receive(packet)
+    assert spine.stats.drops == drops_before + 1
+
+
+def test_switch_repr_mentions_role_coordinates():
+    network = small_network(NoCache(), num_vms=8)
+    text = repr(network.fabric.tor_of(0, 1))
+    assert "TOR" in text and "pod=0" in text

@@ -1,0 +1,97 @@
+"""Tests for the adaptive per-tenant enablement policy (paper §4)."""
+
+import pytest
+
+from repro.core import (
+    AdaptiveTenantPolicy,
+    GatewayLoadMonitor,
+    MultiTenantSwitchV2P,
+    TenantRegistry,
+)
+from repro.sim.engine import msec, usec
+from repro.transport.flow import FlowSpec
+from repro.transport.player import TrafficPlayer
+
+from conftest import small_network
+
+
+def build(enabled_tenants=frozenset()):
+    registry = TenantRegistry()
+    registry.add_tenant(1, 4)
+    registry.add_tenant(2, 4)
+    scheme = MultiTenantSwitchV2P(total_cache_slots=400, registry=registry,
+                                  enabled_tenants=set(enabled_tenants))
+    network = small_network(scheme, num_vms=8)
+    monitor = GatewayLoadMonitor(network, registry, window_ns=usec(500))
+    return registry, scheme, network, monitor
+
+
+def test_monitor_counts_per_tenant_gateway_load():
+    registry, scheme, network, monitor = build()
+    player = TrafficPlayer(network)
+    player.add_flows([FlowSpec(src_vip=0, dst_vip=2, size_bytes=3_000,
+                               start_ns=i * usec(50)) for i in range(6)])
+    network.run(until=msec(5))
+    assert monitor.window_counts(1) > 0
+    assert monitor.window_counts(2) == 0
+    # The chained observer must not break collector counting.
+    assert network.collector.gateway_arrivals > 0
+
+
+def test_policy_enables_hot_tenant():
+    registry, scheme, network, monitor = build()
+    policy = AdaptiveTenantPolicy(scheme, monitor, enable_threshold=5,
+                                  disable_threshold=0, slots_per_switch=8,
+                                  period_ns=usec(200))
+    policy.start()
+    player = TrafficPlayer(network)
+    player.add_flows([FlowSpec(src_vip=0, dst_vip=2, size_bytes=3_000,
+                               start_ns=i * usec(60)) for i in range(20)])
+    network.run(until=msec(10))
+    assert 1 in policy.enabled
+    assert policy.enable_events >= 1
+    # Partitions actually exist on the switches now.
+    cache = next(iter(scheme.caches.values()))
+    assert 1 in cache.partitions
+    assert 2 not in cache.partitions
+
+
+def test_policy_disables_idle_tenant():
+    registry, scheme, network, monitor = build(enabled_tenants={1, 2})
+    policy = AdaptiveTenantPolicy(scheme, monitor, enable_threshold=10**9,
+                                  disable_threshold=0, slots_per_switch=8,
+                                  period_ns=usec(200))
+    policy.start()
+    network.run(until=msec(2))
+    # No traffic at all: both tenants drop below the disable threshold.
+    assert policy.disable_events >= 2
+    cache = next(iter(scheme.caches.values()))
+    assert not cache.partitions
+
+
+def test_policy_validation():
+    registry, scheme, network, monitor = build()
+    with pytest.raises(ValueError):
+        AdaptiveTenantPolicy(scheme, monitor, enable_threshold=1,
+                             disable_threshold=2, slots_per_switch=4,
+                             period_ns=usec(100))
+    with pytest.raises(ValueError):
+        AdaptiveTenantPolicy(scheme, monitor, enable_threshold=2,
+                             disable_threshold=1, slots_per_switch=4,
+                             period_ns=0)
+    with pytest.raises(ValueError):
+        GatewayLoadMonitor(network, registry, window_ns=0)
+
+
+def test_enabled_tenant_starts_hitting_after_policy_flip():
+    registry, scheme, network, monitor = build()
+    policy = AdaptiveTenantPolicy(scheme, monitor, enable_threshold=3,
+                                  disable_threshold=0, slots_per_switch=8,
+                                  period_ns=usec(150))
+    policy.start()
+    player = TrafficPlayer(network)
+    player.add_flows([FlowSpec(src_vip=0, dst_vip=2, size_bytes=3_000,
+                               start_ns=i * usec(120)) for i in range(25)])
+    network.run(until=msec(20))
+    lookups, hits = scheme.tenant_hit_stats().get(1, (0, 0))
+    assert hits > 0

@@ -1,0 +1,74 @@
+"""Property-based end-to-end tests of the SwitchV2P protocol.
+
+Randomized workloads through small networks, checking the protocol's
+safety invariants:
+
+* every flow completes (translation never loses reachability);
+* every cached mapping is *true* — it equals the authoritative
+  database entry (without migrations nothing stale can exist);
+* no delivered packet traverses more switches than the worst legal
+  route (no forwarding loops or ping-ponging);
+* conservation: received bytes equal flow sizes.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SwitchV2P, SwitchV2PConfig
+from repro.sim.engine import msec, usec
+from repro.transport.flow import FlowSpec
+from repro.transport.player import TrafficPlayer
+
+from conftest import small_network
+
+NUM_VMS = 8
+
+#: Longest legal route: up to the gateway ToR (4 switches), through the
+#: gateway, and back down across pods (5 switches).
+MAX_SWITCHES_PER_PATH = 12
+
+flow_strategy = st.tuples(
+    st.integers(0, NUM_VMS - 1),        # src
+    st.integers(0, NUM_VMS - 1),        # dst
+    st.integers(1, 20_000),             # size
+    st.integers(0, 500),                # start (us)
+)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(flows=st.lists(flow_strategy, min_size=1, max_size=15),
+       slots=st.integers(10, 400),
+       p_learn=st.sampled_from([0.0, 0.01, 1.0]))
+def test_random_workloads_preserve_invariants(flows, slots, p_learn):
+    scheme = SwitchV2P(slots, SwitchV2PConfig(p_learn=p_learn))
+    network = small_network(scheme, num_vms=NUM_VMS)
+    player = TrafficPlayer(network)
+    specs = []
+    for src, dst, size, start_us in flows:
+        if src == dst:
+            dst = (dst + 1) % NUM_VMS
+        specs.append(FlowSpec(src_vip=src, dst_vip=dst, size_bytes=size,
+                              start_ns=usec(start_us)))
+    records = player.add_flows(specs)
+    network.run(until=msec(100))
+
+    # 1. Liveness: everything completes with exact byte counts.
+    for record in records:
+        assert record.completed, record
+        assert record.bytes_received == record.size_bytes
+
+    # 2. Safety: every cached mapping matches the authoritative DB.
+    database = network.database
+    for cache in scheme.caches.values():
+        for vip, pip, _abit in cache.entries():
+            assert database.get(vip) == pip, (vip, pip)
+
+    # 3. No forwarding loops: delivered packets took bounded paths.
+    collector = network.collector
+    if collector.deliveries:
+        assert collector.delivered_hops <= \
+            MAX_SWITCHES_PER_PATH * collector.deliveries
+
+    # 4. Nothing was dropped in this uncongested regime.
+    assert collector.drops == 0

@@ -1,0 +1,37 @@
+"""Tests for seeded RNG streams."""
+
+from repro.sim.randomness import RandomStreams, derive_seed
+
+
+def test_derived_seeds_are_deterministic():
+    assert derive_seed(1, "a") == derive_seed(1, "a")
+
+
+def test_derived_seeds_differ_by_name_and_root():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_seed_fits_in_63_bits():
+    for root in range(5):
+        for name in ("x", "trace", "ecmp"):
+            assert 0 <= derive_seed(root, name) < 2**63
+
+
+def test_streams_are_cached_per_name():
+    streams = RandomStreams(7)
+    assert streams.stream("a") is streams.stream("a")
+    assert streams.stream("a") is not streams.stream("b")
+
+
+def test_stream_sequences_reproducible():
+    a = RandomStreams(7).stream("x").random(5)
+    b = RandomStreams(7).stream("x").random(5)
+    assert (a == b).all()
+
+
+def test_streams_independent():
+    streams = RandomStreams(7)
+    a = streams.stream("one").random(5)
+    b = streams.stream("two").random(5)
+    assert not (a == b).all()

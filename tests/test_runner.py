@@ -1,0 +1,68 @@
+"""Tests for the experiment runner's summary fields and scheme factory."""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import (
+    SCHEME_FACTORIES,
+    build_network,
+    make_scheme,
+    run_flows,
+)
+from repro.baselines import NoCache
+from repro.core import SwitchV2P, SwitchV2PConfig, TOR_ONLY
+from repro.transport.flow import FlowSpec
+
+from conftest import tiny_spec
+
+
+def flows(count=30):
+    return [FlowSpec(src_vip=i % 8, dst_vip=(i + 3) % 8,
+                     size_bytes=2_000 + 500 * (i % 5), start_ns=i * 20_000)
+            for i in range(count)]
+
+
+def test_percentiles_ordered():
+    network = build_network(tiny_spec(), NoCache(), num_vms=8)
+    result = run_flows(network, flows())
+    assert result.p50_fct_ns <= result.p99_fct_ns
+    assert math.isfinite(result.p50_fct_ns)
+    assert result.avg_fct_ns <= result.p99_fct_ns
+
+
+def test_switchv2p_factory_accepts_loose_config_kwargs():
+    scheme = make_scheme("SwitchV2P", 100, 1.0, p_learn=0.5)
+    assert isinstance(scheme, SwitchV2P)
+    assert scheme.config.p_learn == 0.5
+
+
+def test_switchv2p_factory_accepts_config_object():
+    config = SwitchV2PConfig(enable_spillover=False)
+    scheme = make_scheme("SwitchV2P", 100, 1.0, config=config)
+    assert scheme.config is config
+
+
+def test_switchv2p_factory_rejects_mixed_config():
+    with pytest.raises(ValueError):
+        make_scheme("SwitchV2P", 100, 1.0,
+                    config=SwitchV2PConfig(), p_learn=0.5)
+
+
+def test_switchv2p_factory_accepts_allocation_and_ways():
+    scheme = make_scheme("SwitchV2P", 100, 1.0, allocation=TOR_ONLY,
+                         cache_ways=2)
+    assert scheme.allocation is TOR_ONLY
+    assert scheme.cache_ways == 2
+
+
+def test_every_factory_name_constructs():
+    for name in SCHEME_FACTORIES:
+        assert make_scheme(name, 64, 2.0) is not None
+
+
+def test_horizon_bounds_runaway_runs():
+    network = build_network(tiny_spec(), NoCache(), num_vms=8)
+    result = run_flows(network, flows(5), horizon_ns=1_000)
+    # The horizon cut the run short; flows incomplete but no hang.
+    assert result.completion_rate < 1.0

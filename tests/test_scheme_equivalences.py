@@ -1,0 +1,71 @@
+"""Equivalence relations between schemes at parameter extremes.
+
+The paper positions NoCache and OnDemand as special cases of the
+hybrid (Hoverboard) design: no offloading, and immediate offloading.
+These tests pin those relationships in code.
+"""
+
+from repro.baselines import Hoverboard, NoCache, OnDemand
+from repro.core import SwitchV2P, SwitchV2PConfig
+from repro.sim.engine import msec, usec
+from repro.transport.flow import FlowSpec
+from repro.transport.player import TrafficPlayer
+
+from conftest import small_network
+
+
+def run(scheme, seed=0):
+    network = small_network(scheme, num_vms=8, seed=seed)
+    player = TrafficPlayer(network)
+    flows = [FlowSpec(src_vip=i % 4, dst_vip=4 + (i % 3), size_bytes=4_000,
+                      start_ns=i * usec(250)) for i in range(12)]
+    player.add_flows(flows)
+    network.run(until=msec(30))
+    return network.collector
+
+
+def test_hoverboard_without_offload_equals_nocache():
+    """An unreachable threshold makes Hoverboard behave as NoCache."""
+    hoverboard = run(Hoverboard(offload_threshold=10**9))
+    nocache = run(NoCache())
+    assert hoverboard.gateway_arrivals == nocache.gateway_arrivals
+    assert hoverboard.average_fct_ns() == nocache.average_fct_ns()
+    assert hoverboard.average_stretch() == nocache.average_stretch()
+
+
+def test_hoverboard_immediate_offload_approaches_ondemand():
+    """Threshold 1 with OnDemand's install delay reproduces OnDemand's
+    per-destination behaviour."""
+    hoverboard = run(Hoverboard(offload_threshold=1,
+                                install_delay_ns=usec(52)))
+    ondemand = run(OnDemand(install_delay_ns=usec(52)))
+    assert hoverboard.gateway_arrivals == ondemand.gateway_arrivals
+    assert hoverboard.average_fct_ns() == ondemand.average_fct_ns()
+
+
+def test_switchv2p_all_features_off_is_pure_role_learning():
+    """With every special function disabled, SwitchV2P still caches
+    (plain role-based learning) but emits zero protocol packets."""
+    config = SwitchV2PConfig(enable_learning_packets=False,
+                             enable_spillover=False,
+                             enable_promotion=False,
+                             enable_invalidation=False)
+    scheme = SwitchV2P(total_cache_slots=400, config=config)
+    network = small_network(scheme, num_vms=8)
+    player = TrafficPlayer(network)
+    flows = [FlowSpec(src_vip=i % 4, dst_vip=4 + (i % 3), size_bytes=4_000,
+                      start_ns=i * usec(250)) for i in range(12)]
+    player.add_flows(flows)
+    network.run(until=msec(30))
+    assert scheme.learning_packets_sent == 0
+    assert scheme.invalidation_packets_sent == 0
+    assert scheme.promotions_sent == 0
+    assert scheme.spillovers_reinserted == 0
+    assert network.collector.in_network_hits > 0
+
+
+def test_identical_seeds_identical_results_across_scheme_instances():
+    a = run(Hoverboard(offload_threshold=5), seed=3)
+    b = run(Hoverboard(offload_threshold=5), seed=3)
+    assert a.average_fct_ns() == b.average_fct_ns()
+    assert a.gateway_arrivals == b.gateway_arrivals

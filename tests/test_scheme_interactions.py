@@ -1,0 +1,110 @@
+"""Cross-cutting scheme interaction tests.
+
+Behaviours that only show up when several mechanisms meet: ACK-path
+learning, multi-flow cache sharing, misdelivery during congestion,
+scheme state isolation between networks.
+"""
+
+from repro.baselines import GwCache, LocalLearning
+from repro.core import SwitchV2P, SwitchV2PConfig
+from repro.net.node import Layer
+from repro.sim.engine import msec, usec
+from repro.transport.flow import FlowSpec
+from repro.transport.player import TrafficPlayer
+
+from conftest import small_network
+
+
+def test_scheme_instances_do_not_share_state():
+    """Two networks with two scheme instances stay independent."""
+    scheme_a = SwitchV2P(total_cache_slots=100)
+    scheme_b = SwitchV2P(total_cache_slots=100)
+    net_a = small_network(scheme_a, num_vms=8)
+    net_b = small_network(scheme_b, num_vms=8)
+    player = TrafficPlayer(net_a)
+    player.add_flows([FlowSpec(src_vip=0, dst_vip=5, size_bytes=3_000,
+                               start_ns=0)])
+    net_a.run(until=msec(10))
+    assert scheme_a.total_cached_entries() > 0
+    assert scheme_b.total_cached_entries() == 0
+    assert net_b.collector.packets_sent == 0
+
+
+def test_ack_traffic_populates_reverse_path_caches():
+    """ACKs are traffic too: destination learning works on them."""
+    scheme = SwitchV2P(total_cache_slots=400)
+    network = small_network(scheme, num_vms=8)
+    player = TrafficPlayer(network)
+    player.add_flows([FlowSpec(src_vip=0, dst_vip=5, size_bytes=20_000,
+                               start_ns=0)])
+    network.run(until=msec(20))
+    # The sender's mapping (learned from ACKs' destination or data
+    # packets' source) exists somewhere beyond the sender's own ToR.
+    src_pip = network.database.lookup(0)
+    holders = [switch_id for switch_id, cache in scheme.caches.items()
+               if cache.peek(0) == src_pip]
+    assert len(holders) >= 1
+
+
+def test_concurrent_flows_share_one_cached_mapping():
+    """Multiple senders to one destination share entries — the cache
+    replication factor is per-switch, not per-sender (§2)."""
+    scheme = SwitchV2P(total_cache_slots=400)
+    network = small_network(scheme, num_vms=8)
+    player = TrafficPlayer(network)
+    flows = [FlowSpec(src_vip=i, dst_vip=5, size_bytes=4_000,
+                      start_ns=i * usec(400)) for i in range(4)]
+    player.add_flows(flows)
+    network.run(until=msec(20))
+    dst_pip = network.database.lookup(5)
+    holders = sum(1 for cache in scheme.caches.values()
+                  if cache.peek(5) == dst_pip)
+    # Far fewer replicas than senders x switches: bounded by switch
+    # count (here, comfortably under the total switch count).
+    assert 1 <= holders <= len(scheme.caches)
+    assert network.collector.in_network_hits > 0
+
+
+def test_gwcache_and_locallearning_hit_different_layers():
+    """GwCache hits only at the gateway ToR; LocalLearning can hit
+    anywhere on the gateway path."""
+    def run(scheme):
+        network = small_network(scheme, num_vms=8)
+        player = TrafficPlayer(network)
+        flows = [FlowSpec(src_vip=i % 3, dst_vip=5, size_bytes=3_000,
+                          start_ns=i * usec(300)) for i in range(8)]
+        player.add_flows(flows)
+        network.run(until=msec(20))
+        return network
+
+    gw_net = run(GwCache(total_cache_slots=64))
+    gw_hits = gw_net.collector.hits_by_layer
+    assert set(layer for layer, count in gw_hits.items() if count) \
+        <= {Layer.TOR}
+
+    ll_net = run(LocalLearning(total_cache_slots=400))
+    assert ll_net.collector.in_network_hits > 0
+
+
+def test_learning_packets_do_not_deliver_to_vms():
+    """Learning packets terminate at ToRs; no VM ever sees one."""
+    scheme = SwitchV2P(total_cache_slots=400,
+                       config=SwitchV2PConfig(p_learn=1.0))
+    network = small_network(scheme, num_vms=8)
+    received_kinds = set()
+    for host in network.hosts:
+        original = host.on_deliver
+
+        def spy(packet, _orig=original):
+            received_kinds.add(packet.kind)
+            if _orig is not None:
+                _orig(packet)
+
+        host.on_deliver = spy
+    player = TrafficPlayer(network)
+    player.add_flows([FlowSpec(src_vip=0, dst_vip=5, size_bytes=20_000,
+                               start_ns=0)])
+    network.run(until=msec(20))
+    assert scheme.learning_packets_sent > 0
+    from repro.net.packet import PacketKind
+    assert PacketKind.LEARNING not in received_kinds

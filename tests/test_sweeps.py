@@ -1,0 +1,73 @@
+"""Tests for the sweep helpers' normalization semantics."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    cache_size_sweep,
+    gateway_count_sweep,
+    topology_scale_sweep,
+)
+from repro.transport.flow import FlowSpec
+
+from conftest import tiny_spec
+
+
+def flows(count=25, vms=8):
+    return [FlowSpec(src_vip=i % vms, dst_vip=(i + 3) % vms,
+                     size_bytes=2_000, start_ns=i * 15_000)
+            for i in range(count)]
+
+
+def test_cache_sweep_row_shape():
+    rows = cache_size_sweep(tiny_spec(), flows(), num_vms=8, ratios=(4.0,),
+                            schemes=("SwitchV2P",))
+    [row] = rows
+    assert row.scheme == "SwitchV2P"
+    assert row.x_value == 4.0
+    cells = row.as_row()
+    assert cells[0] == "SwitchV2P"
+    assert len(cells) == 5
+
+
+def test_gateway_sweep_normalizes_to_largest_fleet():
+    def factory(spec):
+        return flows()
+
+    rows = gateway_count_sweep(tiny_spec(gateways_per_pod=2), factory,
+                               num_vms=8, gateways_per_pod_values=(2, 1),
+                               schemes=("NoCache",), cache_ratio=0.0)
+    first, second = rows
+    # The first (largest fleet) NoCache row is the reference: exactly 1.
+    assert first.fct_improvement == pytest.approx(1.0)
+    # The reduced fleet is measured against that same reference, so its
+    # factor reflects real degradation (not forced to 1).
+    assert second.x_value < first.x_value
+
+
+def test_topology_sweep_rejects_impossible_geometry():
+    def factory(spec):
+        return flows()
+
+    with pytest.raises(ValueError):
+        topology_scale_sweep((1000,), total_servers=8, racks_per_pod=2,
+                             trace_factory=factory, num_vms=8,
+                             schemes=("NoCache",), cache_ratio=0.0)
+
+
+def test_topology_sweep_varies_specs():
+    captured = []
+
+    def factory(spec):
+        captured.append((spec.pods, spec.servers_per_rack))
+        return flows()
+
+    topology_scale_sweep((1, 2), total_servers=8, racks_per_pod=2,
+                         trace_factory=factory, num_vms=8,
+                         schemes=("NoCache",), cache_ratio=0.0)
+    assert captured == [(1, 4), (2, 2)]
+
+
+def test_public_api_exports_resolve():
+    import repro
+    for name in repro.__all__:
+        assert hasattr(repro, name), name

@@ -1,0 +1,134 @@
+"""Tests for the reliable transport and UDP senders."""
+
+import pytest
+
+from repro.baselines.direct import Direct
+from repro.baselines.nocache import NoCache
+from repro.sim.engine import msec, usec
+from repro.transport.flow import FlowSpec
+from repro.transport.player import TrafficPlayer
+from repro.transport.reliable import TransportConfig
+
+from conftest import small_network
+
+
+def run_single_flow(scheme, size_bytes, transport="tcp", config=None,
+                    num_vms=8, until=msec(50)):
+    network = small_network(scheme, num_vms=num_vms)
+    player = TrafficPlayer(network, config)
+    spec = FlowSpec(src_vip=0, dst_vip=5, size_bytes=size_bytes, start_ns=0,
+                    transport=transport, udp_rate_bps=1e9)
+    [record] = player.add_flows([spec])
+    network.run(until=until)
+    return network, record
+
+
+def test_single_packet_flow_completes():
+    network, record = run_single_flow(NoCache(), 500)
+    assert record.completed
+    assert record.bytes_received == 500
+    assert record.first_packet_latency_ns is not None
+    assert record.fct_ns >= record.first_packet_latency_ns
+
+
+def test_multi_packet_flow_completes():
+    network, record = run_single_flow(NoCache(), 100_000)
+    assert record.completed
+    assert record.bytes_received == 100_000
+
+
+def test_large_flow_exceeding_initial_window():
+    config = TransportConfig(initial_cwnd=2, max_cwnd=8)
+    network, record = run_single_flow(NoCache(), 60_000, config=config)
+    assert record.completed
+
+
+def test_direct_is_faster_than_gateway():
+    _, via_gateway = run_single_flow(NoCache(), 20_000)
+    _, direct = run_single_flow(Direct(), 20_000)
+    assert direct.completed and via_gateway.completed
+    assert direct.fct_ns < via_gateway.fct_ns
+    assert direct.first_packet_latency_ns < via_gateway.first_packet_latency_ns
+
+
+def test_udp_flow_completes_and_paces():
+    network, record = run_single_flow(NoCache(), 10_000, transport="udp")
+    assert record.completed
+    assert record.bytes_received == 10_000
+
+
+def test_udp_first_packet_latency_recorded():
+    _, record = run_single_flow(NoCache(), 3_000, transport="udp")
+    assert record.first_packet_latency_ns is not None
+    assert record.first_packet_latency_ns > 0
+
+
+def test_flow_record_registered_with_collector():
+    network, record = run_single_flow(NoCache(), 1_000)
+    assert network.collector.flows[record.flow_id] is record
+    assert network.collector.completion_rate == 1.0
+
+
+def test_transport_config_validation():
+    with pytest.raises(ValueError):
+        TransportConfig(mss_bytes=0)
+    with pytest.raises(ValueError):
+        TransportConfig(initial_cwnd=0)
+    with pytest.raises(ValueError):
+        TransportConfig(initial_cwnd=10, max_cwnd=5)
+
+
+def test_flow_spec_validation():
+    with pytest.raises(ValueError):
+        FlowSpec(src_vip=0, dst_vip=1, size_bytes=0, start_ns=0)
+    with pytest.raises(ValueError):
+        FlowSpec(src_vip=0, dst_vip=1, size_bytes=10, start_ns=-1)
+    with pytest.raises(ValueError):
+        FlowSpec(src_vip=0, dst_vip=1, size_bytes=10, start_ns=0,
+                 transport="sctp")
+    with pytest.raises(ValueError):
+        FlowSpec(src_vip=0, dst_vip=1, size_bytes=10, start_ns=0,
+                 transport="udp", udp_rate_bps=0)
+
+
+def test_rpc_response_flow_spawned():
+    network = small_network(NoCache(), num_vms=8)
+    player = TrafficPlayer(network)
+    player.add_flows([FlowSpec(src_vip=0, dst_vip=5, size_bytes=2_000,
+                               start_ns=0, response_bytes=4_000)])
+    network.run(until=msec(50))
+    assert len(player.flows) == 2
+    request, response = player.flows
+    assert response.src_vip == 5 and response.dst_vip == 0
+    assert response.size_bytes == 4_000
+    assert request.completed and response.completed
+    assert response.start_ns >= request.fct_ns
+
+
+def test_many_concurrent_flows_all_complete():
+    network = small_network(NoCache(), num_vms=8)
+    player = TrafficPlayer(network)
+    specs = [FlowSpec(src_vip=i % 8, dst_vip=(i + 3) % 8,
+                      size_bytes=5_000 + 100 * i, start_ns=i * 1_000)
+             for i in range(40)]
+    player.add_flows(specs)
+    network.run(until=msec(100))
+    assert player.all_complete
+
+
+def test_retransmission_after_total_loss_window(monkeypatch):
+    """Force a drop by shrinking a link buffer; the flow still completes."""
+    network = small_network(NoCache(), num_vms=8)
+    # Throttle the destination host's downlink so drops occur.
+    dst_host = network.host_of(5)
+    from repro.net.addresses import pip_pod, pip_rack
+    tor = network.fabric.tor_of(pip_pod(dst_host.pip), pip_rack(dst_host.pip))
+    downlink = tor.host_links[dst_host.pip]
+    downlink.rate_bps = 1e9  # 100x slower than upstream: queue builds
+    downlink.buffer_bytes = 3_000  # two packets worth
+    player = TrafficPlayer(network, TransportConfig(initial_cwnd=10))
+    [record] = player.add_flows([FlowSpec(src_vip=0, dst_vip=5,
+                                          size_bytes=30_000, start_ns=0)])
+    network.run(until=msec(200))
+    assert record.completed
+    assert record.retransmissions > 0

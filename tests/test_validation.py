@@ -1,0 +1,62 @@
+"""Tests for the network invariant checker."""
+
+import pytest
+
+from repro.baselines import NoCache
+from repro.vnet.validation import assert_valid, validate_network
+
+from conftest import small_network
+
+
+def test_fresh_network_is_valid():
+    network = small_network(NoCache(), num_vms=8)
+    assert validate_network(network) == []
+    assert_valid(network)
+
+
+def test_network_valid_after_migration():
+    network = small_network(NoCache(), num_vms=8)
+    target = next(h for h in network.hosts if 0 not in h.vms)
+    network.migrate(0, target)
+    assert validate_network(network) == []
+
+
+def test_network_valid_after_gateway_commission():
+    network = small_network(NoCache(), num_vms=8)
+    network.commission_gateway(pod=0)
+    assert validate_network(network) == []
+
+
+def test_detects_placement_inconsistency():
+    network = small_network(NoCache(), num_vms=8)
+    # Corrupt: database says vip 0 lives elsewhere.
+    other = next(h for h in network.hosts if 0 not in h.vms)
+    network.database.set(0, other.pip)
+    issues = validate_network(network)
+    assert issues
+    assert any("vip 0" in issue for issue in issues)
+
+
+def test_detects_orphan_endpoint():
+    network = small_network(NoCache(), num_vms=8)
+    host = network.hosts[0]
+    host.endpoints[999] = object()
+    issues = validate_network(network)
+    assert any("endpoint" in issue for issue in issues)
+
+
+def test_detects_missing_attachment():
+    network = small_network(NoCache(), num_vms=8)
+    host = network.hosts[0]
+    from repro.net.addresses import pip_pod, pip_rack
+    tor = network.fabric.tor_of(pip_pod(host.pip), pip_rack(host.pip))
+    tor.attached_pips.discard(host.pip)
+    issues = validate_network(network)
+    assert any("attachment" in issue for issue in issues)
+
+
+def test_assert_valid_raises_with_details():
+    network = small_network(NoCache(), num_vms=8)
+    network.hosts[0].endpoints[999] = object()
+    with pytest.raises(AssertionError, match="endpoint"):
+        assert_valid(network)

@@ -1,0 +1,212 @@
+"""Tests for the virtual-network layer: mappings, gateways, hosts, migration."""
+
+import pytest
+
+from repro.baselines.nocache import NoCache
+from repro.net.addresses import pip_pod, pip_rack
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import msec, usec
+from repro.transport.flow import FlowSpec
+from repro.transport.player import TrafficPlayer
+from repro.vnet.mapping import MappingDatabase, MappingError
+
+from conftest import small_network, tiny_spec
+
+
+# ----------------------------------------------------------------------
+# mapping database
+# ----------------------------------------------------------------------
+def test_mapping_set_lookup_remove():
+    db = MappingDatabase()
+    db.set(1, 100)
+    assert db.lookup(1) == 100
+    assert 1 in db
+    assert len(db) == 1
+    db.remove(1)
+    assert 1 not in db
+    with pytest.raises(MappingError):
+        db.lookup(1)
+
+
+def test_mapping_get_returns_none_for_missing():
+    db = MappingDatabase()
+    assert db.get(42) is None
+
+
+def test_mapping_version_and_update_counters():
+    db = MappingDatabase()
+    assert db.version == 0
+    db.set(1, 100)
+    db.set(1, 200)
+    db.remove(1)
+    assert db.version == 3
+    assert db.updates == 3
+
+
+def test_mapping_listeners_observe_updates():
+    db = MappingDatabase()
+    events = []
+    db.subscribe(lambda vip, old, new: events.append((vip, old, new)))
+    db.set(1, 100)
+    db.set(1, 200)
+    assert events == [(1, -1, 100), (1, 100, 200)]
+
+
+# ----------------------------------------------------------------------
+# network construction and placement
+# ----------------------------------------------------------------------
+def test_network_build_counts():
+    network = small_network(NoCache(), num_vms=8)
+    spec = network.config.spec
+    assert len(network.hosts) == spec.num_servers
+    assert len(network.gateways) == spec.num_gateways
+    assert len(network.database) == 8
+
+
+def test_round_robin_placement_is_uniform():
+    network = small_network(NoCache(), num_vms=16)  # 8 servers -> 2 each
+    for host in network.hosts:
+        assert len(host.vms) == 2
+
+
+def test_host_of_resolves_current_location():
+    network = small_network(NoCache(), num_vms=8)
+    for vip in range(8):
+        host = network.host_of(vip)
+        assert vip in host.vms
+
+
+def test_gateway_for_is_deterministic_per_flow():
+    network = small_network(NoCache(), num_vms=8)
+    assert network.gateway_for(7) is network.gateway_for(7)
+
+
+def test_gateway_attached_in_gateway_pod():
+    network = small_network(NoCache(), num_vms=8)
+    spec = network.config.spec
+    for gateway in network.gateways:
+        assert pip_pod(gateway.pip) in spec.gateway_pods
+        assert pip_rack(gateway.pip) == spec.gateway_rack
+
+
+def test_no_gateways_is_an_error():
+    with pytest.raises(ValueError):
+        small_network(NoCache(), spec=tiny_spec(gateways_per_pod=0))
+
+
+# ----------------------------------------------------------------------
+# migration
+# ----------------------------------------------------------------------
+def test_migrate_moves_vm_and_installs_follow_me():
+    network = small_network(NoCache(), num_vms=8)
+    old_host = network.host_of(0)
+    target = next(h for h in network.hosts if h is not old_host)
+    network.migrate(0, target)
+    assert 0 not in old_host.vms
+    assert 0 in target.vms
+    assert old_host.follow_me[0] == target.pip
+    assert network.database.lookup(0) == target.pip
+
+
+def test_migrate_moves_endpoint():
+    network = small_network(NoCache(), num_vms=8)
+    old_host = network.host_of(0)
+    endpoint = object()
+    old_host.endpoints[0] = endpoint
+    target = next(h for h in network.hosts if h is not old_host)
+    network.migrate(0, target)
+    assert target.endpoints[0] is endpoint
+    assert 0 not in old_host.endpoints
+
+
+def test_migrate_to_same_host_is_noop():
+    network = small_network(NoCache(), num_vms=8)
+    host = network.host_of(0)
+    network.migrate(0, host)
+    assert 0 in host.vms
+    assert 0 not in host.follow_me
+
+
+def test_follow_me_redelivers_after_migration():
+    """Traffic sent during migration reaches the VM at its new home."""
+    network = small_network(NoCache(), num_vms=8)
+    player = TrafficPlayer(network)
+    [record] = player.add_flows([FlowSpec(src_vip=0, dst_vip=5,
+                                          size_bytes=400_000, start_ns=0,
+                                          transport="udp",
+                                          udp_rate_bps=40e9)])
+    old_host = network.host_of(5)
+    target = next(h for h in network.hosts
+                  if pip_rack(h.pip) != pip_rack(old_host.pip))
+    network.engine.schedule(usec(30), network.migrate, 5, target)
+    network.run(until=msec(20))
+    assert record.completed
+    assert network.collector.misdeliveries > 0
+
+
+# ----------------------------------------------------------------------
+# gateway behaviour
+# ----------------------------------------------------------------------
+def test_gateway_processing_delay_applied():
+    network = small_network(NoCache(), num_vms=8)
+    gateway = network.gateways[0]
+    packet = Packet(PacketKind.DATA, flow_id=1, seq=0, payload_bytes=64,
+                    src_vip=0, dst_vip=5, outer_src=network.hosts[0].pip,
+                    outer_dst=gateway.pip)
+    gateway.receive(packet)
+    network.engine.run()
+    # The packet left the gateway only after the 40 us processing time.
+    assert network.engine.now >= usec(40)
+    assert packet.resolved
+
+
+def test_gateway_unresolvable_packet_counted():
+    network = small_network(NoCache(), num_vms=8)
+    gateway = network.gateways[0]
+    packet = Packet(PacketKind.DATA, flow_id=1, seq=0, payload_bytes=64,
+                    src_vip=0, dst_vip=999, outer_src=network.hosts[0].pip,
+                    outer_dst=gateway.pip)
+    gateway.receive(packet)
+    network.engine.run()
+    assert gateway.resolution_failures == 1
+    assert not packet.resolved
+
+
+def test_gateway_serial_service_model():
+    from repro.sim.engine import Engine
+    from repro.vnet.gateway import Gateway
+    engine = Engine()
+    db = MappingDatabase()
+    db.set(5, 123)
+    gateway = Gateway("gw", engine, db, processing_ns=1000, service_ns=500)
+    times = []
+
+    class FakeLink:
+        def transmit(self, packet):
+            times.append(engine.now)
+            return True
+
+    gateway.uplink = FakeLink()
+
+    def make():
+        return Packet(PacketKind.DATA, flow_id=1, seq=0, payload_bytes=64,
+                      src_vip=0, dst_vip=5, outer_src=0, outer_dst=0)
+
+    gateway.receive(make())
+    gateway.receive(make())
+    engine.run()
+    assert times == [1500, 2000]  # second waits for the serial server
+
+
+def test_gateway_clears_misdelivery_state():
+    network = small_network(NoCache(), num_vms=8)
+    gateway = network.gateways[0]
+    packet = Packet(PacketKind.DATA, flow_id=1, seq=0, payload_bytes=64,
+                    src_vip=0, dst_vip=5, outer_src=network.hosts[0].pip,
+                    outer_dst=gateway.pip)
+    packet.misdelivery_tag = True
+    packet.carried_mapping = (5, 777)
+    gateway.receive(packet)
+    network.engine.run()
+    assert not packet.misdelivery_tag
+    assert packet.carried_mapping is None
