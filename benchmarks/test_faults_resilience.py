@@ -1,0 +1,115 @@
+"""Chaos experiment: resilience under gateway and switch outages.
+
+Every scheme runs the identical fault schedule — a gateway-rack power
+loss (the gateway *and* its ToR, so Sailfish-style gateway-ToR caches
+die with the rack) followed by a spine fail + recover — against its own
+undisturbed baseline.  The paper's robustness claim (§1/§2: the
+opportunistic caches make the system resilient to failures) shows up
+as SwitchV2P adding the least FCT to flows born during the gateway
+outage, and as the windowed hit rate dipping after the spine's
+cold restart and then re-warming from passing traffic.
+"""
+
+from common import report
+from repro.experiments.faults import (
+    ChaosParams,
+    chaos_flows,
+    chaos_schedule,
+    chaos_spec,
+    run_chaos_experiment,
+    _place_tenants,
+)
+from repro.experiments.runner import make_scheme
+from repro.metrics.resilience import ResilienceProbe
+from repro.transport.player import TrafficPlayer
+from repro.transport.reliable import TransportConfig
+from repro.vnet.network import NetworkConfig, VirtualNetwork
+
+
+def run():
+    return run_chaos_experiment(ChaosParams())
+
+
+def test_faults_resilience(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for row in rows:
+        recover = row.faulted.time_to_recover_ns
+        table.append([
+            row.scheme,
+            f"{row.baseline.availability:.3f}",
+            f"{row.faulted.availability:.3f}",
+            f"{row.availability_drop:.3f}",
+            f"{row.baseline_fct_ns / 1000:.1f}",
+            f"{row.faulted_fct_ns / 1000:.1f}",
+            f"{row.fct_degradation:.2f}x",
+            f"{row.gateway_window_added_ns / 1000:.1f}",
+            f"{row.faulted.before.mean_hit_rate:.3f}",
+            f"{row.faulted.during.mean_hit_rate:.3f}",
+            f"{row.faulted.after.mean_hit_rate:.3f}",
+            f"{recover / 1000:.0f}" if recover is not None else "never",
+            row.faulted.gateway_crash_drops
+            + row.faulted.gateway_unavailable_drops,
+            row.faulted.failed_flows,
+        ])
+    report("faults_resilience",
+           ["scheme", "avail base", "avail faulted", "avail drop",
+            "fct base [us]", "fct faulted [us]", "fct degr",
+            "gw-window added [us]", "hit before", "hit during", "hit after",
+            "recover [us]", "gw drops", "failed flows"],
+           table,
+           "Chaos — gateway-rack + spine outages "
+           "(identical fault schedule per scheme)")
+
+    by_scheme = {row.scheme: row for row in rows}
+    switchv2p = by_scheme["SwitchV2P"]
+    gwcache = by_scheme["GwCache"]
+    ondemand = by_scheme["OnDemand"]
+
+    # (a) Mid-run gateway failure hurts SwitchV2P strictly less than the
+    # gateway-centric and host-centric baselines: less added FCT for the
+    # flows born during the outage, and no worse availability loss.
+    assert switchv2p.gateway_window_added_ns < gwcache.gateway_window_added_ns
+    assert switchv2p.gateway_window_added_ns < ondemand.gateway_window_added_ns
+    assert switchv2p.availability_drop <= gwcache.availability_drop
+    assert switchv2p.availability_drop <= ondemand.availability_drop
+
+    # The hypervisor failure detector actually failed traffic over.
+    assert switchv2p.gateway_failovers >= 1
+
+    # (b) After the last repair, SwitchV2P's windowed hit rate returns
+    # to >= 90% of its pre-fault baseline.
+    assert switchv2p.faulted.time_to_recover_ns is not None
+
+
+def test_hit_rate_dips_then_recovers_after_spine_restart():
+    """The spine's cold restart is visible in the windowed hit rate."""
+    params = ChaosParams()
+    spec = chaos_spec()
+    scheme = make_scheme("SwitchV2P", params.num_vms, params.cache_ratio)
+    network = VirtualNetwork(NetworkConfig(spec=spec, seed=params.seed), scheme)
+    _place_tenants(network, spec, params.num_vms)
+    probe = ResilienceProbe(network, params.sample_period_ns)
+    network.enable_gateway_failover(
+        probe_interval_ns=params.probe_interval_ns,
+        miss_threshold=params.miss_threshold)
+    chaos_schedule(params, spec).apply(network)
+    player = TrafficPlayer(network, TransportConfig())
+    player.add_flows(chaos_flows(params))
+    network.run(until=params.horizon_ns)
+
+    samples = probe.hit_rate.samples
+    pre = [s.value for s in samples
+           if params.spine_fail_ns - params.gateway_crash_ns
+           <= s.time_ns < params.spine_fail_ns]
+    post = [s.value for s in samples if s.time_ns > params.spine_recover_ns]
+    assert pre and len(post) >= 8
+    baseline = sum(pre) / len(pre)
+    # The recovered spine restarts cold: the first windows after repair
+    # dip below the pre-outage hit rate...
+    dip = min(post[:4])
+    assert dip < baseline
+    # ...and passing traffic re-warms the cache back toward it.
+    tail = sum(post[-4:]) / 4
+    assert tail > dip
+    assert tail >= 0.9 * baseline

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.net.addresses import UNRESOLVED
 from repro.net.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,9 +72,20 @@ class TranslationScheme:
     # shared helpers
     # ------------------------------------------------------------------
     def send_via_gateway(self, packet: Packet) -> None:
-        """Address ``packet`` to its flow's gateway, unresolved."""
+        """Address ``packet`` to its flow's gateway, unresolved.
+
+        If every gateway has been failed out of the pool the packet is
+        left unroutable (``outer_dst`` stays UNRESOLVED); the
+        hypervisor hard-drops it and the event is counted, so
+        experiments can report availability instead of hanging.
+        """
         assert self.network is not None, "scheme not attached to a network"
         gateway = self.network.gateway_for(packet.flow_id)
+        if gateway is None:
+            packet.outer_dst = UNRESOLVED
+            packet.resolved = False
+            self.network.collector.gateway_unavailable_drops += 1
+            return
         packet.outer_dst = gateway.pip
         packet.resolved = False
 

@@ -77,6 +77,20 @@ class CachingScheme(TranslationScheme):
     def cache_of(self, switch: "Switch") -> DirectMappedCache | None:
         return self.caches.get(switch.switch_id)
 
+    def on_switch_reset(self, switch: "Switch") -> None:
+        """Fault hook: a failed/recovered switch loses its SRAM state.
+
+        Invoked by :meth:`Switch.fail`/:meth:`Switch.recover`; the
+        switch's cache is rebuilt empty with the same geometry and
+        fresh stats, so a recovered switch re-warms from scratch
+        (cold restart, matching the paper's opportunistic-cache model).
+        """
+        cache = self.caches.get(switch.switch_id)
+        if cache is None:
+            return
+        self.caches[switch.switch_id] = self.make_cache(
+            cache.num_slots, salt=cache.salt)
+
     # ------------------------------------------------------------------
     # data-plane building blocks
     # ------------------------------------------------------------------

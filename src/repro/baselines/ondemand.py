@@ -57,9 +57,17 @@ class OnDemand(TranslationScheme):
                 self.install_delay_ns, self._install, host.pip, packet.dst_vip)
 
     def _install(self, host_pip: int, vip: int) -> None:
-        """Install the mapping as it is known at install time."""
+        """Install the mapping as it is known at install time.
+
+        The install models the answer of a gateway round trip, so it
+        only succeeds while some gateway is healthy; during a total
+        gateway outage the lookup is lost and the next packet to the
+        destination retries it.
+        """
         assert self.network is not None
         self._pending.discard((host_pip, vip))
+        if not any(not gateway.failed for gateway in self.network.gateways):
+            return
         pip = self.network.database.get(vip)
         if pip is not None:
             self._host_caches[host_pip][vip] = pip

@@ -151,6 +151,34 @@ def cmd_migrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """The chaos experiment: gateway-rack + spine outages vs baselines."""
+    from dataclasses import replace
+
+    from repro.experiments.faults import (
+        CHAOS_SCHEMES,
+        ChaosParams,
+        render_chaos_table,
+        run_chaos_experiment,
+    )
+    params = ChaosParams()
+    overrides = {}
+    if args.flows is not None:
+        overrides["num_flows"] = args.flows
+    if args.vms is not None:
+        overrides["num_vms"] = args.vms
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.cache_ratio is not None:
+        overrides["cache_ratio"] = args.cache_ratio
+    if overrides:
+        params = replace(params, **overrides)
+    schemes = tuple(args.schemes) if args.schemes else CHAOS_SCHEMES
+    rows = run_chaos_experiment(params, schemes)
+    print(render_chaos_table(rows))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Assemble all persisted benchmark tables into one report."""
     from pathlib import Path
@@ -223,6 +251,24 @@ def build_parser() -> argparse.ArgumentParser:
     migrate_parser.add_argument("--senders", type=int, default=16)
     migrate_parser.add_argument("--packets", type=int, default=500)
     migrate_parser.set_defaults(func=cmd_migrate)
+
+    faults_parser = subparsers.add_parser(
+        "faults",
+        help="chaos experiment: schemes under an identical fault schedule",
+        description="Run every scheme twice — undisturbed and under the "
+                    "same timed fault schedule (a gateway-rack power loss "
+                    "with hypervisor failover, then a spine fail+recover) — "
+                    "and report availability, FCT degradation, windowed "
+                    "hit-rate phases and time-to-recover.")
+    faults_parser.add_argument("--schemes", nargs="+",
+                               choices=sorted(SCHEME_FACTORIES), default=None,
+                               help="schemes to compare (default: "
+                                    "SwitchV2P GwCache OnDemand)")
+    faults_parser.add_argument("--vms", type=int, default=None)
+    faults_parser.add_argument("--flows", type=int, default=None)
+    faults_parser.add_argument("--cache-ratio", type=float, default=None)
+    faults_parser.add_argument("--seed", type=int, default=None)
+    faults_parser.set_defaults(func=cmd_faults)
 
     report_parser = subparsers.add_parser(
         "report", help="print every persisted benchmark table")

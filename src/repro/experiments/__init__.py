@@ -1,5 +1,14 @@
 """Experiment harness: runners, sweeps, per-figure entry points."""
 
+from repro.experiments.faults import (
+    CHAOS_SCHEMES,
+    ChaosParams,
+    ChaosRow,
+    chaos_schedule,
+    chaos_spec,
+    render_chaos_table,
+    run_chaos_experiment,
+)
 from repro.experiments.figures import (
     FigureScale,
     appendix_controller,
@@ -68,4 +77,11 @@ __all__ = [
     "MIGRATION_VARIANTS",
     "run_migration_variant",
     "run_migration_table",
+    "ChaosParams",
+    "ChaosRow",
+    "CHAOS_SCHEMES",
+    "chaos_spec",
+    "chaos_schedule",
+    "run_chaos_experiment",
+    "render_chaos_table",
 ]

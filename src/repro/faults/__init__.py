@@ -1,0 +1,5 @@
+"""Fault injection: timed schedules of switch/link/gateway failures."""
+
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+
+__all__ = ["FaultEvent", "FaultKind", "FaultSchedule"]

@@ -1,0 +1,252 @@
+"""Timed fault schedules: scripted chaos on the simulation clock.
+
+A :class:`FaultSchedule` is a declarative list of fault events — fail
+and recover a switch, cut and splice a link, impose random loss on a
+link, crash and restart a gateway — applied to a
+:class:`~repro.vnet.network.VirtualNetwork` before (or while) traffic
+runs.  Because the same schedule object can be applied to networks
+running different translation schemes, it is the controlled variable of
+the resilience experiments: every scheme faces the identical fault
+sequence and only the scheme's reaction differs.
+
+The schedule is pure data until :meth:`FaultSchedule.apply` binds it to
+a network; it can therefore be built once and replayed across runs.
+Targets are addressed by *locator* (layer + coordinates) rather than by
+object so a schedule is not tied to one network instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.link import Link
+    from repro.net.node import Switch
+    from repro.vnet.gateway import Gateway
+    from repro.vnet.network import VirtualNetwork
+
+
+class FaultKind(Enum):
+    """What a fault event does when it fires."""
+
+    SWITCH_FAIL = "switch-fail"
+    SWITCH_RECOVER = "switch-recover"
+    LINK_DOWN = "link-down"
+    LINK_UP = "link-up"
+    LINK_LOSS = "link-loss"
+    GATEWAY_CRASH = "gateway-crash"
+    GATEWAY_RESTART = "gateway-restart"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: at ``at_ns``, do ``kind`` to ``target``.
+
+    Attributes:
+        at_ns: absolute simulation time the fault fires.
+        kind: the action (see :class:`FaultKind`).
+        target: locator tuple — ``("tor", pod, rack)``,
+            ``("spine", pod, index)``, ``("core", index)``,
+            ``("gateway", index)`` or ``("link", kind..., ...)`` where a
+            link is located by its two switch endpoints.
+        loss_rate: only for LINK_LOSS — per-packet loss probability.
+    """
+
+    at_ns: int
+    kind: FaultKind
+    target: tuple
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at_ns}")
+        if self.kind is FaultKind.LINK_LOSS and not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {self.loss_rate}")
+
+
+class FaultSchedule:
+    """A buildable, replayable list of timed fault events.
+
+    Build with the fluent helpers (each returns ``self``)::
+
+        schedule = (FaultSchedule()
+                    .gateway_outage(gw=0, start_ns=msec(2), duration_ns=msec(2))
+                    .switch_outage("spine", (0, 1), start_ns=msec(5),
+                                   duration_ns=msec(1)))
+        schedule.apply(network)
+
+    ``apply`` schedules every event on the network's engine and, when
+    any gateway event is present, starts the hypervisor-side gateway
+    failure detector so failover actually happens.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[FaultEvent] = []
+        #: (fired_at_ns, description) log filled in as events fire.
+        self.fired: list[tuple[int, str]] = []
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        self.events.append(event)
+        return self
+
+    def fail_switch(self, at_ns: int, layer: str, where) -> "FaultSchedule":
+        """Fail the switch at ``where`` (see :meth:`_find_switch`)."""
+        return self.add(FaultEvent(at_ns, FaultKind.SWITCH_FAIL,
+                                   _switch_locator(layer, where)))
+
+    def recover_switch(self, at_ns: int, layer: str, where) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ns, FaultKind.SWITCH_RECOVER,
+                                   _switch_locator(layer, where)))
+
+    def switch_outage(self, layer: str, where, start_ns: int,
+                      duration_ns: int) -> "FaultSchedule":
+        """Fail at ``start_ns`` and recover ``duration_ns`` later."""
+        self.fail_switch(start_ns, layer, where)
+        return self.recover_switch(start_ns + duration_ns, layer, where)
+
+    def link_down(self, at_ns: int, a_locator: tuple,
+                  b_locator: tuple) -> "FaultSchedule":
+        """Cut the (unidirectional pair of the) cable between two switches."""
+        return self.add(FaultEvent(at_ns, FaultKind.LINK_DOWN,
+                                   ("link", a_locator, b_locator)))
+
+    def link_up(self, at_ns: int, a_locator: tuple,
+                b_locator: tuple) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ns, FaultKind.LINK_UP,
+                                   ("link", a_locator, b_locator)))
+
+    def link_outage(self, a_locator: tuple, b_locator: tuple, start_ns: int,
+                    duration_ns: int) -> "FaultSchedule":
+        self.link_down(start_ns, a_locator, b_locator)
+        return self.link_up(start_ns + duration_ns, a_locator, b_locator)
+
+    def link_loss(self, at_ns: int, a_locator: tuple, b_locator: tuple,
+                  rate: float) -> "FaultSchedule":
+        """Impose per-packet random loss ``rate`` on the cable (0 clears)."""
+        return self.add(FaultEvent(at_ns, FaultKind.LINK_LOSS,
+                                   ("link", a_locator, b_locator), rate))
+
+    def crash_gateway(self, at_ns: int, index: int) -> "FaultSchedule":
+        """Crash the ``index``-th gateway of the network."""
+        return self.add(FaultEvent(at_ns, FaultKind.GATEWAY_CRASH,
+                                   ("gateway", index)))
+
+    def restart_gateway(self, at_ns: int, index: int) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ns, FaultKind.GATEWAY_RESTART,
+                                   ("gateway", index)))
+
+    def gateway_outage(self, index: int, start_ns: int,
+                       duration_ns: int) -> "FaultSchedule":
+        self.crash_gateway(start_ns, index)
+        return self.restart_gateway(start_ns + duration_ns, index)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def has_gateway_events(self) -> bool:
+        return any(event.kind in (FaultKind.GATEWAY_CRASH,
+                                  FaultKind.GATEWAY_RESTART)
+                   for event in self.events)
+
+    def first_fault_ns(self) -> int | None:
+        """Time of the earliest fault (not recovery) event, if any."""
+        starts = [e.at_ns for e in self.events
+                  if e.kind in (FaultKind.SWITCH_FAIL, FaultKind.LINK_DOWN,
+                                FaultKind.LINK_LOSS, FaultKind.GATEWAY_CRASH)]
+        return min(starts, default=None)
+
+    def last_recovery_ns(self) -> int | None:
+        """Time of the latest recovery event, if any."""
+        ends = [e.at_ns for e in self.events
+                if e.kind in (FaultKind.SWITCH_RECOVER, FaultKind.LINK_UP,
+                              FaultKind.GATEWAY_RESTART)]
+        return max(ends, default=None)
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def apply(self, network: "VirtualNetwork") -> None:
+        """Bind to ``network``: schedule every event on its engine.
+
+        Gateway events additionally enable the network's gateway
+        failure detector (hypervisor-side failover); without it a
+        crashed gateway would black-hole its flows for the whole run.
+        """
+        if self.has_gateway_events():
+            network.enable_gateway_failover()
+        for event in sorted(self.events, key=lambda e: e.at_ns):
+            network.engine.schedule(event.at_ns, self._fire, network, event)
+
+    def _fire(self, network: "VirtualNetwork", event: FaultEvent) -> None:
+        kind = event.kind
+        if kind in (FaultKind.SWITCH_FAIL, FaultKind.SWITCH_RECOVER):
+            switch = self._find_switch(network, event.target)
+            if kind is FaultKind.SWITCH_FAIL:
+                switch.fail()
+            else:
+                switch.recover()
+            label = f"{kind.value} {switch.name}"
+        elif kind in (FaultKind.LINK_DOWN, FaultKind.LINK_UP):
+            label = ""
+            for link in self._find_links(network, event.target):
+                network.fabric.set_link_state(link, kind is FaultKind.LINK_UP)
+                label = f"{kind.value} {link.src.name}<->{link.dst.name}"
+        elif kind is FaultKind.LINK_LOSS:
+            rng = network.streams.stream("fault-link-loss")
+            label = ""
+            for link in self._find_links(network, event.target):
+                link.set_loss(event.loss_rate, rng)
+                label = (f"{kind.value} {event.loss_rate:.0%} "
+                         f"{link.src.name}<->{link.dst.name}")
+        else:
+            gateway = self._find_gateway(network, event.target)
+            if kind is FaultKind.GATEWAY_CRASH:
+                gateway.fail()
+            else:
+                gateway.recover()
+            label = f"{kind.value} {gateway.name}"
+        self.fired.append((network.engine.now, label))
+
+    # ------------------------------------------------------------------
+    # locator resolution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _find_switch(network: "VirtualNetwork", locator: tuple) -> "Switch":
+        fabric = network.fabric
+        layer = locator[0]
+        if layer == "tor":
+            return fabric.tors[(locator[1], locator[2])]
+        if layer == "spine":
+            return fabric.spines[(locator[1], locator[2])]
+        if layer == "core":
+            return fabric.cores[locator[1]]
+        raise ValueError(f"unknown switch locator {locator!r}")
+
+    @classmethod
+    def _find_links(cls, network: "VirtualNetwork",
+                    locator: tuple) -> list["Link"]:
+        """Both directions of the cable between two located switches."""
+        _tag, a_loc, b_loc = locator
+        a = cls._find_switch(network, a_loc)
+        b = cls._find_switch(network, b_loc)
+        return [network.fabric.link_between(a, b),
+                network.fabric.link_between(b, a)]
+
+    @staticmethod
+    def _find_gateway(network: "VirtualNetwork", locator: tuple) -> "Gateway":
+        return network.gateways[locator[1]]
+
+
+def _switch_locator(layer: str, where) -> tuple:
+    """Normalize ``where`` into a locator tuple for ``layer``."""
+    if layer not in ("tor", "spine", "core"):
+        raise ValueError(f"unknown switch layer {layer!r}")
+    if layer == "core":
+        return ("core", int(where))
+    pod, index = where
+    return (layer, int(pod), int(index))

@@ -2,6 +2,11 @@
 
 from repro.metrics.collector import Collector, FlowRecord
 from repro.metrics.reporting import improvement, render_table
+from repro.metrics.resilience import (
+    PhaseStats,
+    ResilienceProbe,
+    ResilienceSummary,
+)
 from repro.metrics.timeline import (
     RatioTimeline,
     Sample,
@@ -20,4 +25,7 @@ __all__ = [
     "RatioTimeline",
     "track_gateway_load",
     "track_hit_rate",
+    "PhaseStats",
+    "ResilienceProbe",
+    "ResilienceSummary",
 ]

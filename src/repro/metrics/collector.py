@@ -30,6 +30,11 @@ class FlowRecord:
     fct_ns: int | None = None
     bytes_received: int = 0
     retransmissions: int = 0
+    #: The transport gave up on this flow (max retransmits exceeded —
+    #: destination or every gateway unreachable).  Terminal state, so
+    #: experiments with dead endpoints still finish and can report
+    #: per-flow availability.
+    failed: bool = False
 
     @property
     def completed(self) -> bool:
@@ -57,6 +62,12 @@ class Collector:
         self.last_misdelivered_arrival_ns: int | None = None
         self.packet_latency_sum_ns = 0
         self.packet_latency_count = 0
+        #: Application payload bytes delivered to endpoints (goodput).
+        self.delivered_payload_bytes = 0
+        #: Packets hard-dropped because no live gateway remained.
+        self.gateway_unavailable_drops = 0
+        #: Packets lost at crashed gateways (summed at finalize).
+        self.gateway_crash_drops = 0
 
     # ------------------------------------------------------------------
     # recording
@@ -81,6 +92,7 @@ class Collector:
         if packet.kind == PacketKind.DATA:
             self.packet_latency_sum_ns += now - packet.created_at
             self.packet_latency_count += 1
+            self.delivered_payload_bytes += packet.payload_bytes
 
     def record_misdelivery(self, now: int) -> None:
         self.misdeliveries += 1
@@ -112,11 +124,25 @@ class Collector:
     def completed_flows(self) -> list[FlowRecord]:
         return [flow for flow in self.flows.values() if flow.completed]
 
+    def failed_flows(self) -> list[FlowRecord]:
+        """Flows whose transport gave up (terminal, never completing)."""
+        return [flow for flow in self.flows.values() if flow.failed]
+
     @property
     def completion_rate(self) -> float:
         if not self.flows:
             return 0.0
         return len(self.completed_flows()) / len(self.flows)
+
+    @property
+    def availability(self) -> float:
+        """Per-flow availability: fraction of flows that completed.
+
+        Under fault injection this is the paper-style "graceful
+        degradation" headline number — flows that were abandoned
+        (``failed``) or still stuck at the horizon count against it.
+        """
+        return self.completion_rate
 
     def average_fct_ns(self) -> float:
         completed = [flow.fct_ns for flow in self.flows.values()

@@ -25,12 +25,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class LinkStats:
     """Byte/packet/drop counters for one link direction."""
 
-    __slots__ = ("packets", "bytes", "drops")
+    __slots__ = ("packets", "bytes", "drops", "lost")
 
     def __init__(self) -> None:
         self.packets = 0
         self.bytes = 0
         self.drops = 0
+        #: Packets lost to random corruption (``loss_rate``), as opposed
+        #: to tail drops or the link being administratively down.
+        self.lost = 0
 
 
 class Link:
@@ -53,6 +56,9 @@ class Link:
         "rate_bps",
         "propagation_ns",
         "buffer_bytes",
+        "up",
+        "loss_rate",
+        "_loss_rng",
         "_busy_until",
         "stats",
     )
@@ -76,8 +82,29 @@ class Link:
         self.rate_bps = rate_bps
         self.propagation_ns = propagation_ns
         self.buffer_bytes = buffer_bytes
+        #: Administrative/physical state: a down link drops everything
+        #: offered to it (fiber cut, transceiver failure).  Neighbours
+        #: route around down links where equal-cost siblings exist.
+        self.up = True
+        #: Per-packet random loss probability (bit errors, flaky optics).
+        self.loss_rate = 0.0
+        self._loss_rng = None
         self._busy_until = 0
         self.stats = LinkStats()
+
+    def set_loss(self, rate: float, rng) -> None:
+        """Configure random loss with probability ``rate`` per packet.
+
+        Args:
+            rate: loss probability in [0, 1]; 0 disables loss.
+            rng: a ``random()``-bearing generator (e.g. a numpy
+                Generator from :class:`repro.sim.randomness.RandomStreams`)
+                so loss is reproducible for a fixed seed.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.loss_rate = rate
+        self._loss_rng = rng if rate > 0.0 else None
 
     def queue_backlog_bytes(self, now: int) -> int:
         """Bytes currently waiting or in transmission on this link."""
@@ -94,8 +121,12 @@ class Link:
         """Enqueue ``packet`` for transmission.
 
         Returns:
-            True if the packet was admitted, False if it was tail-dropped.
+            True if the packet was admitted, False if it was tail-dropped
+            or the link is down.
         """
+        if not self.up:
+            self.stats.drops += 1
+            return False
         now = self.engine.now
         backlog = self.queue_backlog_bytes(now)
         size = packet.wire_bytes
@@ -107,5 +138,12 @@ class Link:
         self._busy_until = finish
         self.stats.packets += 1
         self.stats.bytes += size
+        if self.loss_rate > 0.0 and self._loss_rng is not None \
+                and self._loss_rng.random() < self.loss_rate:
+            # The packet occupied the wire but arrives corrupted; the
+            # sender sees it as admitted (loss is invisible until the
+            # transport times out), so still return True.
+            self.stats.lost += 1
+            return True
         self.engine.schedule(finish + self.propagation_ns, self.dst.receive, packet, self)
         return True

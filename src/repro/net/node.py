@@ -18,6 +18,7 @@ from repro.net.packet import Packet, PacketKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.link import Link
+    from repro.net.topology import Fabric
 
 
 class Layer(IntEnum):
@@ -121,7 +122,8 @@ class Switch(Node):
         "handler",
         "stats",
         "attached_pips",
-        "failed",
+        "fabric",
+        "_failed",
     )
 
     def __init__(self, name: str, switch_id: int, layer: Layer, pod: int, rack: int) -> None:
@@ -136,18 +138,66 @@ class Switch(Node):
         self.pod_links: dict[int, "Link"] = {}
         self.handler: SwitchHandler = NULL_HANDLER
         self.stats = SwitchStats()
-        #: Failed switches drop everything; neighbours route around
-        #: them (ECMP re-hash over the surviving equal-cost paths).
-        self.failed = False
+        #: Owning fabric (set at construction by the topology builder);
+        #: used to learn whether any faults are active so the fast
+        #: no-fault forwarding path stays cheap.
+        self.fabric: "Fabric | None" = None
+        self._failed = False
         #: PIPs of directly attached servers (ToRs only) — used for
         #: misdelivery tagging (paper §3.3).
         self.attached_pips: set[int] = set()
 
     # ------------------------------------------------------------------
+    # failure / recovery (control plane)
+    # ------------------------------------------------------------------
+    @property
+    def failed(self) -> bool:
+        """Failed switches drop everything; neighbours route around them."""
+        return self._failed
+
+    @failed.setter
+    def failed(self, value: bool) -> None:
+        # Route every transition through fail()/recover() so assigning
+        # the flag directly (legacy tests, ad-hoc scripts) still gets
+        # the full semantics: fabric fault accounting and cache flush.
+        if value:
+            self.fail()
+        else:
+            self.recover()
+
+    def fail(self) -> None:
+        """Take the switch down: SRAM state (caches) is lost immediately."""
+        if self._failed:
+            return
+        self._failed = True
+        if self.fabric is not None:
+            self.fabric.note_fault(1)
+        self._flush_scheme_state()
+
+    def recover(self) -> None:
+        """Bring the switch back *cold*: it restarts with empty caches.
+
+        The paper's opportunistic-cache model makes this safe — a
+        recovered switch simply re-warms from passing traffic — but it
+        must not resurrect pre-failure entries, which may be stale.
+        """
+        if not self._failed:
+            return
+        self._failed = False
+        if self.fabric is not None:
+            self.fabric.note_fault(-1)
+        self._flush_scheme_state()
+
+    def _flush_scheme_state(self) -> None:
+        reset = getattr(self.handler, "on_switch_reset", None)
+        if reset is not None:
+            reset(self)
+
+    # ------------------------------------------------------------------
     # data path
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, link: "Link | None" = None) -> None:
-        if self.failed:
+        if self._failed:
             self.stats.drops += 1
             return
         packet.hops += 1
@@ -207,9 +257,13 @@ class Switch(Node):
     def next_hop(self, packet: Packet) -> "Link | None":
         """Select the egress link for ``packet`` (ECMP up, exact down).
 
-        Equal-cost choices skip links whose peer switch has failed
-        (liveness known via the routing protocol in real fabrics);
-        deterministic down-paths through a failed switch drop.
+        Equal-cost choices skip candidates whose *entire* deterministic
+        remainder is unusable — a down link, a failed peer, or (when
+        faults are active) a failed switch/link further along the
+        committed down-path.  In real fabrics this liveness is known
+        via the routing protocol; here the look-ahead walks the wired
+        link objects directly.  Packets drop only when no equal-cost
+        sibling survives (e.g. the destination ToR itself is dead).
         """
         dst = packet.outer_dst
         dst_pod = pip_pod(dst)
@@ -232,17 +286,47 @@ class Switch(Node):
 
     def _ecmp_up(self, packet: Packet, dst: int) -> "Link | None":
         ups = self.up_links
-        index = ecmp_index(packet.flow_id ^ dst, self.switch_id, len(ups))
-        choice = ups[index]
-        peer = choice.dst
-        if isinstance(peer, Switch) and peer.failed:
-            alive = [link for link in ups
-                     if not (isinstance(link.dst, Switch) and link.dst.failed)]
-            if not alive:
-                return None
-            return alive[ecmp_index(packet.flow_id ^ dst, self.switch_id,
-                                    len(alive))]
-        return choice
+        if not ups:
+            return None
+        key = packet.flow_id ^ dst
+        choice = ups[ecmp_index(key, self.switch_id, len(ups))]
+        if self._up_path_usable(choice, dst):
+            return choice
+        usable = [link for link in ups if self._up_path_usable(link, dst)]
+        if not usable:
+            return None
+        return usable[ecmp_index(key, self.switch_id, len(usable))]
+
+    def _up_path_usable(self, link: "Link", dst: int) -> bool:
+        """Is ``link`` a viable equal-cost choice toward ``dst``?
+
+        Checks the immediate hop always; when the fabric reports active
+        faults it additionally walks the *deterministic* remainder of
+        the path (the down-hops this up-choice commits to), so traffic
+        is re-hashed around a failed far-side spine or a cut down-link
+        instead of silently dropping on the way down.
+        """
+        if not link.up:
+            return False
+        peer = link.dst
+        if not isinstance(peer, Switch):
+            return True
+        if peer._failed:
+            return False
+        fabric = self.fabric
+        if fabric is None or not fabric.faults_active:
+            return True
+        dst_pod = pip_pod(dst)
+        if self.layer == Layer.TOR:
+            # peer is a pod spine.
+            if dst_pod == self.pod:
+                return _down_link_usable(peer.down_links.get(pip_rack(dst)))
+            # Committing to spine j also commits to core group j and to
+            # spine j of the destination pod: need one live core path.
+            return any(_core_path_usable(core_link, dst)
+                       for core_link in peer.up_links)
+        # Spine: peer is a core; its down-path to dst's pod is fixed.
+        return _core_down_usable(peer, dst)
 
     def is_local_rack(self, pip: int) -> bool:
         """True if ``pip`` belongs to this ToR's rack."""
@@ -257,3 +341,38 @@ class Switch(Node):
             f"Switch({self.name} id={self.switch_id} layer={self.layer.name} "
             f"pod={self.pod} idx={self.rack})"
         )
+
+
+def _down_link_usable(link: "Link | None") -> bool:
+    """A deterministic down-link is usable if up and its peer is alive."""
+    if link is None or not link.up:
+        return False
+    peer = link.dst
+    return not (isinstance(peer, Switch) and peer._failed)
+
+
+def _core_down_usable(core: Switch, dst: int) -> bool:
+    """Can ``core`` still deliver toward ``dst``'s pod and rack?"""
+    pod_link = core.pod_links.get(pip_pod(dst))
+    if pod_link is None or not pod_link.up:
+        return False
+    far_spine = pod_link.dst
+    if isinstance(far_spine, Switch):
+        if far_spine._failed:
+            return False
+        return _down_link_usable(far_spine.down_links.get(pip_rack(dst)))
+    return True
+
+
+def _core_path_usable(core_link: "Link", dst: int) -> bool:
+    """Spine-to-core candidate: the core and its fixed down-path live?"""
+    if not core_link.up:
+        return False
+    core = core_link.dst
+    if not isinstance(core, Switch):
+        return True
+    if core._failed:
+        return False
+    return _core_down_usable(core, dst)
+
+

@@ -90,13 +90,35 @@ class Fabric:
         self.switch_by_id: dict[int, Switch] = {}
         self._switch_links: dict[tuple[int, int], Link] = {}
         self._next_switch_id = 0
+        #: Count of currently-active faults (failed switches, downed
+        #: links).  While zero, forwarding skips the deeper down-path
+        #: liveness checks, keeping the fault-free hot path cheap.
+        self.fault_count = 0
         self._build()
+
+    @property
+    def faults_active(self) -> bool:
+        return self.fault_count > 0
+
+    def note_fault(self, delta: int) -> None:
+        """Record a fault appearing (+1) or clearing (-1)."""
+        self.fault_count += delta
+        if self.fault_count < 0:  # defensive: unmatched recover calls
+            self.fault_count = 0
+
+    def set_link_state(self, link: Link, up: bool) -> None:
+        """Take a link down / bring it up, with fault accounting."""
+        if link.up == up:
+            return
+        link.up = up
+        self.note_fault(-1 if up else 1)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def _new_switch(self, name: str, layer: Layer, pod: int, index: int) -> Switch:
         switch = Switch(name, self._next_switch_id, layer, pod, index)
+        switch.fabric = self
         self._next_switch_id += 1
         self.switches.append(switch)
         self.switch_by_id[switch.switch_id] = switch

@@ -37,12 +37,20 @@ class TransportConfig:
     initial_rto_ns: int = usec(500)
     min_rto_ns: int = usec(100)
     max_rto_ns: int = usec(64_000)
+    #: RTO retransmissions of the same hole before the flow is
+    #: abandoned and its record marked failed (Linux tcp_retries2-style
+    #: give-up).  Without a cap, a sender whose destination — or every
+    #: gateway — is dead retransmits forever and experiments never
+    #: reach a terminal state.
+    max_retransmits: int = 16
 
     def __post_init__(self) -> None:
         if self.mss_bytes <= 0:
             raise ValueError("mss must be positive")
         if self.initial_cwnd < 1 or self.max_cwnd < self.initial_cwnd:
             raise ValueError("invalid congestion window bounds")
+        if self.max_retransmits < 1:
+            raise ValueError("max_retransmits must be >= 1")
 
 
 class ReliableSender:
@@ -138,6 +146,12 @@ class ReliableSender:
         if self.snd_una > una_at_arm:
             # Progress since arming; re-arm fresh.
             self._arm_timer()
+            return
+        if self.record.retransmissions >= self.config.max_retransmits:
+            # Give up: the destination (or every gateway on the way to
+            # it) is unreachable.  Terminal state — no more timers.
+            self.record.failed = True
+            self.done = True
             return
         # Retransmission timeout: go back to the hole, collapse cwnd.
         self.ssthresh = max(2.0, self.cwnd / 2)

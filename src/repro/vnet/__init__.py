@@ -1,5 +1,6 @@
 """Virtual-network layer: mappings, gateways, hypervisors, assembly."""
 
+from repro.vnet.failover import GatewayFailureDetector
 from repro.vnet.gateway import Gateway
 from repro.vnet.hypervisor import Host
 from repro.vnet.mapping import MappingDatabase, MappingError
@@ -10,6 +11,7 @@ __all__ = [
     "MappingDatabase",
     "MappingError",
     "Gateway",
+    "GatewayFailureDetector",
     "Host",
     "NetworkConfig",
     "VirtualNetwork",

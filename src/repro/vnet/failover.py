@@ -1,0 +1,111 @@
+"""Hypervisor-side gateway failure detection and failover.
+
+The paper's §2.4 rejects in-switch DHT designs partly because resolver
+and gateway failures are *critical*: packets black-hole until something
+notices.  Production virtual networks handle this at the end hosts —
+hypervisors time out on unanswered resolutions, probe the gateway with
+exponential backoff, and after a few missed probes fail the gateway out
+of the load-balancing pool so new (and retransmitted) packets pick a
+surviving gateway.  A later successful probe reinstates it.
+
+:class:`GatewayFailureDetector` models exactly that control loop on the
+simulation clock.  Detection latency is therefore not instantaneous:
+packets sent during the window between crash and detection are lost and
+must be recovered by the transport (RTO backoff), which is what the
+resilience experiments measure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import msec, usec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vnet.gateway import Gateway
+    from repro.vnet.network import VirtualNetwork
+
+#: Steady-state probe period while a gateway is believed healthy.
+DEFAULT_PROBE_INTERVAL_NS = usec(200)
+#: First retry delay after a missed probe; doubles per further miss.
+DEFAULT_BACKOFF_BASE_NS = usec(100)
+#: Ceiling on the exponential backoff between probes of a dead gateway.
+DEFAULT_MAX_BACKOFF_NS = msec(2)
+#: Missed probes before the gateway is declared dead (failed over).
+DEFAULT_MISS_THRESHOLD = 3
+
+
+class GatewayFailureDetector:
+    """Probe every gateway; fail over on misses, reinstate on success.
+
+    Args:
+        network: the :class:`~repro.vnet.network.VirtualNetwork` whose
+            live-gateway pool this detector manages.
+        probe_interval_ns: period between probes of a healthy gateway
+            (the hypervisor's resolution-timeout granularity).
+        backoff_base_ns: retry delay after the first missed probe;
+            subsequent misses double it (exponential backoff).
+        max_backoff_ns: backoff ceiling — also bounds how long a
+            recovered gateway can stay undetected.
+        miss_threshold: consecutive missed probes before failover.
+    """
+
+    def __init__(self, network: "VirtualNetwork",
+                 probe_interval_ns: int = DEFAULT_PROBE_INTERVAL_NS,
+                 backoff_base_ns: int = DEFAULT_BACKOFF_BASE_NS,
+                 max_backoff_ns: int = DEFAULT_MAX_BACKOFF_NS,
+                 miss_threshold: int = DEFAULT_MISS_THRESHOLD) -> None:
+        if probe_interval_ns <= 0 or backoff_base_ns <= 0:
+            raise ValueError("probe and backoff periods must be positive")
+        if miss_threshold < 1:
+            raise ValueError(f"miss threshold must be >= 1, got {miss_threshold}")
+        self.network = network
+        self.probe_interval_ns = probe_interval_ns
+        self.backoff_base_ns = backoff_base_ns
+        self.max_backoff_ns = max_backoff_ns
+        self.miss_threshold = miss_threshold
+        self.probes_sent = 0
+        self.detections = 0
+        self.reinstatements = 0
+        self._misses: dict[int, int] = {}
+        self._watched: set[int] = set()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin probing every gateway currently attached."""
+        if self._started:
+            return
+        self._started = True
+        for gateway in self.network.gateways:
+            self.watch(gateway)
+
+    def watch(self, gateway: "Gateway") -> None:
+        """Add ``gateway`` to the probe loop (idempotent)."""
+        if gateway.pip in self._watched:
+            return
+        self._watched.add(gateway.pip)
+        self._misses[gateway.pip] = 0
+        self.network.engine.schedule_after(
+            self.probe_interval_ns, self._probe, gateway)
+
+    # ------------------------------------------------------------------
+    def _probe(self, gateway: "Gateway") -> None:
+        self.probes_sent += 1
+        if gateway.failed:
+            misses = self._misses[gateway.pip] + 1
+            self._misses[gateway.pip] = misses
+            if misses == self.miss_threshold:
+                self.detections += 1
+                self.network.mark_gateway_down(gateway)
+            # Exponential backoff between retries of an unresponsive
+            # gateway, capped so recovery is detected within the cap.
+            delay = min(self.max_backoff_ns,
+                        self.backoff_base_ns << min(misses - 1, 32))
+        else:
+            if self._misses[gateway.pip] >= self.miss_threshold:
+                self.reinstatements += 1
+                self.network.mark_gateway_up(gateway)
+            self._misses[gateway.pip] = 0
+            delay = self.probe_interval_ns
+        self.network.engine.schedule_after(delay, self._probe, gateway)

@@ -45,6 +45,8 @@ class Gateway(Node):
         "_busy_until",
         "packets_processed",
         "resolution_failures",
+        "dropped_while_failed",
+        "failed",
         "on_packet",
     )
 
@@ -66,15 +68,40 @@ class Gateway(Node):
         self._busy_until = 0
         self.packets_processed = 0
         self.resolution_failures = 0
+        #: Packets that arrived while the gateway was crashed (black-
+        #: holed until hypervisor-side failover kicks in, §2.4).
+        self.dropped_while_failed = 0
+        #: A crashed gateway black-holes everything it receives; the
+        #: mapping database itself is external and stays authoritative,
+        #: so a restarted gateway resumes immediately.
+        self.failed = False
         #: Observer hook invoked for every packet the gateway handles
         #: (schemes/metrics subscribe to count gateway load).
         self.on_packet: Callable[[Packet], None] | None = None
 
+    # ------------------------------------------------------------------
+    # failure / recovery (control plane)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash the gateway: arriving and in-flight packets are lost."""
+        self.failed = True
+
+    def recover(self) -> None:
+        """Restart the gateway process (fresh pipeline, same database)."""
+        self.failed = False
+        self._busy_until = 0
+
     def receive(self, packet: Packet, link=None) -> None:
-        self.packets_processed += 1
         packet.gateway_visits += 1
         if self.on_packet is not None:
+            # Arrivals are counted even when crashed: the packet did
+            # reach the gateway (it is not an in-network hit), it just
+            # gets no service.
             self.on_packet(packet)
+        if self.failed:
+            self.dropped_while_failed += 1
+            return
+        self.packets_processed += 1
         # Translation happens on arrival; packets then sit in the
         # processing pipeline for ``processing_ns``.  Resolving up
         # front matters for fidelity: packets buffered inside the
@@ -102,5 +129,9 @@ class Gateway(Node):
 
     def _emit(self, packet: Packet) -> None:
         """Forward after the processing delay."""
+        if self.failed:
+            # Crashed mid-processing: the buffered packet dies with it.
+            self.dropped_while_failed += 1
+            return
         if self.uplink is not None:
             self.uplink.transmit(packet)

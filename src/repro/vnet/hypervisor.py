@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Protocol
 
+from repro.net.addresses import UNRESOLVED
 from repro.net.node import Node
 from repro.net.packet import Packet, PacketKind
 from repro.sim.engine import Engine, usec
@@ -72,6 +73,7 @@ class Host(Node):
         "on_misdeliver",
         "misdeliveries",
         "packets_sent",
+        "unroutable_drops",
     )
 
     def __init__(self, name: str, engine: Engine,
@@ -91,6 +93,10 @@ class Host(Node):
         self.on_misdeliver: Callable[[Packet], None] | None = None
         self.misdeliveries = 0
         self.packets_sent = 0
+        #: Packets the scheme could not address at all (e.g. no
+        #: surviving gateway): hard-dropped here instead of being
+        #: garbage-routed into the fabric.
+        self.unroutable_drops = 0
 
     # ------------------------------------------------------------------
     # sending
@@ -102,6 +108,9 @@ class Host(Node):
         if self.handler is not None:
             self.handler.on_host_send(self, packet)
         self.packets_sent += 1
+        if packet.outer_dst == UNRESOLVED:
+            self.unroutable_drops += 1
+            return
         if self.uplink is not None:
             self.uplink.transmit(packet)
 
@@ -112,6 +121,9 @@ class Host(Node):
         PIP: the ToR detects that the packet did not originate from the
         attached server and stamps the misdelivery tag (paper §3.3).
         """
+        if packet.outer_dst == UNRESOLVED:
+            self.unroutable_drops += 1
+            return
         if self.uplink is not None:
             self.uplink.transmit(packet)
 

@@ -18,6 +18,7 @@ from repro.net.packet import Packet
 from repro.net.topology import Fabric, FatTreeSpec
 from repro.sim.engine import Engine, usec
 from repro.sim.randomness import RandomStreams
+from repro.vnet.failover import GatewayFailureDetector
 from repro.vnet.gateway import Gateway
 from repro.vnet.hypervisor import Host
 from repro.vnet.mapping import MappingDatabase
@@ -55,6 +56,12 @@ class VirtualNetwork:
         self.hosts: list[Host] = []
         self.host_by_pip: dict[int, Host] = {}
         self.gateways: list[Gateway] = []
+        #: Gateways the hypervisors currently believe are healthy (the
+        #: load-balancing pool).  Failure detection moves gateways out
+        #: and back in; with no detector the pool never changes.
+        self.live_gateways: list[Gateway] = []
+        self.failure_detector: GatewayFailureDetector | None = None
+        self.gateway_failovers = 0
         self._gateway_salt = int(self.streams.stream("gateway-lb").integers(0, 2**31))
         self._build_hosts()
         self._build_gateways()
@@ -97,6 +104,7 @@ class VirtualNetwork:
         if not self.gateways:
             raise ValueError("topology has no gateways; every scheme needs at "
                              "least one translation gateway")
+        self.live_gateways = list(self.gateways)
 
     def _wire_scheme(self) -> None:
         for switch in self.fabric.switches:
@@ -158,6 +166,8 @@ class VirtualNetwork:
         flight toward it still resolve), but no new flows select it.
         """
         self.gateways.remove(gateway)
+        if gateway in self.live_gateways:
+            self.live_gateways.remove(gateway)
         if not self.gateways:
             raise ValueError("cannot decommission the last gateway")
 
@@ -183,15 +193,54 @@ class VirtualNetwork:
         gateway.uplink = uplink
         gateway.on_packet = self.collector.record_gateway_arrival
         self.gateways.append(gateway)
+        self.live_gateways.append(gateway)
+        if self.failure_detector is not None:
+            self.failure_detector.watch(gateway)
         return gateway
+
+    # ------------------------------------------------------------------
+    # gateway fault tolerance (hypervisor-side failover, §2.4)
+    # ------------------------------------------------------------------
+    def enable_gateway_failover(self, **detector_kwargs) -> GatewayFailureDetector:
+        """Start hypervisor-side gateway health probing (idempotent).
+
+        Without this, a crashed gateway silently black-holes its share
+        of traffic forever; with it, hypervisors detect the crash after
+        a few missed probes (exponential backoff) and re-balance flows
+        over the surviving gateways.
+        """
+        if self.failure_detector is None:
+            self.failure_detector = GatewayFailureDetector(
+                self, **detector_kwargs)
+            self.failure_detector.start()
+        return self.failure_detector
+
+    def mark_gateway_down(self, gateway: Gateway) -> None:
+        """Remove a gateway from the load-balancing pool (failover)."""
+        if gateway in self.live_gateways:
+            self.live_gateways.remove(gateway)
+            self.gateway_failovers += 1
+
+    def mark_gateway_up(self, gateway: Gateway) -> None:
+        """Reinstate a recovered gateway into the pool."""
+        if gateway in self.gateways and gateway not in self.live_gateways:
+            self.live_gateways.append(gateway)
 
     # ------------------------------------------------------------------
     # gateway selection
     # ------------------------------------------------------------------
-    def gateway_for(self, flow_id: int) -> Gateway:
-        """Per-flow gateway load balancing, as done by each server (§5)."""
-        index = ecmp_index(flow_id, self._gateway_salt, len(self.gateways))
-        return self.gateways[index]
+    def gateway_for(self, flow_id: int) -> Gateway | None:
+        """Per-flow gateway load balancing, as done by each server (§5).
+
+        Selects among the gateways the hypervisors believe are alive;
+        returns None when none survive (callers must hard-drop, the
+        packet has nowhere to resolve).
+        """
+        pool = self.live_gateways
+        if not pool:
+            return None
+        index = ecmp_index(flow_id, self._gateway_salt, len(pool))
+        return pool[index]
 
     # ------------------------------------------------------------------
     # running and finalizing
@@ -208,6 +257,8 @@ class VirtualNetwork:
         collector.packets_sent = sum(host.packets_sent for host in self.hosts)
         collector.misdeliveries = sum(host.misdeliveries for host in self.hosts)
         collector.drops = sum(switch.stats.drops for switch in self.fabric.switches)
+        collector.gateway_crash_drops = sum(
+            gateway.dropped_while_failed for gateway in self.gateways)
 
     # ------------------------------------------------------------------
     # analysis helpers

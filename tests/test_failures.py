@@ -31,6 +31,17 @@ def test_spine_failure_reroutes_over_sibling():
     assert all(record.completed for record in records)
 
 
+def test_far_spine_failure_reroutes_down_path():
+    """Cores re-hash around a failed spine in the *destination* pod."""
+    network = small_network(NoCache(), num_vms=8)
+    # vip 5 lives in pod 1 (round-robin placement); fail one of its spines.
+    network.fabric.spines[(1, 0)].failed = True
+    player = TrafficPlayer(network)
+    records = player.add_flows(cross_pod_flows())
+    network.run(until=msec(30))
+    assert all(record.completed for record in records)
+
+
 def test_core_failure_reroutes():
     # Four cores over two spines: each spine has a surviving core.
     from conftest import tiny_spec

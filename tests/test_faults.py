@@ -1,0 +1,290 @@
+"""Fault-injection subsystem tests: schedules, firing, and resilience.
+
+Covers the :mod:`repro.faults` schedule (builders, validation, locator
+resolution, event firing), the failure/recovery semantics it drives
+(cache flush on switch restart, link cut and random loss, gateway
+crash + hypervisor failover), and the :mod:`repro.metrics.resilience`
+phase accounting used by the chaos experiment.
+"""
+
+import pytest
+
+from repro.baselines import NoCache, OnDemand
+from repro.core import SwitchV2P
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.metrics.resilience import ResilienceProbe, _split
+from repro.metrics.timeline import Sample
+from repro.sim.engine import msec, usec
+from repro.transport.flow import FlowSpec
+from repro.transport.player import TrafficPlayer
+from repro.transport.reliable import TransportConfig
+
+from conftest import small_network, tiny_spec
+
+
+def steady_flows(count=8, dst=5, span_ns=usec(200)):
+    return [FlowSpec(src_vip=0, dst_vip=dst, size_bytes=5_000,
+                     start_ns=i * span_ns) for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# schedule construction and introspection
+# ----------------------------------------------------------------------
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(-1, FaultKind.SWITCH_FAIL, ("spine", 0, 0))
+    with pytest.raises(ValueError):
+        FaultEvent(0, FaultKind.LINK_LOSS, ("link", ("tor", 0, 0),
+                                            ("spine", 0, 0)), loss_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultSchedule().fail_switch(0, "leaf", (0, 0))
+
+
+def test_schedule_window_introspection():
+    schedule = (FaultSchedule()
+                .gateway_outage(0, msec(2), msec(3))
+                .switch_outage("spine", (0, 1), msec(4), msec(2)))
+    assert schedule.has_gateway_events()
+    assert schedule.first_fault_ns() == msec(2)
+    assert schedule.last_recovery_ns() == msec(6)
+    assert not FaultSchedule().has_gateway_events()
+    assert FaultSchedule().first_fault_ns() is None
+    assert FaultSchedule().last_recovery_ns() is None
+
+
+def test_builders_are_fluent_and_ordered():
+    schedule = (FaultSchedule()
+                .link_outage(("tor", 0, 0), ("spine", 0, 0), msec(1), msec(1))
+                .link_loss(msec(3), ("tor", 0, 0), ("spine", 0, 0), 0.25))
+    kinds = [event.kind for event in schedule.events]
+    assert kinds == [FaultKind.LINK_DOWN, FaultKind.LINK_UP,
+                     FaultKind.LINK_LOSS]
+
+
+# ----------------------------------------------------------------------
+# event firing against a live network
+# ----------------------------------------------------------------------
+def test_switch_outage_fires_and_recovers():
+    network = small_network(NoCache(), num_vms=8)
+    spine = network.fabric.spines[(0, 1)]
+    schedule = FaultSchedule().switch_outage("spine", (0, 1),
+                                             msec(1), msec(2))
+    schedule.apply(network)
+    network.engine.run(until=msec(2))
+    assert spine.failed
+    network.engine.run(until=msec(4))
+    assert not spine.failed
+    assert len(schedule.fired) == 2
+    assert "switch-fail" in schedule.fired[0][1]
+    assert "switch-recover" in schedule.fired[1][1]
+
+
+def test_switch_recovery_flushes_cache():
+    """A recovered switch re-warms from scratch (cold SRAM restart)."""
+    scheme = SwitchV2P(total_cache_slots=200)
+    network = small_network(scheme, num_vms=8)
+    player = TrafficPlayer(network)
+    player.add_flows(steady_flows(4))
+    network.engine.run(until=msec(5))
+    warm = [switch for switch in network.fabric.switches
+            if scheme.cache_of(switch) is not None
+            and scheme.cache_of(switch).occupancy() > 0]
+    assert warm, "traffic should have warmed some caches"
+    victim = warm[0]
+    FaultSchedule().switch_outage(
+        victim.layer.name.lower(), _coords(network, victim),
+        network.engine.now + usec(1), usec(10)).apply(network)
+    network.engine.run(until=network.engine.now + usec(20))
+    assert not victim.failed
+    assert scheme.cache_of(victim).occupancy() == 0
+
+
+def _coords(network, switch):
+    """Locator coordinates of ``switch`` in its fabric."""
+    fabric = network.fabric
+    for key, candidate in fabric.tors.items():
+        if candidate is switch:
+            return key
+    for key, candidate in fabric.spines.items():
+        if candidate is switch:
+            return key
+    for index, candidate in enumerate(fabric.cores):
+        if candidate is switch:
+            return index
+    raise AssertionError(f"{switch.name} not in fabric")
+
+
+def test_link_outage_cuts_both_directions_then_restores():
+    network = small_network(NoCache(), num_vms=8)
+    tor = network.fabric.tors[(0, 0)]
+    spine = network.fabric.spines[(0, 0)]
+    up_link = network.fabric.link_between(tor, spine)
+    down_link = network.fabric.link_between(spine, tor)
+    schedule = FaultSchedule().link_outage(("tor", 0, 0), ("spine", 0, 0),
+                                           msec(1), msec(2))
+    schedule.apply(network)
+    player = TrafficPlayer(network)
+    records = player.add_flows(steady_flows(8))
+    network.engine.run(until=msec(2))
+    assert not up_link.up and not down_link.up
+    network.run(until=msec(30))
+    assert up_link.up and down_link.up
+    # The sibling spine carried the traffic through the cut.
+    assert all(record.completed for record in records)
+
+
+def test_link_loss_drops_packets_reproducibly():
+    def lost_with_seed(seed):
+        network = small_network(NoCache(), num_vms=8, seed=seed)
+        FaultSchedule().link_loss(0, ("tor", 0, 0), ("spine", 0, 0),
+                                  0.5).apply(network)
+        player = TrafficPlayer(network)
+        player.add_flows(steady_flows(8))
+        network.run(until=msec(40))
+        up = network.fabric.link_between(network.fabric.tors[(0, 0)],
+                                         network.fabric.spines[(0, 0)])
+        down = network.fabric.link_between(network.fabric.spines[(0, 0)],
+                                           network.fabric.tors[(0, 0)])
+        return up.stats.lost + down.stats.lost
+
+    lost = lost_with_seed(0)
+    assert lost > 0
+    assert lost == lost_with_seed(0)
+
+
+def test_unknown_locator_raises():
+    network = small_network(NoCache(), num_vms=8)
+    schedule = FaultSchedule()
+    schedule.add(FaultEvent(0, FaultKind.SWITCH_FAIL, ("leaf", 0, 0)))
+    schedule.apply(network)
+    with pytest.raises(ValueError):
+        network.engine.run(until=msec(1))
+
+
+# ----------------------------------------------------------------------
+# gateway faults and hypervisor failover
+# ----------------------------------------------------------------------
+def test_gateway_events_enable_failover_detector():
+    network = small_network(NoCache(), num_vms=8)
+    assert network.failure_detector is None
+    FaultSchedule().gateway_outage(0, msec(1), msec(1)).apply(network)
+    assert network.failure_detector is not None
+    # Switch-only schedules leave the detector off.
+    other = small_network(NoCache(), num_vms=8)
+    FaultSchedule().switch_outage("spine", (0, 0), msec(1), msec(1)) \
+        .apply(other)
+    assert other.failure_detector is None
+
+
+def test_gateway_failover_to_survivor():
+    """With a live sibling, flows ride out one gateway's crash."""
+    spec = tiny_spec(gateway_pods=(0, 1))
+    network = small_network(NoCache(), num_vms=8, spec=spec)
+    assert len(network.gateways) == 2
+    FaultSchedule().crash_gateway(msec(1), 0).apply(network)
+    player = TrafficPlayer(network)
+    records = player.add_flows(steady_flows(12, span_ns=usec(300)))
+    network.run(until=msec(40))
+    assert network.gateway_failovers >= 1
+    assert all(record.completed for record in records)
+
+
+def test_total_gateway_outage_hard_drops():
+    """No survivor: unresolved packets are dropped and counted."""
+    network = small_network(NoCache(), num_vms=8)
+    assert len(network.gateways) == 1
+    FaultSchedule().crash_gateway(0, 0).apply(network)
+    player = TrafficPlayer(network, TransportConfig(max_retransmits=2))
+    records = player.add_flows(steady_flows(4))
+    network.run(until=msec(40))
+    drops = (sum(host.unroutable_drops for host in network.hosts)
+             + network.gateways[0].dropped_while_failed)
+    assert drops > 0
+    assert not any(record.completed for record in records)
+    assert network.collector.availability == 0.0
+
+
+def test_transport_gives_up_after_max_retransmits():
+    network = small_network(NoCache(), num_vms=8)
+    network.gateways[0].fail()
+    player = TrafficPlayer(network, TransportConfig(max_retransmits=3))
+    records = player.add_flows(steady_flows(2))
+    network.run(until=msec(200))
+    assert all(record.failed for record in records)
+    assert all(record.retransmissions >= 3 for record in records)
+    assert len(network.collector.failed_flows()) == len(records)
+
+
+def test_ondemand_install_requires_live_gateway():
+    scheme = OnDemand()
+    network = small_network(scheme, num_vms=8)
+    network.gateways[0].fail()
+    player = TrafficPlayer(network, TransportConfig(max_retransmits=2))
+    player.add_flows(steady_flows(2))
+    network.run(until=msec(20))
+    assert scheme.host_cache_installs == 0
+
+
+# ----------------------------------------------------------------------
+# resilience metrics
+# ----------------------------------------------------------------------
+def test_split_partitions_around_fault_window():
+    samples = [Sample(time_ns=t, value=float(t)) for t in range(10)]
+    before, during, after = _split(samples, 3, 6)
+    assert [s.time_ns for s in before] == [0, 1, 2]
+    assert [s.time_ns for s in during] == [3, 4, 5, 6]
+    assert [s.time_ns for s in after] == [7, 8, 9]
+    # No faults: everything is "before".
+    before, during, after = _split(samples, None, None)
+    assert len(before) == 10 and not during and not after
+
+
+def test_probe_without_schedule_puts_all_samples_before():
+    network = small_network(SwitchV2P(total_cache_slots=200), num_vms=8)
+    probe = ResilienceProbe(network, usec(250))
+    player = TrafficPlayer(network)
+    player.add_flows(steady_flows(8))
+    network.run(until=msec(5))
+    summary = probe.summarize(None)
+    assert summary.before.samples > 0
+    assert summary.during.samples == 0
+    assert summary.after.samples == 0
+    assert summary.time_to_recover_ns is None
+    assert summary.availability == 1.0
+
+
+def test_probe_measures_recovery_after_outage():
+    scheme = SwitchV2P(total_cache_slots=400)
+    network = small_network(scheme, num_vms=8)
+    probe = ResilienceProbe(network, usec(100))
+    schedule = FaultSchedule().switch_outage("spine", (0, 0),
+                                             msec(2), msec(1))
+    schedule.apply(network)
+    player = TrafficPlayer(network)
+    player.add_flows(steady_flows(60, span_ns=usec(100)))
+    network.run(until=msec(10))
+    summary = probe.summarize(schedule)
+    assert summary.before.samples > 0
+    assert summary.during.samples > 0
+    assert summary.after.samples > 0
+    # Steady traffic keeps the hit rate warm, so it recovers quickly.
+    assert summary.time_to_recover_ns is not None
+    assert summary.hit_rate_dip >= 0.0
+
+
+# ----------------------------------------------------------------------
+# chaos experiment plumbing
+# ----------------------------------------------------------------------
+def test_chaos_experiment_is_deterministic():
+    from dataclasses import replace
+
+    from repro.experiments.faults import ChaosParams, run_chaos_experiment
+
+    params = replace(ChaosParams(), num_flows=120, horizon_ns=msec(12))
+    first = run_chaos_experiment(params, schemes=("SwitchV2P",))[0]
+    second = run_chaos_experiment(params, schemes=("SwitchV2P",))[0]
+    assert first.faulted_fct_ns == second.faulted_fct_ns
+    assert first.faulted.availability == second.faulted.availability
+    assert first.faulted.during.mean_hit_rate == \
+        second.faulted.during.mean_hit_rate
+    assert first.gateway_failovers == second.gateway_failovers
