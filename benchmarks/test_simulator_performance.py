@@ -5,7 +5,18 @@ use pytest-benchmark's statistical timing to track the substrate's
 performance: event throughput of the engine, packets/second through the
 full network datapath, and cache-operation costs — the quantities that
 bound how far paper-scale experiments can be pushed in pure Python.
+
+Each benchmark is compared against the committed baseline in
+``BENCH_sim.json`` (repo root).  The comparison is advisory by default —
+a run slower than its budget prints a warning, because shared CI boxes
+are far too noisy for a hard wall-clock gate — and becomes a hard
+failure when ``REPRO_BENCH_ENFORCE=1`` is set (for dedicated machines).
 """
+
+import json
+import os
+import warnings
+from pathlib import Path
 
 from repro.cache.direct_mapped import DirectMappedCache
 from repro.experiments.runner import build_network, run_flows
@@ -15,6 +26,34 @@ from repro.sim.engine import Engine
 from repro.traces.hadoop import HadoopTraceParams, generate
 
 import numpy as np
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+
+def _check_budget(benchmark, name: str) -> None:
+    """Compare a finished benchmark against the committed baseline.
+
+    Advisory unless REPRO_BENCH_ENFORCE=1: wall-clock on shared runners
+    routinely varies more than the margins we care about, so by default
+    a blown budget only warns.  Skipped entirely under
+    --benchmark-disable (stats are empty then).
+    """
+    stats = getattr(benchmark, "stats", None)
+    if stats is None or not BASELINE_PATH.is_file():
+        return
+    entry = json.loads(BASELINE_PATH.read_text())["benchmarks"].get(name)
+    if entry is None:
+        return
+    budget_ms = entry["budget_ms"]
+    min_ms = stats.stats.min * 1000.0
+    if min_ms <= budget_ms:
+        return
+    message = (f"{name}: min {min_ms:.1f} ms exceeds the BENCH_sim.json "
+               f"budget of {budget_ms:.1f} ms "
+               f"(baseline after_ms.min={entry['after_ms']['min']:.1f})")
+    if os.environ.get("REPRO_BENCH_ENFORCE") == "1":
+        raise AssertionError(message)
+    warnings.warn(message, stacklevel=2)
 
 
 def test_engine_event_throughput(benchmark):
@@ -31,6 +70,7 @@ def test_engine_event_throughput(benchmark):
 
     events = benchmark(run_events)
     assert events == 20_001
+    _check_budget(benchmark, "test_engine_event_throughput")
 
 
 def test_cache_lookup_insert_throughput(benchmark):
@@ -44,6 +84,7 @@ def test_cache_lookup_insert_throughput(benchmark):
 
     benchmark(churn)
     assert cache.stats.lookups >= len(vips)
+    _check_budget(benchmark, "test_cache_lookup_insert_throughput")
 
 
 def test_end_to_end_packet_rate(benchmark):
@@ -57,3 +98,4 @@ def test_end_to_end_packet_rate(benchmark):
 
     result = benchmark.pedantic(simulate, rounds=3, iterations=1)
     assert result.completion_rate == 1.0
+    _check_budget(benchmark, "test_end_to_end_packet_rate")

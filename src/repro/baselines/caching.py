@@ -94,7 +94,11 @@ class CachingScheme(TranslationScheme):
     # ------------------------------------------------------------------
     # data-plane building blocks
     # ------------------------------------------------------------------
-    def try_resolve(self, switch: "Switch", packet: Packet) -> bool:
+    #: Sentinel distinguishing "not passed" from "switch has no cache".
+    _UNSET_CACHE = object()
+
+    def try_resolve(self, switch: "Switch", packet: Packet,
+                    cache=_UNSET_CACHE) -> bool:
         """Look up an unresolved packet in ``switch``'s cache.
 
         Handles the misdelivery-tag protocol: a tagged packet carries
@@ -102,31 +106,37 @@ class CachingScheme(TranslationScheme):
         value invalidates it and reports a miss, while a cache holding
         a *different* (fresher) value may still serve the packet.
 
+        Args:
+            cache: hot-path callers that already fetched the switch's
+                cache may pass it (or None) to skip the second lookup.
+
         Returns:
             True if the packet was resolved by this switch.
         """
-        cache = self.cache_of(switch)
+        if cache is CachingScheme._UNSET_CACHE:
+            cache = self.caches.get(switch.switch_id)
         if cache is None or packet.resolved:
             return False
         vip = packet.dst_vip
-        if packet.misdelivery_tag and packet.carried_mapping is not None:
-            stale_vip, stale_pip = packet.carried_mapping
+        if packet._misdelivery_tag and packet._carried_mapping is not None:
+            stale_vip, stale_pip = packet._carried_mapping
             if stale_vip == vip and cache.invalidate(vip, stale_pip):
                 return False
         pip = cache.lookup(vip)
         if pip is None:
             return False
-        if packet.misdelivery_tag and packet.carried_mapping is not None:
-            stale_vip, stale_pip = packet.carried_mapping
+        if packet._misdelivery_tag and packet._carried_mapping is not None:
+            stale_vip, stale_pip = packet._carried_mapping
             if stale_vip == vip and pip == stale_pip:
                 # Defensive: a racing insert could re-introduce the
                 # stale value between the invalidate and the lookup.
                 cache.invalidate(vip, stale_pip)
                 return False
-        self.resolve(packet, pip)
+        packet.outer_dst = pip
+        packet.resolved = True
         packet.hit_switch = switch.switch_id
-        assert self.network is not None
-        self.network.collector.record_hit(switch.layer, is_first_packet(packet))
+        self.network.collector.record_hit(
+            switch.layer, packet.kind is PacketKind.DATA and packet.seq == 0)
         return True
 
     def learn_destination(self, switch: "Switch", packet: Packet,

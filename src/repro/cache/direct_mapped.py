@@ -30,6 +30,13 @@ class InsertResult(NamedTuple):
     evicted: tuple[int, int] | None
 
 
+#: Shared results for the two allocation-free outcomes.  Inserts run on
+#: every switch hop of every packet, and only evictions carry payload,
+#: so the common paths reuse these singletons instead of allocating.
+_ADMITTED = InsertResult(True, None)
+_REJECTED = InsertResult(False, None)
+
+
 class CacheStats:
     """Operation counters for one cache instance."""
 
@@ -81,17 +88,22 @@ class DirectMappedCache:
     # ------------------------------------------------------------------
     # data-plane primitives
     # ------------------------------------------------------------------
+    # ``lookup``/``insert`` inline the ``_slot`` hash: both run on every
+    # switch hop of every packet, so the method-call overhead is one of
+    # the simulator's largest single line items.
     def lookup(self, vip: int) -> int | None:
         """Look up ``vip``; maintains the access bit (hit=set, miss=clear)."""
-        self.stats.lookups += 1
+        stats = self.stats
+        stats.lookups += 1
         if self.num_slots == 0:
             return None
-        slot = self._slot(vip)
-        if self._keys[slot] == vip:
+        slot = (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_slots
+        key = self._keys[slot]
+        if key == vip:
             self._abits[slot] = 1
-            self.stats.hits += 1
+            stats.hits += 1
             return self._values[slot]
-        if self._keys[slot] != _EMPTY:
+        if key != _EMPTY:
             # The line was consulted and did not help: age it.
             self._abits[slot] = 0
         return None
@@ -105,28 +117,30 @@ class DirectMappedCache:
         """
         if self.num_slots == 0:
             self.stats.rejections += 1
-            return InsertResult(False, None)
-        slot = self._slot(vip)
-        key = self._keys[slot]
+            return _REJECTED
+        slot = (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_slots
+        keys = self._keys
+        key = keys[slot]
         if key == vip:
             self._values[slot] = pip
-            return InsertResult(True, None)
+            return _ADMITTED
+        stats = self.stats
         if key != _EMPTY:
             if only_if_clear and self._abits[slot] == 1:
-                self.stats.rejections += 1
-                return InsertResult(False, None)
+                stats.rejections += 1
+                return _REJECTED
             evicted = (key, self._values[slot])
-            self._keys[slot] = vip
+            keys[slot] = vip
             self._values[slot] = pip
             self._abits[slot] = 0
-            self.stats.insertions += 1
-            self.stats.evictions += 1
+            stats.insertions += 1
+            stats.evictions += 1
             return InsertResult(True, evicted)
-        self._keys[slot] = vip
+        keys[slot] = vip
         self._values[slot] = pip
         self._abits[slot] = 0
-        self.stats.insertions += 1
-        return InsertResult(True, None)
+        stats.insertions += 1
+        return _ADMITTED
 
     def invalidate(self, vip: int, stale_pip: int | None = None) -> bool:
         """Remove ``vip`` from the cache.
@@ -138,7 +152,7 @@ class DirectMappedCache:
         """
         if self.num_slots == 0:
             return False
-        slot = self._slot(vip)
+        slot = (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_slots
         if self._keys[slot] != vip:
             return False
         if stale_pip is not None and self._values[slot] != stale_pip:

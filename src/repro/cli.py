@@ -179,6 +179,25 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one experiment: phase timers, rates, optional cProfile."""
+    import json as _json
+
+    from repro.perf import profile_experiment
+    scale = _scale_from_args(args)
+    flows, num_vms = build_trace(args.trace, scale)
+    spec = ft16_spec() if args.trace == "alibaba" else ft8_spec()
+    profile, _ = profile_experiment(
+        spec, args.scheme, flows, num_vms, args.cache_ratio, scale.seed,
+        trace_name=args.trace, with_cprofile=args.cprofile, top=args.top)
+    print(profile.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(profile.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Assemble all persisted benchmark tables into one report."""
     from pathlib import Path
@@ -220,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SwitchV2P reproduction: simulate and reproduce the "
                     "paper's experiments")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for parallelizable commands "
+                             "(sets REPRO_PARALLEL; 0 = sequential)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list schemes, traces, artifacts") \
@@ -270,6 +292,25 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--seed", type=int, default=None)
     faults_parser.set_defaults(func=cmd_faults)
 
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="profile one experiment (phase timers, events/sec, cProfile)")
+    profile_parser.add_argument("trace", choices=TRACES)
+    profile_parser.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES),
+                                default="SwitchV2P")
+    profile_parser.add_argument("--cache-ratio", type=float, default=4.0)
+    profile_parser.add_argument("--vms", type=int, default=None)
+    profile_parser.add_argument("--flows", type=int, default=None)
+    profile_parser.add_argument("--seed", type=int, default=None)
+    profile_parser.add_argument("--cprofile", action="store_true",
+                                help="include a cProfile function breakdown")
+    profile_parser.add_argument("--top", type=int, default=25,
+                                help="cProfile rows to show")
+    profile_parser.add_argument("--json", default=None,
+                                help="also write the profile summary to "
+                                     "this JSON file")
+    profile_parser.set_defaults(func=cmd_profile)
+
     report_parser = subparsers.add_parser(
         "report", help="print every persisted benchmark table")
     report_parser.add_argument("--results-dir", default="benchmarks/results")
@@ -295,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.workers is not None:
+        # Sweeps and figure loops route through parallel_run_experiments,
+        # which reads REPRO_PARALLEL via default_workers().
+        import os
+        os.environ["REPRO_PARALLEL"] = str(max(0, args.workers))
     return args.func(args)
 
 

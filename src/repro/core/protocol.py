@@ -19,7 +19,6 @@ cache with per-role admission policies and four special functions:
 from __future__ import annotations
 
 from repro.baselines.caching import CachingScheme
-from repro.cache.direct_mapped import InsertResult
 from repro.core.allocation import UNIFORM, AllocationPolicy, distribute_slots
 from repro.core.config import SwitchV2PConfig
 from repro.core.roles import Role, assign_roles
@@ -32,6 +31,60 @@ from repro.vnet.network import VirtualNetwork
 #: Control packets (learning/invalidation) get flow ids far above any
 #: data flow so ECMP hashing and flow bookkeeping never collide.
 _CONTROL_FLOW_BASE = 1 << 40
+
+# Enum members pre-bound as module globals: ``on_switch`` compares
+# against these once per switch hop, and a LOAD_GLOBAL is measurably
+# cheaper than LOAD_GLOBAL + LOAD_ATTR at that frequency.
+_DATA = PacketKind.DATA
+_ACK = PacketKind.ACK
+_LEARNING = PacketKind.LEARNING
+_LAYER_TOR = Layer.TOR
+_ROLE_TOR = Role.TOR
+_ROLE_SPINE = Role.SPINE
+_ROLE_GATEWAY_TOR = Role.GATEWAY_TOR
+_ROLE_GATEWAY_SPINE = Role.GATEWAY_SPINE
+
+
+class _CacheTable(dict):
+    """``switch_id -> cache`` dict that keeps the owner's hot table fresh.
+
+    Tests and subclasses swap individual caches after setup (e.g. the
+    Figure 4 walkthrough shrinks one ToR cache, ``on_switch_reset``
+    rebuilds a failed switch's cache); the derived ``_hot`` view must
+    follow every such mutation.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "SwitchV2P", *args) -> None:
+        super().__init__(*args)
+        self._owner = owner
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self._owner._rebuild_hot_table()
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self._owner._rebuild_hot_table()
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self._owner._rebuild_hot_table()
+
+    def clear(self) -> None:
+        super().clear()
+        self._owner._rebuild_hot_table()
+
+    def pop(self, *args):
+        value = super().pop(*args)
+        self._owner._rebuild_hot_table()
+        return value
+
+    def setdefault(self, key, default=None):
+        value = super().setdefault(key, default)
+        self._owner._rebuild_hot_table()
+        return value
 
 
 class SwitchV2P(CachingScheme):
@@ -61,6 +114,12 @@ class SwitchV2P(CachingScheme):
             raise ValueError(f"associativity must be >= 1, got {cache_ways}")
         self.cache_ways = cache_ways
         self.roles: dict[int, Role] = {}
+        #: Derived view joining ``roles`` and ``caches`` so the per-hop
+        #: hot path does one dict lookup instead of two.  Rebuilt by
+        #: ``setup``/``on_switch_reset``/``reassign_roles`` whenever
+        #: either source table changes.
+        self._hot: dict[int, tuple[Role, object]] = {}
+        self._collector = None
         self._learn_rng = None
         self._control_flow_seq = _CONTROL_FLOW_BASE
         #: Per-ToR timestamp vector: ToR id -> (target switch id -> last
@@ -93,6 +152,33 @@ class SwitchV2P(CachingScheme):
         roles = {switch_id: self.roles[switch_id] for switch_id in ids}
         return distribute_slots(self.total_cache_slots, roles, self.allocation)
 
+    def setup(self, network: VirtualNetwork) -> None:
+        super().setup(network)
+        self._collector = network.collector
+        self._rebuild_hot_table()
+
+    def on_switch_reset(self, switch: Switch) -> None:
+        super().on_switch_reset(switch)
+        self._rebuild_hot_table()
+
+    #: ``caches`` is intercepted so *any* mutation — rebinding the whole
+    #: table (MultiTenantSwitchV2P.setup) or swapping one entry — keeps
+    #: ``_hot`` in sync without the data plane ever checking.
+    @property
+    def caches(self):
+        return self._caches
+
+    @caches.setter
+    def caches(self, table) -> None:
+        self._caches = _CacheTable(self, table)
+        if hasattr(self, "roles"):
+            self._rebuild_hot_table()
+
+    def _rebuild_hot_table(self) -> None:
+        caches = self._caches
+        self._hot = {switch_id: (role, caches.get(switch_id))
+                     for switch_id, role in self.roles.items()}
+
     def reassign_roles(self) -> None:
         """Recompute switch roles after a gateway move (paper §4).
 
@@ -104,6 +190,7 @@ class SwitchV2P(CachingScheme):
         self.roles = assign_roles(self.network.fabric,
                                   self.network.gateway_pip_set())
         self._gateway_pips = self.network.gateway_pip_set()
+        self._rebuild_hot_table()
 
     def _next_control_flow(self) -> int:
         self._control_flow_seq += 1
@@ -120,125 +207,135 @@ class SwitchV2P(CachingScheme):
     # switch hook
     # ------------------------------------------------------------------
     def on_switch(self, switch: Switch, packet: Packet, ingress) -> bool:
+        # Per-hop hot path: every data/ack packet runs this body at
+        # every switch it crosses.  The cache is fetched exactly once,
+        # packet option fields are read through their private slots
+        # (the properties exist for their setters' wire-size
+        # invalidation), and the Table 1 learning policies are inlined
+        # here instead of dispatching through learn_destination()/
+        # learn_source() — same semantics, a third of the calls.
         kind = packet.kind
-        if kind == PacketKind.LEARNING:
-            return self._on_learning_packet(switch, packet)
-        if kind == PacketKind.INVALIDATION:
+        if kind > _ACK:
+            if kind is _LEARNING:
+                return self._on_learning_packet(switch, packet)
             self._apply_invalidation(switch, packet)
             return True
-        if kind not in (PacketKind.DATA, PacketKind.ACK):
-            return True
 
-        role = self.roles[switch.switch_id] if self.config.role_aware else None
+        config = self.config
+        role, cache = self._hot[switch.switch_id]
+        if not config.role_aware:
+            role = None
 
         # 1. Misdelivery tagging at ToRs (§3.3): a packet arriving from
         #    a host port whose outer source is not the attached server
         #    was re-forwarded by the hypervisor.  Gateways also attach
         #    to host ports but are excluded (their node type differs).
         if (
-            switch.layer == Layer.TOR
+            switch.layer is _LAYER_TOR
             and ingress is not None
-            and isinstance(ingress.src, Host)
+            and ingress._src_is_host
             and packet.outer_src != ingress.src.pip
-            and not packet.misdelivery_tag
+            and not packet._misdelivery_tag
         ):
             self._tag_misdelivered(switch, packet)
 
         # 2. Pick up in-band metadata: spilled entries (any non-core
         #    switch) and promotions (cores only).
-        if packet.spill_entry is not None and self.config.enable_spillover:
-            self._try_pickup_spill(switch, packet, role)
-        if packet.promote_entry is not None and (role == Role.CORE
-                                                 or not self.config.role_aware):
-            self._admit_promotion(switch, packet)
+        if packet._spill_entry is not None and config.enable_spillover:
+            self._try_pickup_spill(switch, packet, role, cache)
+        if packet._promote_entry is not None and (role == Role.CORE
+                                                  or not config.role_aware):
+            self._admit_promotion(switch, packet, cache)
 
         # 3. Lookup for unresolved packets, with spine promotion on a
         #    hot hit (access bit already set) for pod-leaving packets.
-        if not packet.resolved:
-            hot_before = False
-            if role == Role.SPINE and self.config.enable_promotion:
-                cache = self.cache_of(switch)
-                if cache is not None:
-                    hot_before = cache.access_bit(packet.dst_vip) == 1
-            if self.try_resolve(switch, packet):
-                if (
-                    hot_before
-                    and role == Role.SPINE
-                    and pip_pod(packet.outer_dst) != switch.pod
-                ):
-                    packet.promote_entry = (packet.dst_vip, packet.outer_dst)
-                    self.promotions_sent += 1
+        #    The untagged case — every lookup except the short window
+        #    after a migration — is the body of try_resolve() minus the
+        #    misdelivery-tag protocol; tagged packets take the full
+        #    method.
+        if not packet.resolved and cache is not None:
+            hot_before = (
+                role is _ROLE_SPINE
+                and config.enable_promotion
+                and cache.access_bit(packet.dst_vip) == 1
+            )
+            if packet._misdelivery_tag and packet._carried_mapping is not None:
+                resolved_here = self.try_resolve(switch, packet, cache)
+            else:
+                pip = cache.lookup(packet.dst_vip)
+                if pip is None:
+                    resolved_here = False
+                else:
+                    packet.outer_dst = pip
+                    packet.resolved = True
+                    packet.hit_switch = switch.switch_id
+                    self._collector.record_hit(
+                        switch.layer, kind is _DATA and packet.seq == 0)
+                    resolved_here = True
+            if resolved_here and hot_before \
+                    and pip_pod(packet.outer_dst) != switch.pod:
+                packet.promote_entry = (packet.dst_vip, packet.outer_dst)
+                self.promotions_sent += 1
 
-        # 4. Learning (Table 1).
-        self._learn(switch, packet, role)
+        # 4. Learning (Table 1), one policy per role.  Cores learn only
+        #    from promotions (handled in the pickup above).
+        if role is _ROLE_TOR:
+            if cache is not None:
+                result = cache.insert(packet.src_vip, packet.outer_src)
+                if result.evicted is not None and config.enable_spillover:
+                    packet.spill_entry = result.evicted
+        elif role is _ROLE_SPINE or role is _ROLE_GATEWAY_SPINE:
+            # Conservative admission: never evict a hot line.
+            if packet.resolved and cache is not None:
+                result = cache.insert(packet.dst_vip, packet.outer_dst, True)
+                if result.evicted is not None and config.enable_spillover:
+                    packet.spill_entry = result.evicted
+        elif role is _ROLE_GATEWAY_TOR:
+            resolved = packet.resolved
+            already_known = False
+            if config.learning_packet_on_new_only and resolved \
+                    and cache is not None:
+                already_known = cache.peek(packet.dst_vip) == packet.outer_dst
+            if resolved and cache is not None:
+                result = cache.insert(packet.dst_vip, packet.outer_dst)
+                if result.evicted is not None and config.enable_spillover:
+                    packet.spill_entry = result.evicted
+            if resolved and not already_known:
+                self._maybe_send_learning_packet(switch, packet)
+        elif role is None:
+            # Role-unaware ablation: greedy destination learning.
+            if packet.resolved and cache is not None:
+                result = cache.insert(packet.dst_vip, packet.outer_dst)
+                if result.evicted is not None and config.enable_spillover:
+                    packet.spill_entry = result.evicted
         return True
 
     # ------------------------------------------------------------------
     # learning policies
     # ------------------------------------------------------------------
-    def _learn(self, switch: Switch, packet: Packet, role: Role | None) -> None:
-        if role is None:
-            # Role-unaware ablation: greedy destination learning.
-            result = self.learn_destination(switch, packet)
-            self._handle_eviction(packet, result)
-            return
-        if role == Role.GATEWAY_TOR:
-            already_known = False
-            if self.config.learning_packet_on_new_only:
-                cache = self.cache_of(switch)
-                if cache is not None and packet.resolved:
-                    already_known = cache.peek(packet.dst_vip) == packet.outer_dst
-            result = self.learn_destination(switch, packet)
-            self._handle_eviction(packet, result)
-            if packet.resolved and not already_known:
-                self._maybe_send_learning_packet(switch, packet)
-        elif role == Role.GATEWAY_SPINE:
-            result = self.learn_destination(switch, packet, only_if_clear=True)
-            self._handle_eviction(packet, result)
-        elif role == Role.TOR:
-            result = self.learn_source(switch, packet)
-            self._handle_eviction(packet, result)
-        elif role == Role.SPINE:
-            result = self.learn_destination(switch, packet, only_if_clear=True)
-            self._handle_eviction(packet, result)
-        # Cores learn only from promotions (handled in pickup).
-
-    def _handle_eviction(self, packet: Packet, result: InsertResult | None) -> None:
-        """Spillover (§3.2.2): evicted entries ride the current packet."""
-        if result is None or not self.config.enable_spillover:
-            return
-        if result.evicted is not None:
-            packet.spill_entry = result.evicted
-
     def _try_pickup_spill(self, switch: Switch, packet: Packet,
-                          role: Role | None) -> None:
+                          role: Role | None, cache) -> None:
         """Downstream switches attempt to re-admit a spilled entry."""
-        if role == Role.CORE:
+        if role == Role.CORE or cache is None:
             return  # Cores learn from promotions only (Table 1).
-        cache = self.cache_of(switch)
-        if cache is None:
-            return
-        vip, pip = packet.spill_entry
+        vip, pip = packet._spill_entry
         conservative = role in (Role.SPINE, Role.GATEWAY_SPINE)
         result = cache.insert(vip, pip, only_if_clear=conservative)
         if result.admitted:
             packet.spill_entry = result.evicted
             self.spillovers_reinserted += 1
-            assert self.network is not None
-            self.network.collector.spillover_inserts += 1
+            self._collector.spillover_inserts += 1
 
-    def _admit_promotion(self, switch: Switch, packet: Packet) -> None:
+    def _admit_promotion(self, switch: Switch, packet: Packet, cache) -> None:
         """Core switches admit promoted entries if the line is cold."""
-        cache = self.cache_of(switch)
         if cache is None:
             return
-        vip, pip = packet.promote_entry
+        vip, pip = packet._promote_entry
         result = cache.insert(vip, pip, only_if_clear=True)
         packet.promote_entry = None
         if result.admitted:
             self.promotions_admitted += 1
-            assert self.network is not None
-            self.network.collector.promotions += 1
+            self._collector.promotions += 1
 
     # ------------------------------------------------------------------
     # learning packets (§3.2.2)

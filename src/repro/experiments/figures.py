@@ -289,20 +289,25 @@ def appendix_controller(scale: FigureScale | None = None,
     scheme_kwargs = {
         f"Controller@{p}us": {"period_ns": p * 1000} for p in periods_us
     }
-    rows = []
+    transport = _transport_for("websearch", scale)
     baseline = run_experiment(ft8_spec(), "NoCache", flows, num_vms, 0.0,
-                              scale.seed,
-                              transport=_transport_for("websearch", scale),
+                              scale.seed, transport=transport,
                               trace_name="websearch")
+    from repro.experiments.parallel import (
+        ExperimentJob,
+        parallel_run_experiments,
+    )
     from repro.experiments.sweeps import _normalized_row
+    jobs, labels = [], []
     for ratio in scale.ratios:
         for scheme in schemes:
             actual = "Controller" if scheme.startswith("Controller") else scheme
-            result = run_experiment(
-                ft8_spec(), actual, flows, num_vms, ratio, scale.seed,
-                transport=_transport_for("websearch", scale),
-                trace_name="websearch",
-                scheme_kwargs=scheme_kwargs.get(scheme))
-            result = replace(result, scheme=scheme)
-            rows.append(_normalized_row(result, baseline, ratio))
-    return rows
+            jobs.append(ExperimentJob(
+                spec=ft8_spec(), scheme_name=actual, flows=tuple(flows),
+                num_vms=num_vms, cache_ratio=ratio, seed=scale.seed,
+                transport=transport, trace_name="websearch",
+                scheme_kwargs=scheme_kwargs.get(scheme) or {}))
+            labels.append((ratio, scheme))
+    results = parallel_run_experiments(jobs)
+    return [_normalized_row(replace(result, scheme=scheme), baseline, ratio)
+            for (ratio, scheme), result in zip(labels, results)]

@@ -73,6 +73,29 @@ def make_scheme(name: str, address_space: int, cache_ratio: float, **kwargs):
     return factory(aggregate_slots(address_space, cache_ratio), **kwargs)
 
 
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+class _NullTimer:
+    """Zero-overhead stand-in when no PhaseTimer is supplied."""
+
+    __slots__ = ()
+    _ctx = _NullContext()
+
+    def phase(self, name):
+        return self._ctx
+
+
+_NULL_TIMER = _NullTimer()
+
+
 @dataclass
 class RunResult:
     """Summary of one simulation run."""
@@ -118,7 +141,8 @@ def run_flows(network: VirtualNetwork, flows: Sequence[FlowSpec],
               horizon_ns: int | None = None,
               keep_network: bool = False,
               trace_name: str = "",
-              cache_ratio: float = 0.0) -> RunResult:
+              cache_ratio: float = 0.0,
+              perf=None) -> RunResult:
     """Play ``flows`` on ``network`` and summarize the metrics.
 
     Args:
@@ -127,13 +151,20 @@ def run_flows(network: VirtualNetwork, flows: Sequence[FlowSpec],
             while bounding retransmission storms of broken configs.
         keep_network: retain the network/collector on the result for
             detailed analysis (pod byte heatmaps etc.).
+        perf: optional :class:`repro.perf.PhaseTimer`; when given, the
+            setup and event-loop phases are timed (wall clock only —
+            the simulation itself is unaffected).
     """
-    player = TrafficPlayer(network, transport)
-    player.add_flows(flows)
-    if horizon_ns is None:
-        last_start = max((flow.start_ns for flow in flows), default=0)
-        horizon_ns = last_start + msec(200)
-    network.run(until=horizon_ns)
+    if perf is None:
+        perf = _NULL_TIMER
+    with perf.phase("setup"):
+        player = TrafficPlayer(network, transport)
+        player.add_flows(flows)
+        if horizon_ns is None:
+            last_start = max((flow.start_ns for flow in flows), default=0)
+            horizon_ns = last_start + msec(200)
+    with perf.phase("run"):
+        network.run(until=horizon_ns)
     collector = network.collector
     return RunResult(
         scheme=getattr(network.scheme, "name", type(network.scheme).__name__),
@@ -167,10 +198,14 @@ def run_experiment(spec: FatTreeSpec, scheme_name: str, flows: Sequence[FlowSpec
                    horizon_ns: int | None = None,
                    keep_network: bool = False,
                    trace_name: str = "",
-                   scheme_kwargs: dict | None = None) -> RunResult:
+                   scheme_kwargs: dict | None = None,
+                   perf=None) -> RunResult:
     """One-call experiment: build scheme + network, play flows, summarize."""
-    scheme = make_scheme(scheme_name, num_vms, cache_ratio,
-                         **(scheme_kwargs or {}))
-    network = build_network(spec, scheme, num_vms, seed)
+    if perf is None:
+        perf = _NULL_TIMER
+    with perf.phase("build"):
+        scheme = make_scheme(scheme_name, num_vms, cache_ratio,
+                             **(scheme_kwargs or {}))
+        network = build_network(spec, scheme, num_vms, seed)
     return run_flows(network, flows, transport, horizon_ns, keep_network,
-                     trace_name, cache_ratio)
+                     trace_name, cache_ratio, perf=perf)

@@ -89,7 +89,7 @@ class Collector:
     def record_delivery(self, packet: Packet, now: int) -> None:
         self.deliveries += 1
         self.delivered_hops += packet.hops
-        if packet.kind == PacketKind.DATA:
+        if packet.kind is PacketKind.DATA:
             self.packet_latency_sum_ns += now - packet.created_at
             self.packet_latency_count += 1
             self.delivered_payload_bytes += packet.payload_bytes

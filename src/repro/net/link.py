@@ -13,6 +13,7 @@ mechanics as in the paper's simulations.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING
 
 from repro.sim.engine import Engine
@@ -61,6 +62,9 @@ class Link:
         "_loss_rng",
         "_busy_until",
         "stats",
+        "_deliver",
+        "_ser_cache",
+        "_src_is_host",
     )
 
     def __init__(
@@ -91,6 +95,17 @@ class Link:
         self._loss_rng = None
         self._busy_until = 0
         self.stats = LinkStats()
+        #: Delivery callback bound once (dst never changes after
+        #: wiring) — saves two attribute lookups per transmitted packet.
+        self._deliver = dst.receive
+        #: Serialization times per wire size; traces use a handful of
+        #: distinct packet sizes, so this cache is tiny and hot.
+        self._ser_cache: dict[int, int] = {}
+        #: True when ``src`` is an end-host hypervisor (set by the
+        #: network builder).  ToRs consult this for misdelivery tagging
+        #: instead of an isinstance check per packet; gateways attach
+        #: at host ports too but deliberately stay False.
+        self._src_is_host = False
 
     def set_loss(self, rate: float, rng) -> None:
         """Configure random loss with probability ``rate`` per packet.
@@ -115,7 +130,11 @@ class Link:
 
     def serialization_ns(self, wire_bytes: int) -> int:
         """Time to clock ``wire_bytes`` onto the wire, in nanoseconds."""
-        return int(round(wire_bytes * 8e9 / self.rate_bps))
+        ns = self._ser_cache.get(wire_bytes)
+        if ns is None:
+            ns = int(round(wire_bytes * 8e9 / self.rate_bps))
+            self._ser_cache[wire_bytes] = ns
+        return ns
 
     def transmit(self, packet: "Packet") -> bool:
         """Enqueue ``packet`` for transmission.
@@ -123,27 +142,47 @@ class Link:
         Returns:
             True if the packet was admitted, False if it was tail-dropped
             or the link is down.
+
+        This is the per-hop hot path: the backlog computation is the
+        inlined body of :meth:`queue_backlog_bytes`, serialization
+        times come from a per-size cache (the steady state does no
+        floating-point math at all), the wire size is read through the
+        packet's cache slot, and the delivery event is pushed onto the
+        calendar directly — ``Engine.schedule_after`` minus the call
+        and the negative-delay check, which ``finish >= now`` and a
+        non-negative propagation delay make redundant here.
         """
+        stats = self.stats
         if not self.up:
-            self.stats.drops += 1
+            stats.drops += 1
             return False
-        now = self.engine.now
-        backlog = self.queue_backlog_bytes(now)
-        size = packet.wire_bytes
+        engine = self.engine
+        now = engine._now
+        busy = self._busy_until
+        size = packet._wire_bytes
+        pending_ns = busy - now
+        backlog = int(pending_ns * self.rate_bps / 8e9) if pending_ns > 0 else 0
         if backlog + size > self.buffer_bytes:
-            self.stats.drops += 1
+            stats.drops += 1
             return False
-        start = self._busy_until if self._busy_until > now else now
-        finish = start + self.serialization_ns(size)
+        start = busy if busy > now else now
+        ser_ns = self._ser_cache.get(size)
+        if ser_ns is None:
+            ser_ns = int(round(size * 8e9 / self.rate_bps))
+            self._ser_cache[size] = ser_ns
+        finish = start + ser_ns
         self._busy_until = finish
-        self.stats.packets += 1
-        self.stats.bytes += size
-        if self.loss_rate > 0.0 and self._loss_rng is not None \
+        stats.packets += 1
+        stats.bytes += size
+        if self._loss_rng is not None \
                 and self._loss_rng.random() < self.loss_rate:
             # The packet occupied the wire but arrives corrupted; the
             # sender sees it as admitted (loss is invisible until the
             # transport times out), so still return True.
-            self.stats.lost += 1
+            stats.lost += 1
             return True
-        self.engine.schedule(finish + self.propagation_ns, self.dst.receive, packet, self)
+        heappush(engine._queue, (finish + self.propagation_ns,
+                                 engine._sequence, self._deliver,
+                                 (packet, self)))
+        engine._sequence += 1
         return True

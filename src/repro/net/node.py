@@ -11,6 +11,7 @@ the paper's methodology of comparing schemes inside one simulator.
 from __future__ import annotations
 
 from enum import IntEnum
+from heapq import heappush
 from typing import TYPE_CHECKING, Protocol
 
 from repro.net.addresses import pip_pod, pip_rack
@@ -27,6 +28,14 @@ class Layer(IntEnum):
     TOR = 0
     SPINE = 1
     CORE = 2
+
+
+# Pre-bound enum members for the per-hop fast path (one LOAD_GLOBAL
+# instead of LOAD_GLOBAL + LOAD_ATTR at every switch hop).
+_TOR = Layer.TOR
+_SPINE = Layer.SPINE
+_INVALIDATION = PacketKind.INVALIDATION
+_LEARNING = PacketKind.LEARNING
 
 
 class Node:
@@ -124,6 +133,7 @@ class Switch(Node):
         "attached_pips",
         "fabric",
         "_failed",
+        "_ecmp_memo",
     )
 
     def __init__(self, name: str, switch_id: int, layer: Layer, pod: int, rack: int) -> None:
@@ -143,6 +153,11 @@ class Switch(Node):
         #: no-fault forwarding path stays cheap.
         self.fabric: "Fabric | None" = None
         self._failed = False
+        #: Memoized ECMP choices: (flow_id ^ dst) -> egress link.  Only
+        #: written while the fabric is fault-free (the hash is a pure
+        #: function of the key then); flushed by the fabric on every
+        #: fault transition (see :meth:`Fabric.note_fault`).
+        self._ecmp_memo: dict[int, "Link"] = {}
         #: PIPs of directly attached servers (ToRs only) — used for
         #: misdelivery tagging (paper §3.3).
         self.attached_pips: set[int] = set()
@@ -197,14 +212,23 @@ class Switch(Node):
     # data path
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, link: "Link | None" = None) -> None:
+        # Hot path: this body runs once per switch hop for every packet
+        # in the simulation.  ``wire_bytes`` is read through its cache
+        # slot (computed at most once per hop, reused by the egress
+        # link), and the common forwarding case below inlines
+        # :meth:`next_hop` — which remains a public method for probes
+        # and scheme code — with the pod/rack bit arithmetic of
+        # :mod:`repro.net.addresses` unrolled.
         if self._failed:
             self.stats.drops += 1
             return
         packet.hops += 1
-        self.stats.packets += 1
-        self.stats.bytes += packet.wire_bytes
+        stats = self.stats
+        stats.packets += 1
+        stats.bytes += packet._wire_bytes
 
-        if packet.kind == PacketKind.INVALIDATION:
+        kind = packet.kind
+        if kind is _INVALIDATION:
             self._receive_invalidation(packet, link)
             return
 
@@ -220,7 +244,83 @@ class Switch(Node):
 
         if not self.handler.on_switch(self, packet, link):
             return
-        self.forward(packet)
+        # Inlined forward()/next_hop(): ECMP up, exact down, host
+        # delivery at ToRs (see next_hop() for the commented version).
+        dst = packet.outer_dst
+        dst_pod = (dst >> 22) & 0x3FFF
+        layer = self.layer
+        if layer is _TOR:
+            if dst_pod == self.pod and ((dst >> 12) & 0x3FF) == self.rack:
+                if kind is _LEARNING:
+                    # Unconsumed learning packet: terminates here.
+                    stats.drops += 1
+                    return
+                egress = self.host_links.get(dst)
+            else:
+                # Inlined _ecmp_up() memo hit (the overwhelmingly
+                # common case on a fault-free fabric); misses and
+                # faulty fabrics take the full method.
+                fabric = self.fabric
+                if fabric is None or fabric.fault_count == 0:
+                    egress = self._ecmp_memo.get(packet.flow_id ^ dst)
+                    if egress is None or not egress.up \
+                            or egress.dst._failed:
+                        egress = self._ecmp_up(packet, dst)
+                else:
+                    egress = self._ecmp_up(packet, dst)
+        elif layer is _SPINE:
+            if dst_pod == self.pod:
+                egress = self.down_links.get((dst >> 12) & 0x3FF)
+            else:
+                fabric = self.fabric
+                if fabric is None or fabric.fault_count == 0:
+                    egress = self._ecmp_memo.get(packet.flow_id ^ dst)
+                    if egress is None or not egress.up \
+                            or egress.dst._failed:
+                        egress = self._ecmp_up(packet, dst)
+                else:
+                    egress = self._ecmp_up(packet, dst)
+        else:
+            egress = self.pod_links.get(dst_pod)
+        if egress is None:
+            stats.drops += 1
+            return
+        # Inlined Link.transmit() (see link.py for the commented
+        # version): one method call saved per switch hop.  The wire
+        # size is re-read because on_switch may have attached or
+        # stripped option words above.
+        lstats = egress.stats
+        if not egress.up:
+            lstats.drops += 1
+            stats.drops += 1
+            return
+        engine = egress.engine
+        now = engine._now
+        busy = egress._busy_until
+        size = packet._wire_bytes
+        pending_ns = busy - now
+        backlog = int(pending_ns * egress.rate_bps / 8e9) if pending_ns > 0 else 0
+        if backlog + size > egress.buffer_bytes:
+            lstats.drops += 1
+            stats.drops += 1
+            return
+        start = busy if busy > now else now
+        ser_ns = egress._ser_cache.get(size)
+        if ser_ns is None:
+            ser_ns = int(round(size * 8e9 / egress.rate_bps))
+            egress._ser_cache[size] = ser_ns
+        finish = start + ser_ns
+        egress._busy_until = finish
+        lstats.packets += 1
+        lstats.bytes += size
+        if egress._loss_rng is not None \
+                and egress._loss_rng.random() < egress.loss_rate:
+            lstats.lost += 1
+            return
+        heappush(engine._queue, (finish + egress.propagation_ns,
+                                 engine._sequence, egress._deliver,
+                                 (packet, egress)))
+        engine._sequence += 1
 
     def _forward_along_route(self, packet: Packet) -> None:
         route = packet.route_path
@@ -289,9 +389,30 @@ class Switch(Node):
         if not ups:
             return None
         key = packet.flow_id ^ dst
-        choice = ups[ecmp_index(key, self.switch_id, len(ups))]
-        if self._up_path_usable(choice, dst):
-            return choice
+        fabric = self.fabric
+        if fabric is None or fabric.fault_count == 0:
+            # Memo hit: the stored link was the hash choice for this
+            # key under a fault-free fabric, so recomputing would yield
+            # the same link.  Liveness is still re-validated (tests and
+            # ad-hoc scripts may flip link/switch state directly,
+            # without fault accounting); up-link peers are always
+            # switches, so ``_failed`` can be read unconditionally.
+            memo = self._ecmp_memo
+            link = memo.get(key)
+            if link is not None and link.up and not link.dst._failed:
+                return link
+            choice = ups[(((key ^ self.switch_id) * 2654435761)
+                          & 0xFFFFFFFF) % len(ups)]
+            # With no faults active, _up_path_usable() reduces to the
+            # immediate-hop liveness checks — inlined here.
+            if choice.up and not choice.dst._failed:
+                memo[key] = choice
+                return choice
+        else:
+            choice = ups[(((key ^ self.switch_id) * 2654435761)
+                          & 0xFFFFFFFF) % len(ups)]
+            if self._up_path_usable(choice, dst):
+                return choice
         usable = [link for link in ups if self._up_path_usable(link, dst)]
         if not usable:
             return None

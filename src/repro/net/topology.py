@@ -101,10 +101,19 @@ class Fabric:
         return self.fault_count > 0
 
     def note_fault(self, delta: int) -> None:
-        """Record a fault appearing (+1) or clearing (-1)."""
+        """Record a fault appearing (+1) or clearing (-1).
+
+        Every transition also flushes the per-switch ECMP memo tables:
+        memoized next hops are only valid for a fault-free fabric, and
+        after recovery they must be re-derived rather than trusted.
+        """
         self.fault_count += delta
         if self.fault_count < 0:  # defensive: unmatched recover calls
             self.fault_count = 0
+        for switch in self.switches:
+            memo = switch._ecmp_memo
+            if memo:
+                memo.clear()
 
     def set_link_state(self, link: Link, up: bool) -> None:
         """Take a link down / bring it up, with fault accounting."""

@@ -1,0 +1,163 @@
+"""Performance observability for simulation runs.
+
+The hot-path optimizations in the engine, packet and forwarding layers
+only stay honest if regressions are visible, so this module provides
+the measurement side of the bargain:
+
+* :class:`PhaseTimer` — named wall-clock phase accumulators built on
+  ``time.perf_counter_ns`` (cheap enough to leave permanently wired
+  into :func:`repro.experiments.runner.run_flows`);
+* :class:`RunProfile` — a summary of one run (phase breakdown,
+  events/sec, packets/sec) with a renderable table;
+* :func:`profile_experiment` — the engine behind
+  ``python -m repro profile <trace>``, optionally wrapping the run in
+  ``cProfile`` for a function-level breakdown.
+
+Measurements never feed back into the simulation (the simulated clock
+is integer nanoseconds driven only by scheduled events), so profiling a
+run cannot change its result.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    Example:
+        >>> timer = PhaseTimer()
+        >>> with timer.phase("build"):
+        ...     pass
+        >>> "build" in timer.phases_ns
+        True
+    """
+
+    __slots__ = ("phases_ns",)
+
+    def __init__(self) -> None:
+        #: Phase name -> accumulated wall-clock nanoseconds.
+        self.phases_ns: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (re-entrant by sum)."""
+        start = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter_ns() - start
+            self.phases_ns[name] = self.phases_ns.get(name, 0) + elapsed
+
+    @property
+    def total_ns(self) -> int:
+        return sum(self.phases_ns.values())
+
+
+@dataclass
+class RunProfile:
+    """Wall-clock summary of one simulation run."""
+
+    trace: str
+    scheme: str
+    wall_ns: int
+    events: int
+    packets: int
+    phases_ns: dict[str, int] = field(default_factory=dict)
+    #: Packet-pool effectiveness (recycled / (recycled + allocated)).
+    pool_recycle_rate: float = 0.0
+    profile_text: str = ""
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / (self.wall_ns / 1e9) if self.wall_ns else 0.0
+
+    @property
+    def packets_per_sec(self) -> float:
+        return self.packets / (self.wall_ns / 1e9) if self.wall_ns else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "trace": self.trace,
+            "scheme": self.scheme,
+            "wall_ms": self.wall_ns / 1e6,
+            "events": self.events,
+            "packets": self.packets,
+            "events_per_sec": self.events_per_sec,
+            "packets_per_sec": self.packets_per_sec,
+            "pool_recycle_rate": self.pool_recycle_rate,
+            "phases_ms": {name: ns / 1e6
+                          for name, ns in sorted(self.phases_ns.items())},
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"trace={self.trace} scheme={self.scheme}",
+            f"wall time        {self.wall_ns / 1e6:12.2f} ms",
+            f"events           {self.events:12d}"
+            f"  ({self.events_per_sec:,.0f}/s)",
+            f"packets          {self.packets:12d}"
+            f"  ({self.packets_per_sec:,.0f}/s)",
+            f"pool recycle     {self.pool_recycle_rate:12.1%}",
+        ]
+        for name, ns in sorted(self.phases_ns.items()):
+            lines.append(f"phase {name:<10} {ns / 1e6:12.2f} ms")
+        if self.profile_text:
+            lines.append("")
+            lines.append(self.profile_text)
+        return "\n".join(lines)
+
+
+def profile_experiment(spec, scheme_name: str, flows, num_vms: int,
+                       cache_ratio: float, seed: int = 0,
+                       trace_name: str = "",
+                       with_cprofile: bool = False,
+                       top: int = 25) -> tuple[RunProfile, "object"]:
+    """Run one experiment under the phase timers (optionally cProfile).
+
+    Returns:
+        ``(profile, result)`` — the wall-clock profile and the normal
+        :class:`~repro.experiments.runner.RunResult` (with the network
+        retained, so callers can inspect engine/pool counters).
+    """
+    from repro.experiments.runner import run_experiment
+
+    timer = PhaseTimer()
+    profiler = cProfile.Profile() if with_cprofile else None
+    start = time.perf_counter_ns()
+    if profiler is not None:
+        profiler.enable()
+    result = run_experiment(spec, scheme_name, flows, num_vms, cache_ratio,
+                            seed, keep_network=True, trace_name=trace_name,
+                            perf=timer)
+    if profiler is not None:
+        profiler.disable()
+    wall_ns = time.perf_counter_ns() - start
+
+    network = result.network
+    pool = network.packet_pool
+    served = pool.allocated + pool.recycled
+    profile_text = ""
+    if profiler is not None:
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top)
+        profile_text = buffer.getvalue()
+    profile = RunProfile(
+        trace=trace_name,
+        scheme=result.scheme,
+        wall_ns=wall_ns,
+        events=network.engine.events_processed,
+        packets=result.packets_sent,
+        phases_ns=dict(timer.phases_ns),
+        pool_recycle_rate=pool.recycled / served if served else 0.0,
+        profile_text=profile_text,
+    )
+    return profile, result

@@ -7,6 +7,15 @@ summing many small per-hop delays, which matters because the paper's
 latency budget is built from 1 microsecond propagation delays and
 sub-microsecond serialization times.
 
+Cancellable timers (retransmission timeouts, health probes) live in a
+hashed timer wheel beside the heap.  Transports re-arm their RTO on
+every ACK; pushing each of those arms through the heap leaves a trail
+of dead entries that the run loop must pop and discard one by one.  The
+wheel gives O(1) arm and cancel, and cancelled timers are dropped in
+bulk when their bucket is swept, so they never churn the main heap.
+Live timers still fire in exact ``(time, sequence)`` order relative to
+heap events, keeping runs bit-deterministic.
+
 The engine is deliberately minimal; all protocol behaviour lives in the
 network objects (:mod:`repro.net`, :mod:`repro.vnet`, :mod:`repro.core`)
 that schedule events on it.
@@ -14,6 +23,7 @@ that schedule events on it.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Any, Callable
 
@@ -22,6 +32,12 @@ NANOSECOND = 1
 MICROSECOND = 1_000
 MILLISECOND = 1_000_000
 SECOND = 1_000_000_000
+
+#: Timer-wheel geometry: 512 slots of ~65 us cover a 33 ms horizon in
+#: one revolution, matching the RTO range (100 us .. 64 ms) so a timer
+#: is examined at most a couple of times before it fires or dies.
+_WHEEL_SLOT_NS = 1 << 16
+_WHEEL_SLOTS = 512
 
 
 def usec(value: float) -> int:
@@ -36,6 +52,25 @@ def msec(value: float) -> int:
 
 class SimulationError(RuntimeError):
     """Raised on misuse of the engine (e.g. scheduling in the past)."""
+
+
+class Timer:
+    """A cancellable timer handle returned by :meth:`Engine.schedule_timer`.
+
+    ``deadline``/``seq`` form the same ordering key heap events use, so
+    a fired timer interleaves with same-time events exactly as if it had
+    been pushed onto the heap.
+    """
+
+    __slots__ = ("deadline", "seq", "callback", "args", "alive")
+
+    def __init__(self, deadline: int, seq: int,
+                 callback: Callable[..., None], args: tuple) -> None:
+        self.deadline = deadline
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.alive = True
 
 
 class Engine:
@@ -61,6 +96,15 @@ class Engine:
         self._now = 0
         self._events_processed = 0
         self._stopped = False
+        # Hashed timer wheel (lazy deletion, swept in bucket order).
+        self._wheel: list[list[Timer]] = [[] for _ in range(_WHEEL_SLOTS)]
+        self._live_timers = 0
+        #: Absolute slot index up to which buckets have been swept.
+        self._wheel_cursor = 0
+        #: Lower bound on the earliest live timer deadline; lets the run
+        #: loop skip the wheel entirely while no timer can be due.
+        self._timer_bound = 0
+        self._due: list[Timer] = []
 
     @property
     def now(self) -> int:
@@ -69,13 +113,18 @@ class Engine:
 
     @property
     def events_processed(self) -> int:
-        """Number of events executed so far."""
+        """Number of events executed so far (timer firings included)."""
         return self._events_processed
 
     @property
     def pending_events(self) -> int:
-        """Number of events still waiting in the calendar."""
-        return len(self._queue)
+        """Number of events still waiting (calendar + live timers)."""
+        return len(self._queue) + self._live_timers
+
+    @property
+    def pending_timers(self) -> int:
+        """Number of armed (not cancelled, not fired) timers."""
+        return self._live_timers
 
     def schedule(self, at: int, callback: Callable[..., None], *args: Any) -> None:
         """Schedule ``callback(*args)`` at absolute time ``at``.
@@ -91,10 +140,100 @@ class Engine:
         self._sequence += 1
 
     def schedule_after(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
-        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now.
+
+        A non-negative delay from ``now`` can never land in the past,
+        so this pushes straight onto the heap without the past-time
+        check :meth:`schedule` performs — it is the per-packet hot path
+        (every link delivery goes through here).
+        """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self.schedule(self._now + delay, callback, *args)
+        heapq.heappush(self._queue,
+                       (self._now + delay, self._sequence, callback, args))
+        self._sequence += 1
+
+    # ------------------------------------------------------------------
+    # cancellable timers (hashed timer wheel)
+    # ------------------------------------------------------------------
+    def schedule_timer(self, delay: int, callback: Callable[..., None],
+                       *args: Any) -> Timer:
+        """Arm a cancellable timer ``delay`` ns from now.
+
+        Returns a :class:`Timer` handle for :meth:`cancel_timer`.  Use
+        this for timers that are usually cancelled or re-armed before
+        firing (retransmission timeouts, probe timers): arm and cancel
+        are O(1) and dead timers never pass through the event heap.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        deadline = self._now + delay
+        timer = Timer(deadline, self._sequence, callback, args)
+        self._sequence += 1
+        slot = deadline // _WHEEL_SLOT_NS
+        if slot < self._wheel_cursor:
+            # Deadline falls in the already-swept part of the current
+            # bucket sweep window: deliver via the due list directly.
+            self._due.append(timer)
+            self._due.sort(key=_timer_key)
+        else:
+            self._wheel[slot % _WHEEL_SLOTS].append(timer)
+        if self._live_timers == 0 or deadline < self._timer_bound:
+            self._timer_bound = deadline
+        self._live_timers += 1
+        return timer
+
+    def cancel_timer(self, timer: Timer | None) -> None:
+        """Disarm ``timer``; a no-op for None, fired or cancelled timers."""
+        if timer is not None and timer.alive:
+            timer.alive = False
+            self._live_timers -= 1
+
+    def _sweep_wheel(self, limit: int) -> None:
+        """Collect timers with ``deadline < limit`` into the due list.
+
+        Sweeps buckets from the cursor up to ``limit``'s slot, dropping
+        cancelled timers and keeping not-yet-due ones (future wheel
+        revolutions) in place.  Also tightens the timer bound so the
+        run loop can skip the wheel until the next candidate deadline.
+        """
+        wheel = self._wheel
+        due = self._due
+        limit_slot = limit // _WHEEL_SLOT_NS
+        first = self._wheel_cursor
+        # One full revolution visits every bucket; going further would
+        # revisit them.
+        last = min(limit_slot, first + _WHEEL_SLOTS - 1)
+        next_bound = None
+        for abs_slot in range(first, last + 1):
+            bucket = wheel[abs_slot % _WHEEL_SLOTS]
+            if not bucket:
+                continue
+            keep = None
+            for timer in bucket:
+                if not timer.alive:
+                    continue
+                if timer.deadline < limit:
+                    due.append(timer)
+                else:
+                    if keep is None:
+                        keep = []
+                    keep.append(timer)
+                    if next_bound is None or timer.deadline < next_bound:
+                        next_bound = timer.deadline
+            bucket.clear()
+            if keep:
+                bucket.extend(keep)
+        self._wheel_cursor = last if last > first else first
+        if due:
+            due.sort(key=_timer_key)
+            self._timer_bound = due[0].deadline
+        elif next_bound is not None:
+            self._timer_bound = next_bound
+        else:
+            # No live timer found within the swept window; the earliest
+            # possible deadline is the start of the unswept region.
+            self._timer_bound = max(limit, self._wheel_cursor * _WHEEL_SLOT_NS)
 
     def stop(self) -> None:
         """Stop the run loop after the current event finishes."""
@@ -110,23 +249,126 @@ class Engine:
 
         Returns:
             The simulation time when the run loop exited.
+
+        Automatic garbage collection is paused while the loop runs (and
+        restored on exit): per-event garbage — calendar tuples, expired
+        packets — is reference-counted away immediately, so the cyclic
+        collector's periodic scans only add latency.  Anything cyclic
+        produced during a run is reclaimed by the first collection after
+        the loop returns.
         """
         self._stopped = False
+        # Bind the loop's hot names to locals: each lookup saved here is
+        # saved once per simulated event.
         queue = self._queue
+        due = self._due
+        heappop = heapq.heappop
+        processed = self._events_processed
         processed_limit = None
         if max_events is not None:
-            processed_limit = self._events_processed + max_events
-        while queue and not self._stopped:
-            at, _seq, callback, args = queue[0]
-            if until is not None and at > until:
-                self._now = until
-                return self._now
-            heapq.heappop(queue)
-            self._now = at
-            callback(*args)
-            self._events_processed += 1
-            if processed_limit is not None and self._events_processed >= processed_limit:
-                break
-        if until is not None and not queue and self._now < until:
+            processed_limit = processed + max_events
+        exhausted = False
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            heappush = heapq.heappush
+            while not self._stopped:
+                if queue:
+                    # Fast path: pop optimistically; nothing on the due
+                    # list and every live timer provably fires after the
+                    # heap head (``_timer_bound`` is a lower bound), so
+                    # the head event runs without consulting the wheel.
+                    # The rare slow path pushes the event back — its
+                    # (time, seq) key is unique, so the heap order is
+                    # restored exactly.
+                    head = heappop(queue)
+                    at = head[0]
+                    if not due and (not self._live_timers
+                                    or self._timer_bound > at):
+                        if until is not None and at > until:
+                            heappush(queue, head)
+                            self._now = until
+                            self._events_processed = processed
+                            return until
+                        self._now = at
+                        head[2](*head[3])
+                        processed += 1
+                        if processed_limit is not None \
+                                and processed >= processed_limit:
+                            break
+                        continue
+                    heappush(queue, head)
+                    head = queue[0]
+                else:
+                    head = None
+                if self._live_timers or due:
+                    # Make every timer that must fire before (or tied
+                    # after) the heap head visible on the due list, then
+                    # pick the earlier of the two by the shared
+                    # (time, seq) key.
+                    sweep_limit = head[0] + 1 if head is not None else (
+                        until + 1 if until is not None
+                        else self._timer_bound + _WHEEL_SLOT_NS)
+                    if not due and self._timer_bound < sweep_limit:
+                        self._sweep_wheel(sweep_limit)
+                        while due and not due[0].alive:
+                            due.pop(0)
+                    if due:
+                        timer = due[0]
+                        if not timer.alive:
+                            due.pop(0)
+                            continue
+                        if head is None or (timer.deadline, timer.seq) < head[:2]:
+                            at = timer.deadline
+                            if until is not None and at > until:
+                                self._now = until
+                                self._events_processed = processed
+                                return until
+                            due.pop(0)
+                            timer.alive = False
+                            self._live_timers -= 1
+                            self._now = at
+                            timer.callback(*timer.args)
+                            processed += 1
+                            if processed_limit is not None \
+                                    and processed >= processed_limit:
+                                break
+                            continue
+                if head is None:
+                    if self._live_timers and until is None:
+                        # Heap empty and nothing due within the swept
+                        # window, but live timers remain in later wheel
+                        # revolutions.  Keep sweeping forward — the
+                        # timer bound advances monotonically each pass,
+                        # so the earliest timer comes due in finitely
+                        # many sweeps.  (With `until` set this cannot
+                        # happen: the sweep to `until + 1` visits every
+                        # bucket, so an empty due list proves all
+                        # remaining timers are later than `until`.)
+                        continue
+                    exhausted = True
+                    break
+                at = head[0]
+                if until is not None and at > until:
+                    self._now = until
+                    self._events_processed = processed
+                    return until
+                _at, _seq, callback, args = heappop(queue)
+                self._now = at
+                callback(*args)
+                processed += 1
+                if processed_limit is not None and processed >= processed_limit:
+                    break
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        self._events_processed = processed
+        if until is not None and self._now < until \
+                and (exhausted or (not queue and not due and not self._live_timers)):
             self._now = until
         return self._now
+
+
+def _timer_key(timer: Timer) -> tuple[int, int]:
+    return (timer.deadline, timer.seq)

@@ -17,6 +17,9 @@ from repro.transport.reliable import ReliableReceiver, ReliableSender, Transport
 from repro.transport.udp import UdpReceiver, UdpSender
 from repro.vnet.network import VirtualNetwork
 
+_DATA = PacketKind.DATA
+_ACK = PacketKind.ACK
+
 
 class _VipDemux:
     """Routes packets arriving for one VIP to per-flow transport state."""
@@ -30,12 +33,17 @@ class _VipDemux:
         self.senders: dict[int, ReliableSender] = {}
 
     def on_packet(self, packet: Packet) -> None:
-        if packet.kind == PacketKind.DATA:
+        kind = packet.kind
+        if kind is _DATA:
             receiver = self.receivers.get(packet.flow_id)
             if receiver is not None:
-                host = self.player.network.host_of(self.vip)
+                # Inlined network.host_of(); resolved per packet on
+                # purpose — endpoints move with their VM, so the
+                # backing host cannot be cached here.
+                network = self.player.network
+                host = network.host_by_pip[network.database.lookup(self.vip)]
                 receiver.on_data(packet, host)
-        elif packet.kind == PacketKind.ACK:
+        elif kind is _ACK:
             sender = self.senders.get(packet.flow_id)
             if sender is not None:
                 sender.on_ack(packet.seq)

@@ -69,7 +69,7 @@ class ReliableSender:
         self.ssthresh = float(config.max_cwnd)
         self.dup_acks = 0
         self.rto_ns = config.initial_rto_ns
-        self._timer_epoch = 0
+        self._timer = None
         self.done = False
 
     # ------------------------------------------------------------------
@@ -84,16 +84,10 @@ class ReliableSender:
         return self.config.mss_bytes
 
     def _send_segment(self, seq: int) -> None:
-        packet = Packet(
-            PacketKind.DATA,
-            flow_id=self.record.flow_id,
-            seq=seq,
-            payload_bytes=self._payload_of(seq),
-            src_vip=self.record.src_vip,
-            dst_vip=self.record.dst_vip,
-            outer_src=self.host.pip,
-        )
-        self.host.send(packet)
+        host = self.host
+        host.send(host.new_packet(
+            PacketKind.DATA, self.record.flow_id, seq, self._payload_of(seq),
+            self.record.src_vip, self.record.dst_vip))
 
     def _send_window(self) -> None:
         limit = min(self.total_packets, self.snd_una + int(self.cwnd))
@@ -118,6 +112,8 @@ class ReliableSender:
                                 self.cwnd + newly_acked / self.cwnd)
             if self.snd_una >= self.total_packets:
                 self.done = True
+                self.engine.cancel_timer(self._timer)
+                self._timer = None
                 return
             self._send_window()
             self._arm_timer()
@@ -136,12 +132,17 @@ class ReliableSender:
 
     # ------------------------------------------------------------------
     def _arm_timer(self) -> None:
-        self._timer_epoch += 1
-        self.engine.schedule_after(self.rto_ns, self._on_timeout,
-                                   self._timer_epoch, self.snd_una)
+        # Re-arming cancels the previous timer in O(1); the dead entry
+        # is discarded in bulk when its wheel bucket is swept instead of
+        # churning through the main event heap.
+        engine = self.engine
+        engine.cancel_timer(self._timer)
+        self._timer = engine.schedule_timer(self.rto_ns, self._on_timeout,
+                                            self.snd_una)
 
-    def _on_timeout(self, epoch: int, una_at_arm: int) -> None:
-        if self.done or epoch != self._timer_epoch:
+    def _on_timeout(self, una_at_arm: int) -> None:
+        self._timer = None
+        if self.done:
             return
         if self.snd_una > una_at_arm:
             # Progress since arming; re-arm fresh.
@@ -181,7 +182,7 @@ class ReliableReceiver:
         self._completed = False
 
     def on_data(self, packet: Packet, host: Host) -> None:
-        now = self.engine.now
+        now = self.engine._now
         record = self.record
         if record.first_packet_latency_ns is None:
             record.first_packet_latency_ns = now - record.start_ns
@@ -196,7 +197,10 @@ class ReliableReceiver:
             while self.rcv_next in self._out_of_order:
                 self._out_of_order.discard(self.rcv_next)
                 self.rcv_next += 1
-        self._send_ack(packet, host)
+        # Inlined _send_ack (one ACK per data packet received).
+        host.send(host.new_packet(
+            PacketKind.ACK, packet.flow_id, self.rcv_next, 0,
+            packet.dst_vip, packet.src_vip))
         if not self._completed and self.rcv_next >= self.total_packets:
             self._completed = True
             record.fct_ns = now - record.start_ns
@@ -204,13 +208,6 @@ class ReliableReceiver:
                 self.on_complete(record)
 
     def _send_ack(self, packet: Packet, host: Host) -> None:
-        ack = Packet(
-            PacketKind.ACK,
-            flow_id=packet.flow_id,
-            seq=self.rcv_next,
-            payload_bytes=0,
-            src_vip=packet.dst_vip,
-            dst_vip=packet.src_vip,
-            outer_src=host.pip,
-        )
-        host.send(ack)
+        host.send(host.new_packet(
+            PacketKind.ACK, packet.flow_id, self.rcv_next, 0,
+            packet.dst_vip, packet.src_vip))

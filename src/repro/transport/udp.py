@@ -42,16 +42,11 @@ class UdpSender:
     def _send_next(self) -> None:
         if self.next_seq >= self.total_packets:
             return
-        packet = Packet(
-            PacketKind.DATA,
-            flow_id=self.record.flow_id,
-            seq=self.next_seq,
-            payload_bytes=self._payload_of(self.next_seq),
-            src_vip=self.record.src_vip,
-            dst_vip=self.record.dst_vip,
-            outer_src=self.host.pip,
-        )
-        self.host.send(packet)
+        host = self.host
+        host.send(host.new_packet(
+            PacketKind.DATA, self.record.flow_id, self.next_seq,
+            self._payload_of(self.next_seq),
+            self.record.src_vip, self.record.dst_vip))
         self.next_seq += 1
         if self.next_seq < self.total_packets:
             self.engine.schedule_after(self.gap_ns, self._send_next)

@@ -70,6 +70,9 @@ class GatewayFailureDetector:
         self._misses: dict[int, int] = {}
         self._watched: set[int] = set()
         self._started = False
+        #: Armed probe timers by gateway PIP (wheel timers, so stopping
+        #: the detector cancels them in O(1) without heap churn).
+        self._probe_timers: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -86,8 +89,17 @@ class GatewayFailureDetector:
             return
         self._watched.add(gateway.pip)
         self._misses[gateway.pip] = 0
-        self.network.engine.schedule_after(
+        self._probe_timers[gateway.pip] = self.network.engine.schedule_timer(
             self.probe_interval_ns, self._probe, gateway)
+
+    def stop(self) -> None:
+        """Cancel all armed probes and forget the watched set."""
+        engine = self.network.engine
+        for timer in self._probe_timers.values():
+            engine.cancel_timer(timer)
+        self._probe_timers.clear()
+        self._watched.clear()
+        self._started = False
 
     # ------------------------------------------------------------------
     def _probe(self, gateway: "Gateway") -> None:
@@ -108,4 +120,5 @@ class GatewayFailureDetector:
                 self.network.mark_gateway_up(gateway)
             self._misses[gateway.pip] = 0
             delay = self.probe_interval_ns
-        self.network.engine.schedule_after(delay, self._probe, gateway)
+        self._probe_timers[gateway.pip] = self.network.engine.schedule_timer(
+            delay, self._probe, gateway)

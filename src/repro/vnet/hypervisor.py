@@ -28,6 +28,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 DEFAULT_FORWARD_DELAY_NS = usec(10)
 
+#: Pre-bound kind bound: DATA(0)/ACK(1) are deliverable, anything above
+#: is control traffic a host ignores.
+_ACK = PacketKind.ACK
+
 
 class HostHandler(Protocol):
     """Scheme hooks executed at end hosts."""
@@ -74,6 +78,7 @@ class Host(Node):
         "misdeliveries",
         "packets_sent",
         "unroutable_drops",
+        "pool",
     )
 
     def __init__(self, name: str, engine: Engine,
@@ -97,14 +102,38 @@ class Host(Node):
         #: surviving gateway): hard-dropped here instead of being
         #: garbage-routed into the fabric.
         self.unroutable_drops = 0
+        #: Shared :class:`~repro.net.packet.PacketPool`; wired in by
+        #: :class:`~repro.vnet.network.VirtualNetwork`.  When None,
+        #: transports fall back to plain construction.
+        self.pool = None
 
     # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
+    def new_packet(self, kind: PacketKind, flow_id: int, seq: int,
+                   payload_bytes: int, src_vip: int, dst_vip: int) -> Packet:
+        """Make a DATA/ACK packet originating here, recycled if possible.
+
+        The freelist pop is :meth:`PacketPool.acquire` inlined — this
+        runs once per packet the transport originates.
+        """
+        pool = self.pool
+        if pool is not None:
+            free = pool._free
+            if free:
+                packet = free.pop()
+                packet.reset(kind, flow_id, seq, payload_bytes, src_vip,
+                             dst_vip, self.pip)
+                pool.recycled += 1
+                return packet
+            pool.allocated += 1
+        return Packet(kind, flow_id, seq, payload_bytes, src_vip, dst_vip,
+                      self.pip)
+
     def send(self, packet: Packet) -> None:
         """Encapsulate and transmit a packet originated by a local VM."""
         packet.outer_src = self.pip
-        packet.created_at = self.engine.now
+        packet.created_at = self.engine._now
         if self.handler is not None:
             self.handler.on_host_send(self, packet)
         self.packets_sent += 1
@@ -131,7 +160,7 @@ class Host(Node):
     # receiving
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, link=None) -> None:
-        if packet.kind not in (PacketKind.DATA, PacketKind.ACK):
+        if packet.kind > _ACK:
             return
         if packet.dst_vip in self.vms:
             if self.on_deliver is not None:
@@ -139,6 +168,10 @@ class Host(Node):
             endpoint = self.endpoints.get(packet.dst_vip)
             if endpoint is not None:
                 endpoint.on_packet(packet)
+            # Terminal delivery: the only point where a packet provably
+            # has no other live reference, so it may be recycled.
+            if self.pool is not None:
+                self.pool.release(packet)
             return
         # The destination VM is not (or no longer) here: hypervisor
         # re-forwards after its processing delay.

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.metrics.collector import Collector
 from repro.net.node import ecmp_index
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketKind, PacketPool
 from repro.net.topology import Fabric, FatTreeSpec
 from repro.sim.engine import Engine, usec
 from repro.sim.randomness import RandomStreams
@@ -22,6 +22,8 @@ from repro.vnet.failover import GatewayFailureDetector
 from repro.vnet.gateway import Gateway
 from repro.vnet.hypervisor import Host
 from repro.vnet.mapping import MappingDatabase
+
+_DATA = PacketKind.DATA
 
 
 @dataclass(frozen=True)
@@ -53,6 +55,9 @@ class VirtualNetwork:
         self.streams = RandomStreams(config.seed)
         self.fabric = Fabric(self.engine, config.spec)
         self.database = MappingDatabase()
+        #: Shared freelist recycling DATA/ACK packets across all hosts;
+        #: steady-state traffic allocates no new packet objects.
+        self.packet_pool = PacketPool()
         self.hosts: list[Host] = []
         self.host_by_pip: dict[int, Host] = {}
         self.gateways: list[Gateway] = []
@@ -63,6 +68,11 @@ class VirtualNetwork:
         self.failure_detector: GatewayFailureDetector | None = None
         self.gateway_failovers = 0
         self._gateway_salt = int(self.streams.stream("gateway-lb").integers(0, 2**31))
+        #: Per-flow gateway choice memo; ``gateway_for`` is a pure
+        #: function of (flow_id, salt, pool), so entries stay valid
+        #: until the live pool changes (failover/commissioning), which
+        #: clears the memo.
+        self._gateway_memo: dict[int, Gateway] = {}
         self._build_hosts()
         self._build_gateways()
         self._wire_scheme()
@@ -82,8 +92,10 @@ class VirtualNetwork:
                     pip, uplink = self.fabric.attach_host(host, pod, rack, index)
                     host.pip = pip
                     host.uplink = uplink
+                    uplink._src_is_host = True
                     host.on_deliver = deliver
                     host.on_misdeliver = misdeliver
+                    host.pool = self.packet_pool
                     self.hosts.append(host)
                     self.host_by_pip[pip] = host
 
@@ -114,10 +126,18 @@ class VirtualNetwork:
         self.scheme.setup(self)
 
     def _on_host_deliver(self, packet: Packet) -> None:
-        self.collector.record_delivery(packet, self.engine.now)
+        # Body of Collector.record_delivery, inlined: one call per
+        # delivered packet.
+        collector = self.collector
+        collector.deliveries += 1
+        collector.delivered_hops += packet.hops
+        if packet.kind is _DATA:
+            collector.packet_latency_sum_ns += self.engine._now - packet.created_at
+            collector.packet_latency_count += 1
+            collector.delivered_payload_bytes += packet.payload_bytes
 
     def _on_host_misdeliver(self, packet: Packet) -> None:
-        self.collector.record_misdelivery(self.engine.now)
+        self.collector.record_misdelivery(self.engine._now)
 
     # ------------------------------------------------------------------
     # VM placement and migration (control plane)
@@ -168,6 +188,7 @@ class VirtualNetwork:
         self.gateways.remove(gateway)
         if gateway in self.live_gateways:
             self.live_gateways.remove(gateway)
+            self._gateway_memo.clear()
         if not self.gateways:
             raise ValueError("cannot decommission the last gateway")
 
@@ -194,6 +215,7 @@ class VirtualNetwork:
         gateway.on_packet = self.collector.record_gateway_arrival
         self.gateways.append(gateway)
         self.live_gateways.append(gateway)
+        self._gateway_memo.clear()
         if self.failure_detector is not None:
             self.failure_detector.watch(gateway)
         return gateway
@@ -219,12 +241,14 @@ class VirtualNetwork:
         """Remove a gateway from the load-balancing pool (failover)."""
         if gateway in self.live_gateways:
             self.live_gateways.remove(gateway)
+            self._gateway_memo.clear()
             self.gateway_failovers += 1
 
     def mark_gateway_up(self, gateway: Gateway) -> None:
         """Reinstate a recovered gateway into the pool."""
         if gateway in self.gateways and gateway not in self.live_gateways:
             self.live_gateways.append(gateway)
+            self._gateway_memo.clear()
 
     # ------------------------------------------------------------------
     # gateway selection
@@ -236,11 +260,15 @@ class VirtualNetwork:
         returns None when none survive (callers must hard-drop, the
         packet has nowhere to resolve).
         """
+        gateway = self._gateway_memo.get(flow_id)
+        if gateway is not None:
+            return gateway
         pool = self.live_gateways
         if not pool:
             return None
-        index = ecmp_index(flow_id, self._gateway_salt, len(pool))
-        return pool[index]
+        gateway = pool[ecmp_index(flow_id, self._gateway_salt, len(pool))]
+        self._gateway_memo[flow_id] = gateway
+        return gateway
 
     # ------------------------------------------------------------------
     # running and finalizing

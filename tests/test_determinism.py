@@ -1,0 +1,117 @@
+"""Determinism guards for the hot-path optimizations.
+
+The perf overhaul (packet pooling, memoized ECMP, incremental wire-byte
+accounting, the engine's pop-first fast path) must not change a single
+simulated outcome: identical seeds must produce identical results.
+These tests pin that down three ways — repeated runs, sequential vs
+process-pool execution, and a committed golden snapshot that detects
+drift against *past* versions of the simulator, not just within one
+process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import SwitchV2P
+from repro.experiments.parallel import ExperimentJob, parallel_run_experiments
+from repro.experiments.runner import (
+    RunResult,
+    build_network,
+    run_experiment,
+    run_flows,
+)
+from repro.net.topology import FatTreeSpec
+from repro.traces.hadoop import HadoopTraceParams, generate
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_hadoop_run.json"
+
+
+def _result_dict(result: RunResult) -> dict:
+    """Every scalar field of a RunResult (drops the live objects)."""
+    return {f.name: getattr(result, f.name)
+            for f in dataclasses.fields(result)
+            if f.name not in ("collector", "network")}
+
+
+def _hadoop_flows(num_vms: int, num_flows: int, seed: int):
+    params = HadoopTraceParams(num_vms=num_vms, num_flows=num_flows)
+    return generate(params, np.random.default_rng(seed))
+
+
+def test_same_seed_runs_are_identical():
+    flows = _hadoop_flows(64, 60, seed=11)
+    results = []
+    for _ in range(2):
+        network = build_network(FatTreeSpec(), SwitchV2P(512), 64, seed=11)
+        results.append(run_flows(network, list(flows), trace_name="hadoop"))
+    assert _result_dict(results[0]) == _result_dict(results[1])
+
+
+def test_sequential_matches_parallel_execution():
+    flows = tuple(_hadoop_flows(64, 50, seed=3))
+    jobs = [
+        ExperimentJob(FatTreeSpec(), "SwitchV2P", flows, 64,
+                      cache_ratio=4.0, seed=seed, trace_name="hadoop")
+        for seed in (3, 5)
+    ]
+    sequential = parallel_run_experiments(jobs, workers=0)
+    parallel = parallel_run_experiments(jobs, workers=2)
+    assert len(sequential) == len(parallel) == 2
+    for seq, par in zip(sequential, parallel):
+        assert _result_dict(seq) == _result_dict(par)
+
+
+def test_pooling_does_not_change_results():
+    """Recycled packets must behave exactly like fresh allocations."""
+    flows = _hadoop_flows(64, 60, seed=11)
+
+    def run(pooled: bool) -> RunResult:
+        network = build_network(FatTreeSpec(), SwitchV2P(512), 64, seed=11)
+        if not pooled:
+            for host in network.host_by_pip.values():
+                host.pool = None
+        return run_flows(network, list(flows), trace_name="hadoop")
+
+    assert _result_dict(run(pooled=True)) == _result_dict(run(pooled=False))
+
+
+def test_golden_hadoop_snapshot():
+    """Byte-identical to the committed snapshot of this exact run.
+
+    Unlike the in-process tests above, this catches determinism drift
+    introduced by *code changes* — any hot-path edit that perturbs
+    event order, float arithmetic, or RNG consumption shows up as a
+    mismatch here.  If a change intentionally alters simulated behavior,
+    regenerate the snapshot (see the "params" block in the file) and
+    call the change out in the PR.
+    """
+    golden = json.loads(GOLDEN_PATH.read_text())
+    params = golden["params"]
+    assert params["scheme"] == "SwitchV2P"
+    flows = _hadoop_flows(params["num_vms"], params["num_flows"],
+                          seed=params["seed"])
+    network = build_network(FatTreeSpec(), SwitchV2P(params["cache_slots"]),
+                            params["num_vms"], seed=params["seed"])
+    result = run_flows(network, list(flows), trace_name="hadoop")
+    got = _result_dict(result)
+    expected = golden["result"]
+    assert set(got) == set(expected), "RunResult fields changed; regenerate"
+    mismatches = {key: (expected[key], got[key])
+                  for key in expected if expected[key] != got[key]}
+    assert not mismatches, f"drift vs golden snapshot: {mismatches}"
+
+
+def test_run_experiment_twice_identical():
+    """The one-call harness (scheme factory included) is deterministic."""
+    flows = list(_hadoop_flows(48, 40, seed=9))
+    results = [
+        run_experiment(FatTreeSpec(), "SwitchV2P", flows, 48,
+                       cache_ratio=4.0, seed=9, trace_name="hadoop")
+        for _ in range(2)
+    ]
+    assert _result_dict(results[0]) == _result_dict(results[1])

@@ -1,0 +1,227 @@
+"""Edge cases of the engine run loop and the hashed timer wheel.
+
+The run loop has a pop-first fast path (events run without consulting
+the wheel while no timer can be due) plus slow paths for the ``until``
+horizon, ``stop()``, ``max_events`` and timer interleaving.  These
+tests pin the semantics at the seams between those paths.
+"""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+# ----------------------------------------------------------------------
+# run(until) x stop() x max_events x empty calendar
+# ----------------------------------------------------------------------
+
+def test_stop_during_run_until_leaves_clock_at_event():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: (fired.append("a"), engine.stop()))
+    engine.schedule(20, fired.append, "b")
+    assert engine.run(until=100) == 10
+    assert fired == ["a"]
+    # The stopped run must not advance the clock to `until`; the
+    # remaining event is preserved and runs on resume.
+    assert engine.now == 10
+    engine.run(until=100)
+    assert fired == ["a", "b"]
+
+
+def test_max_events_wins_over_until():
+    engine = Engine()
+    fired = []
+    for t in (1, 2, 3, 4):
+        engine.schedule(t, fired.append, t)
+    assert engine.run(until=100, max_events=2) == 2
+    assert fired == [1, 2]
+    engine.run(until=100)
+    assert fired == [1, 2, 3, 4]
+
+
+def test_run_until_with_empty_calendar_advances_to_until():
+    engine = Engine()
+    assert engine.run(until=50) == 50
+    assert engine.now == 50
+    # Scheduling at the horizon is legal afterwards; before it is not.
+    engine.schedule(50, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule(49, lambda: None)
+
+
+def test_event_beyond_until_is_pushed_back_intact():
+    engine = Engine()
+    fired = []
+    engine.schedule(75, fired.append, "late")
+    assert engine.run(until=30) == 30
+    assert fired == []
+    assert engine.pending_events == 1
+    # A later run executes the preserved event exactly once.
+    assert engine.run() == 75
+    assert fired == ["late"]
+
+
+def test_repeated_run_until_is_idempotent_on_empty_engine():
+    engine = Engine()
+    assert engine.run(until=10) == 10
+    assert engine.run(until=10) == 10
+    assert engine.run() == 10
+    assert engine.events_processed == 0
+
+
+# ----------------------------------------------------------------------
+# timer wheel: cancel / reschedule semantics
+# ----------------------------------------------------------------------
+
+def test_timer_fires_with_args():
+    engine = Engine()
+    fired = []
+    engine.schedule_timer(100, fired.append, "t")
+    engine.run()
+    assert fired == ["t"]
+    assert engine.now == 100
+    assert engine.pending_timers == 0
+
+
+def test_cancelled_timer_never_fires():
+    engine = Engine()
+    fired = []
+    timer = engine.schedule_timer(100, fired.append, "t")
+    engine.cancel_timer(timer)
+    assert engine.pending_timers == 0
+    engine.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent_and_tolerates_none():
+    engine = Engine()
+    timer = engine.schedule_timer(10, lambda: None)
+    engine.cancel_timer(None)
+    engine.cancel_timer(timer)
+    engine.cancel_timer(timer)  # second cancel: no double decrement
+    assert engine.pending_timers == 0
+    engine.run()
+    assert engine.events_processed == 0
+
+
+def test_cancel_after_fire_is_a_noop():
+    engine = Engine()
+    timer = engine.schedule_timer(10, lambda: None)
+    engine.run()
+    assert engine.events_processed == 1
+    engine.cancel_timer(timer)
+    assert engine.pending_timers == 0
+
+
+def test_rearm_pattern_only_last_timer_fires():
+    # The transport's RTO pattern: cancel + re-arm on every ACK.
+    engine = Engine()
+    fired = []
+    timer = None
+    for delay in (100, 200, 300):
+        engine.cancel_timer(timer)
+        timer = engine.schedule_timer(delay, fired.append, delay)
+    assert engine.pending_timers == 1
+    engine.run()
+    assert fired == [300]
+    assert engine.now == 300
+
+
+def test_timer_and_event_tie_breaks_by_arming_order():
+    engine = Engine()
+    fired = []
+    engine.schedule_timer(50, fired.append, "timer-first")
+    engine.schedule(50, fired.append, "event-second")
+    engine.schedule(50, fired.append, "event-third")
+    engine.run()
+    assert fired == ["timer-first", "event-second", "event-third"]
+
+    engine = Engine()
+    fired = []
+    engine.schedule(50, fired.append, "event-first")
+    engine.schedule_timer(50, fired.append, "timer-second")
+    engine.run()
+    assert fired == ["event-first", "timer-second"]
+
+
+def test_timer_beyond_until_survives_the_horizon():
+    engine = Engine()
+    fired = []
+    engine.schedule_timer(500, fired.append, "t")
+    assert engine.run(until=100) == 100
+    assert fired == []
+    assert engine.pending_timers == 1
+    engine.run()
+    assert fired == ["t"]
+    assert engine.now == 500
+
+
+def test_timer_past_one_wheel_revolution_fires_on_time():
+    # 512 slots x 65.536 us ~= 33.5 ms per revolution; a 100 ms timer
+    # wraps the wheel several times and must still fire exactly once.
+    engine = Engine()
+    fired = []
+    engine.schedule_timer(100_000_000, fired.append, "far")
+    engine.schedule_timer(1_000, fired.append, "near")
+    engine.run()
+    assert fired == ["near", "far"]
+    assert engine.now == 100_000_000
+
+
+def test_negative_timer_delay_raises():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule_timer(-1, lambda: None)
+
+
+def test_timer_armed_inside_callback_during_run():
+    engine = Engine()
+    fired = []
+
+    def arm_followup():
+        fired.append("first")
+        engine.schedule_timer(25, fired.append, "second")
+
+    engine.schedule_timer(10, arm_followup)
+    engine.run()
+    assert fired == ["first", "second"]
+    assert engine.now == 35
+
+
+def test_mixed_timers_and_events_fire_in_global_time_order():
+    engine = Engine()
+    fired = []
+    expected = []
+    # Interleave arming so heap events and wheel timers share deadlines
+    # across several wheel slots; cancel a scattering of timers.
+    cancelled = set()
+    timers = {}
+    for i in range(40):
+        at = (i * 7_919) % 300_000  # spread over ~5 wheel slots
+        if i % 2:
+            engine.schedule(at, fired.append, ("event", at, i))
+        else:
+            timers[i] = engine.schedule_timer(at, fired.append,
+                                              ("timer", at, i))
+        if i % 10 == 4:
+            engine.cancel_timer(timers.get(i))
+            cancelled.add(i)
+    for i in range(40):
+        at = (i * 7_919) % 300_000
+        if i not in cancelled:
+            expected.append((at, i))
+    engine.run()
+    assert [(at, i) for _, at, i in fired] == sorted(expected)
+
+
+def test_pending_events_counts_calendar_and_timers():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    timer = engine.schedule_timer(20, lambda: None)
+    assert engine.pending_events == 2
+    assert engine.pending_timers == 1
+    engine.cancel_timer(timer)
+    assert engine.pending_events == 1
+    engine.run()
+    assert engine.pending_events == 0
