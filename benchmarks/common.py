@@ -45,7 +45,8 @@ def bench_scale() -> FigureScale:
         return _SCALES[name]
     except KeyError:
         known = ", ".join(sorted(_SCALES))
-        raise ValueError(f"REPRO_BENCH_SCALE={name!r}; expected one of {known}")
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={name!r}; expected one of {known}") from None
 
 
 def report(name: str, headers, rows, title: str) -> str:

@@ -1,0 +1,41 @@
+"""Static analysis for the reproduction: determinism & invariant lint.
+
+The simulator's headline property — bit-identical results for a fixed
+seed — is guarded dynamically by ``tests/test_determinism.py``, but a
+dynamic guard only catches nondeterminism that the guarded workload
+happens to exercise.  This package turns the conventions that keep the
+simulator deterministic into *static* checks that run over the whole
+tree on every push (``python -m repro lint``):
+
+* **D-series** (determinism): no wall-clock reads outside
+  :mod:`repro.perf`, no global-RNG calls (all randomness flows through
+  :class:`repro.sim.randomness.RandomStreams`), no iteration over
+  unordered sets in decision code, no ``id()``-based ordering.
+* **T-series** (integer time): the simulation clock is integer
+  nanoseconds; float literals or true division must not flow into
+  ``schedule``/``schedule_after``/``schedule_timer``.
+* **R-series** (resources): freelist packets must not outlive
+  ``release()`` or escape into attributes/closures, and memo tables
+  (ECMP next hops, gateway choices) must be invalidated by every
+  mutator that can stale them.
+
+See ``docs/linting.md`` for the rule catalogue and the suppression
+syntax (``# repro-lint: disable=RULE``).
+"""
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import LintResult, lint_paths, lint_source
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules, get_rule
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

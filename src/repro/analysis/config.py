@@ -1,0 +1,174 @@
+"""Lint configuration, loaded from ``[tool.repro-lint]`` in pyproject.toml.
+
+Every knob has a default encoding this repository's invariants, so the
+engine works with no configuration at all; the pyproject section exists
+to adjust scope (paths, rule selection) and to declare the structural
+memo-invalidation pairings the R303 rule enforces.
+
+TOML parsing uses :mod:`tomllib` (Python 3.11+) and degrades gracefully
+when no parser is available (Python 3.10 without ``tomli``): defaults
+apply and a warning is printed, rather than making the lint CLI
+unusable.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class MemoPairing:
+    """One structural mutator-must-invalidate invariant (rule R303).
+
+    Attributes:
+        module: fnmatch pattern on the dotted module name.
+        cls: class whose methods are inspected ("*" = any class).
+        mutators: regexes; a method whose name fully matches any of
+            them is a mutator and must reference the invalidation.
+        require: identifiers (called names or touched attributes) that
+            must *all* appear somewhere in the mutator's body.
+    """
+
+    module: str
+    cls: str
+    mutators: tuple[str, ...]
+    require: tuple[str, ...]
+
+
+#: The repository's own memo invariants (see docs/linting.md#r303).
+DEFAULT_MEMO_PAIRINGS: tuple[MemoPairing, ...] = (
+    # Switch fail/recover must flush scheme SRAM state and keep the
+    # fabric's fault count (which gates ECMP memo trust) in sync.
+    MemoPairing("repro.net.node", "Switch", ("fail", "recover"),
+                ("note_fault", "_flush_scheme_state")),
+    # Every fault transition must flush the per-switch ECMP memos:
+    # memoized next hops are only valid on a fault-free fabric.
+    MemoPairing("repro.net.topology", "Fabric", ("note_fault",),
+                ("_ecmp_memo",)),
+    MemoPairing("repro.net.topology", "Fabric", ("set_link_state",),
+                ("note_fault",)),
+    # Gateway-pool mutations must clear the per-flow gateway memo.
+    MemoPairing("repro.vnet.network", "VirtualNetwork",
+                ("mark_gateway_down", "mark_gateway_up",
+                 "commission_gateway", "decommission_gateway"),
+                ("_gateway_memo",)),
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Engine configuration (defaults encode this repo's conventions)."""
+
+    #: Directories/files linted when the CLI gets no path arguments.
+    paths: tuple[str, ...] = ("src", "benchmarks")
+    #: Rule ids to run (empty = every registered rule).
+    select: tuple[str, ...] = ()
+    #: Rule ids to skip.
+    ignore: tuple[str, ...] = ()
+    #: Packages whose modules carry simulation semantics; rules scoped
+    #: to simulation code (D101, T202, R303) only fire inside these.
+    sim_packages: tuple[str, ...] = ("repro",)
+    #: Modules allowed to read the wall clock (fnmatch patterns).
+    wall_clock_allow: tuple[str, ...] = ("repro.perf",)
+    #: Modules allowed to keep float time values (reporting/means).
+    float_time_allow: tuple[str, ...] = (
+        "repro.perf", "repro.metrics.*", "repro.experiments.*")
+    #: Method names whose first argument is a simulation time/delay.
+    time_apis: tuple[str, ...] = ("schedule", "schedule_after",
+                                  "schedule_timer")
+    #: Calls treated as producing integer time (not descended into).
+    time_converters: tuple[str, ...] = ("int", "round", "usec", "msec",
+                                        "len")
+    #: numpy.random attributes that are deterministic factories (all
+    #: other numpy.random calls hit hidden global state).
+    rng_factories: tuple[str, ...] = (
+        "default_rng", "Generator", "SeedSequence", "PCG64", "PCG64DXSM",
+        "Philox", "MT19937", "RandomState")
+    #: Method names that hand out freelist packets.
+    acquire_methods: tuple[str, ...] = ("acquire", "new_packet")
+    #: Method names that return a packet to the freelist.
+    release_methods: tuple[str, ...] = ("release",)
+    memo_pairings: tuple[MemoPairing, ...] = DEFAULT_MEMO_PAIRINGS
+
+
+def _load_toml(path: Path) -> dict | None:
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10: tomllib landed in 3.11.
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ImportError:
+            print(f"repro-lint: no TOML parser available; ignoring {path} "
+                  "and using built-in defaults", file=sys.stderr)
+            return None
+    with path.open("rb") as fh:
+        return tomllib.load(fh)
+
+
+def find_pyproject(start: Path | None = None) -> Path | None:
+    """Locate pyproject.toml in ``start`` or any parent directory."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def _tuple(raw: object) -> tuple[str, ...]:
+    if isinstance(raw, str):
+        return (raw,)
+    return tuple(str(item) for item in raw)  # type: ignore[union-attr]
+
+
+def load_config(pyproject: Path | None = None) -> LintConfig:
+    """Build a :class:`LintConfig` from ``[tool.repro-lint]``.
+
+    Missing file, missing section, or missing TOML parser all yield the
+    defaults; unknown keys are rejected loudly so typos in the config
+    cannot silently disable a rule.
+    """
+    config = LintConfig()
+    if pyproject is None:
+        pyproject = find_pyproject()
+    if pyproject is None or not pyproject.is_file():
+        return config
+    data = _load_toml(pyproject)
+    if data is None:
+        return config
+    section = data.get("tool", {}).get("repro-lint")
+    if section is None:
+        return config
+
+    simple_keys = {
+        "paths": "paths",
+        "select": "select",
+        "ignore": "ignore",
+        "sim-packages": "sim_packages",
+        "wall-clock-allow": "wall_clock_allow",
+        "float-time-allow": "float_time_allow",
+        "time-apis": "time_apis",
+        "time-converters": "time_converters",
+        "rng-factories": "rng_factories",
+        "acquire-methods": "acquire_methods",
+        "release-methods": "release_methods",
+    }
+    overrides: dict[str, object] = {}
+    for key, value in section.items():
+        if key in simple_keys:
+            overrides[simple_keys[key]] = _tuple(value)
+        elif key == "memo-pairings":
+            overrides["memo_pairings"] = tuple(
+                MemoPairing(
+                    module=str(entry["module"]),
+                    cls=str(entry.get("class", "*")),
+                    mutators=_tuple(entry["mutators"]),
+                    require=_tuple(entry["require"]),
+                )
+                for entry in value)
+        else:
+            raise ValueError(
+                f"unknown [tool.repro-lint] key {key!r} in {pyproject}")
+    return replace(config, **overrides)  # type: ignore[arg-type]

@@ -1,0 +1,129 @@
+"""Per-module analysis context shared by all rules.
+
+One :class:`ModuleContext` is built per linted file: parsed AST, the
+dotted module name (derived from the path, ``src`` layout aware), the
+suppression index, and an import resolver that maps local names back to
+their dotted origins (so ``from time import perf_counter as pc`` and
+``import numpy as np`` are both seen through).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+from repro.analysis.config import LintConfig
+from repro.analysis.suppressions import SuppressionIndex
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path`` (``src`` layout aware).
+
+    ``src/repro/net/node.py`` -> ``repro.net.node``;
+    ``benchmarks/common.py`` -> ``benchmarks.common``;
+    a package ``__init__.py`` maps to the package name itself.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    # Everything up to and including the last "src" component is layout.
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "src":
+            parts = parts[index + 1:]
+            break
+    return ".".join(part for part in parts if part not in (".", ""))
+
+
+class ImportResolver(ast.NodeVisitor):
+    """Map local names to the dotted path they were imported from."""
+
+    def __init__(self) -> None:
+        #: local alias -> dotted origin ("np" -> "numpy",
+        #: "pc" -> "time.perf_counter").
+        self.origins: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".", 1)[0]
+            # "import a.b" binds "a"; "import a.b as c" binds "c" = a.b.
+            self.origins[local] = alias.name if alias.asname else \
+                alias.name.split(".", 1)[0]
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return  # relative imports never reach stdlib time/random
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.origins[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted origin of a Name/Attribute chain, or None.
+
+        ``np.random.shuffle`` resolves to ``numpy.random.shuffle`` when
+        ``np`` was imported as numpy; an unimported base name resolves
+        to the chain itself (callers match on prefixes they care about).
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self.origins.get(current.id, current.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one module."""
+
+    path: Path
+    module_name: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    suppressions: SuppressionIndex
+    imports: ImportResolver = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.imports = ImportResolver()
+        self.imports.visit(self.tree)
+
+    @classmethod
+    def from_source(cls, source: str, path: Path, config: LintConfig,
+                    module_name: str | None = None) -> ModuleContext:
+        tree = ast.parse(source, filename=str(path))
+        return cls(path=path,
+                   module_name=module_name or module_name_for(path),
+                   source=source, tree=tree, config=config,
+                   suppressions=SuppressionIndex.from_source(source))
+
+    # ------------------------------------------------------------------
+    # scope helpers
+    # ------------------------------------------------------------------
+    def matches(self, patterns: tuple[str, ...]) -> bool:
+        """fnmatch the module name against any of ``patterns``."""
+        return any(fnmatchcase(self.module_name, pattern)
+                   for pattern in patterns)
+
+    def in_sim_package(self) -> bool:
+        """Is this module inside a configured simulation package?"""
+        return any(self.module_name == package
+                   or self.module_name.startswith(package + ".")
+                   for package in self.config.sim_packages)
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """Every function/method definition, outermost first."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def classes(self) -> Iterator[ast.ClassDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef):
+                yield node

@@ -1,0 +1,109 @@
+"""The lint engine: collect files, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, selected_rules
+
+#: Directories never descended into when collecting files.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed_count(self) -> int:
+        return sum(1 for f in self.findings if f.suppressed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+
+
+def collect_files(paths: tuple[str, ...] | list[str],
+                  root: Path | None = None) -> list[Path]:
+    """Python files under ``paths``, stable-sorted, junk dirs skipped."""
+    base = root or Path.cwd()
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = base / path
+        if path.is_file():
+            files.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = set(candidate.parts)
+            if parts & _SKIP_DIRS or any(p.endswith(".egg-info")
+                                         for p in candidate.parts):
+                continue
+            files.append(candidate)
+    return files
+
+
+def lint_source(source: str, path: Path, config: LintConfig,
+                module_name: str | None = None,
+                rules: list[Rule] | None = None) -> list[Finding]:
+    """Lint one in-memory module; findings carry their suppression flag.
+
+    ``module_name`` overrides the path-derived dotted name — tests use
+    this to exercise package-scoped rules (D101, T202, R303) against
+    fixture files living outside the simulated package.
+    """
+    if rules is None:
+        rules = selected_rules(config.select, config.ignore)
+    try:
+        module = ModuleContext.from_source(source, path, config,
+                                           module_name=module_name)
+    except SyntaxError as exc:
+        return [Finding(rule_id="E999", path=str(path),
+                        line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                        message=f"syntax error: {exc.msg}")]
+    findings = []
+    for rule in rules:
+        for finding in rule.check(module):
+            if module.suppressions.is_suppressed(finding.rule_id,
+                                                 finding.line):
+                finding = Finding(rule_id=finding.rule_id,
+                                  path=finding.path, line=finding.line,
+                                  col=finding.col, message=finding.message,
+                                  suppressed=True)
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_paths(paths: tuple[str, ...] | list[str] | None,
+               config: LintConfig,
+               root: Path | None = None) -> LintResult:
+    """Lint files/directories (default: the configured paths)."""
+    if not paths:
+        paths = config.paths
+    rules = selected_rules(config.select, config.ignore)
+    result = LintResult()
+    base = root or Path.cwd()
+    for path in collect_files(paths, root=root):
+        source = path.read_text(encoding="utf-8")
+        display = path.relative_to(base) if path.is_relative_to(base) else path
+        result.extend(lint_source(source, Path(display), config,
+                                  rules=rules))
+        result.files_checked += 1
+    result.findings.sort(key=Finding.sort_key)
+    return result

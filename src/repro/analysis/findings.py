@@ -1,0 +1,44 @@
+"""The lint finding record shared by rules, engine, and reporters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Attributes:
+        rule_id: the violated rule (e.g. ``D101``).
+        path: file the finding is in (as given to the engine).
+        line: 1-based source line.
+        col: 0-based column offset.
+        message: human-readable description with the offending construct.
+        suppressed: True when a ``# repro-lint: disable`` comment covers
+            the finding; suppressed findings are reported in verbose
+            output but do not affect the exit code.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)

@@ -1,0 +1,45 @@
+"""Text and JSON renderings of a lint run."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+from repro.analysis.registry import Rule
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Classic ``path:line:col: RULE message`` lines plus a summary."""
+    lines = []
+    for finding in result.findings:
+        if finding.suppressed and not verbose:
+            continue
+        marker = " (suppressed)" if finding.suppressed else ""
+        lines.append(f"{finding.location()}: {finding.rule_id} "
+                     f"{finding.message}{marker}")
+    active = len(result.unsuppressed)
+    summary = (f"checked {result.files_checked} files: "
+               f"{active} finding{'s' if active != 1 else ''}")
+    if result.suppressed_count:
+        summary += f" ({result.suppressed_count} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order for diffing in CI)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "findings": [f.as_dict() for f in result.findings],
+        "suppressed": result.suppressed_count,
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list(rules: list[Rule]) -> str:
+    """The ``--list-rules`` catalogue."""
+    lines = []
+    for rule in rules:
+        lines.append(f"{rule.rule_id}  {rule.summary}")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Built-in rule battery; importing this package registers every rule.
+
+Rule series:
+
+* ``D1xx`` — determinism (:mod:`repro.analysis.rules.determinism`);
+* ``T2xx`` — integer simulation time (:mod:`repro.analysis.rules.timing`);
+* ``R3xx`` — resource/freelist/memo invariants
+  (:mod:`repro.analysis.rules.resources`).
+"""
+
+from repro.analysis.rules import determinism, resources, timing
+
+__all__ = ["determinism", "resources", "timing"]

@@ -1,0 +1,236 @@
+"""D-series rules: no hidden nondeterminism in simulation code.
+
+The simulator's contract is bit-identical results for a fixed seed.
+Each rule here bans one way real nondeterminism has crept into
+NS3-family reproductions: wall-clock reads, hidden global RNG state,
+unordered-collection iteration, and memory-address ordering.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, rule
+from repro.analysis.rules.common import call_name, nested_scopes, scope_walk
+
+#: Dotted call targets that read the host's clock.  ``perf_counter``
+#: and friends are included: profiling belongs in ``repro.perf``, never
+#: interleaved with simulation logic where a timing-dependent branch
+#: could change behaviour between runs.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "time.localtime", "time.gmtime", "time.ctime", "time.asctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Consumers whose result depends on the order their input is iterated.
+#: (``min``/``max``/``sum``/``len``/``any``/``all`` are deliberately
+#: absent: they are order-insensitive over a set.)
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter",
+                                    "reversed"})
+_ORDER_SENSITIVE_METHODS = frozenset({"join", "extend"})
+
+_SET_METHODS = frozenset({"union", "intersection", "difference",
+                          "symmetric_difference", "copy"})
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+@rule
+class WallClockRule(Rule):
+    """D101: simulation code must not read the wall clock."""
+
+    rule_id = "D101"
+    summary = ("wall-clock read (time.time/perf_counter/datetime.now) in "
+               "simulation code; only repro.perf may time the host")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_sim_package():
+            return
+        if module.matches(module.config.wall_clock_allow):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.imports.resolve(node.func)
+            if resolved in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"call to {resolved}() reads the wall clock; simulation "
+                    "code must use the engine's integer-ns clock "
+                    "(Engine.now) — host timing belongs in repro.perf")
+
+
+@rule
+class GlobalRngRule(Rule):
+    """D102: all randomness flows through seeded generator objects."""
+
+    rule_id = "D102"
+    summary = ("global-RNG call (random.* / np.random.*); randomness must "
+               "flow through repro.sim.randomness.RandomStreams")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        factories = frozenset(module.config.rng_factories)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.imports.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved == "random" or resolved.startswith("random."):
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"call to {resolved}() uses the stdlib's hidden global "
+                    "RNG; draw from a named RandomStreams stream instead")
+            elif resolved.startswith("numpy.random."):
+                attr = resolved.rsplit(".", 1)[1]
+                if attr not in factories:
+                    yield self.finding(
+                        module, node.lineno, node.col_offset,
+                        f"call to {resolved}() hits numpy's hidden global "
+                        "RNG state; use a Generator from "
+                        "RandomStreams.stream(name) instead")
+                elif attr in ("default_rng", "RandomState") \
+                        and not node.args and not node.keywords:
+                    yield self.finding(
+                        module, node.lineno, node.col_offset,
+                        f"{resolved}() without a seed is entropy-seeded "
+                        "and breaks reproducibility; pass an explicit "
+                        "seed (ideally via RandomStreams)")
+
+
+@rule
+class SetIterationRule(Rule):
+    """D103: no order-sensitive iteration over unordered sets."""
+
+    rule_id = "D103"
+    summary = ("order-sensitive iteration over a set; wrap in sorted() — "
+               "set order varies with hash seeding and build")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not (module.in_sim_package()
+                or module.module_name.startswith("benchmarks")):
+            return
+        yield from self._check_scope(module.tree, module, frozenset())
+
+    def _check_scope(self, scope: ast.AST, module: ModuleContext,
+                     outer_sets: frozenset[str]) -> Iterator[Finding]:
+        set_names = self._set_typed_names(scope, outer_sets)
+        for node in scope_walk(scope):
+            yield from self._check_node(node, module, set_names)
+        for nested in nested_scopes(scope):
+            yield from self._check_scope(nested, module, set_names)
+
+    def _set_typed_names(self, scope: ast.AST,
+                         outer: frozenset[str]) -> frozenset[str]:
+        """Names assigned only set expressions within ``scope``."""
+        assigned_set: set[str] = set()
+        assigned_other: set[str] = set()
+        for node in scope_walk(scope):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if self._is_set_expr(node.value, outer):
+                    assigned_set.add(target.id)
+                else:
+                    assigned_other.add(target.id)
+        return frozenset((set(outer) | assigned_set) - assigned_other)
+
+    def _is_set_expr(self, node: ast.expr,
+                     set_names: frozenset[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+                return self._is_set_expr(func.value, set_names)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return (self._is_set_expr(node.left, set_names)
+                    or self._is_set_expr(node.right, set_names))
+        return False
+
+    def _check_node(self, node: ast.AST, module: ModuleContext,
+                    set_names: frozenset[str]) -> Iterator[Finding]:
+        if isinstance(node, ast.For):
+            if self._is_set_expr(node.iter, set_names):
+                yield self._flag(module, node.iter)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for comp in node.generators:
+                if self._is_set_expr(comp.iter, set_names):
+                    yield self._flag(module, comp.iter)
+        elif isinstance(node, ast.Call):
+            name = call_name(node)
+            is_plain = isinstance(node.func, ast.Name)
+            if ((is_plain and name in _ORDER_SENSITIVE_CALLS)
+                    or (not is_plain and name in _ORDER_SENSITIVE_METHODS)):
+                for arg in node.args:
+                    if self._is_set_expr(arg, set_names):
+                        yield self._flag(module, arg)
+
+    def _flag(self, module: ModuleContext, node: ast.AST) -> Finding:
+        return self.finding(
+            module, node.lineno, node.col_offset,
+            "iterating a set in an order-sensitive position; set order is "
+            "not part of the language contract (and varies with "
+            "PYTHONHASHSEED for str/tuple elements) — wrap in sorted()")
+
+
+@rule
+class IdOrderingRule(Rule):
+    """D104: no ordering or tie-breaking by object identity."""
+
+    rule_id = "D104"
+    summary = ("id()-based ordering/tie-breaking; object addresses vary "
+               "run to run — order by a stable field instead")
+
+    _ORDER_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg == "key" \
+                            and self._key_uses_id(keyword.value):
+                        yield self.finding(
+                            module, keyword.value.lineno,
+                            keyword.value.col_offset,
+                            "sort/ordering key built on id(); object "
+                            "addresses differ between runs — key on a "
+                            "stable identifier (flow_id, switch_id, name)")
+            elif (isinstance(node, ast.Compare)
+                    and any(isinstance(op, self._ORDER_OPS)
+                            for op in node.ops)
+                    and any(self._is_id_call(side) for side in
+                            (node.left, *node.comparators))):
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    "ordering comparison of id() values; object "
+                    "addresses differ between runs — compare stable "
+                    "identifiers instead")
+
+    @staticmethod
+    def _is_id_call(node: ast.expr) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id")
+
+    def _key_uses_id(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name) and node.id == "id":
+            return True
+        if isinstance(node, ast.Lambda):
+            return any(self._is_id_call(sub) for sub in ast.walk(node.body))
+        return False

@@ -1,0 +1,67 @@
+"""Per-file and per-line suppression comments.
+
+Three forms are recognised, mirroring the usual linter conventions:
+
+* ``# repro-lint: disable=D101`` — trailing on the offending line;
+* ``# repro-lint: disable-next-line=D101`` — on the line above (for
+  lines too long to carry a trailing comment);
+* ``# repro-lint: disable-file=D103`` — anywhere in the file, silences
+  the rule for the whole module.
+
+Several rule ids may be given separated by commas, and ``all`` matches
+every rule.  Suppressions are parsed from real COMMENT tokens (via
+:mod:`tokenize`), so the marker appearing inside a string literal does
+not suppress anything.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import re
+import tokenize
+
+_MARKER = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-next-line|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+
+class SuppressionIndex:
+    """Parsed suppression comments of one module."""
+
+    __slots__ = ("_by_line", "_file_wide")
+
+    def __init__(self) -> None:
+        #: line -> set of rule ids (or {"all"}) disabled on that line.
+        self._by_line: dict[int, set[str]] = {}
+        self._file_wide: set[str] = set()
+
+    @classmethod
+    def from_source(cls, source: str) -> SuppressionIndex:
+        index = cls()
+        # On unterminated constructs tokenize raises mid-stream; fall
+        # back to no suppressions (the module would not parse either).
+        with contextlib.suppress(tokenize.TokenError):
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _MARKER.search(token.string)
+                if match is None:
+                    continue
+                kind = match.group(1)
+                rules = {rule.strip() for rule in match.group(2).split(",")}
+                line = token.start[0]
+                if kind == "disable-file":
+                    index._file_wide |= rules
+                elif kind == "disable-next-line":
+                    index._by_line.setdefault(line + 1, set()).update(rules)
+                else:
+                    index._by_line.setdefault(line, set()).update(rules)
+        return index
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self._file_wide or "all" in self._file_wide:
+            return True
+        rules = self._by_line.get(line)
+        return rules is not None and (rule_id in rules or "all" in rules)

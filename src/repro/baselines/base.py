@@ -36,19 +36,19 @@ class TranslationScheme:
     name = "abstract"
 
     def __init__(self) -> None:
-        self.network: "VirtualNetwork | None" = None
+        self.network: VirtualNetwork | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def setup(self, network: "VirtualNetwork") -> None:
+    def setup(self, network: VirtualNetwork) -> None:
         """Bind to a network; subclasses build caches and roles here."""
         self.network = network
 
     # ------------------------------------------------------------------
     # hooks
     # ------------------------------------------------------------------
-    def on_host_send(self, host: "Host", packet: Packet) -> None:
+    def on_host_send(self, host: Host, packet: Packet) -> None:
         """Default: unresolved packets head to a per-flow gateway.
 
         This is the body of :meth:`send_via_gateway`, inlined: it runs
@@ -64,12 +64,12 @@ class TranslationScheme:
         packet.outer_dst = gateway.pip
         packet.resolved = False
 
-    def on_switch(self, switch: "Switch", packet: Packet,
-                  ingress: "Link | None") -> bool:
+    def on_switch(self, switch: Switch, packet: Packet,
+                  ingress: Link | None) -> bool:
         """Default: plain forwarding, no in-network state."""
         return True
 
-    def on_misdelivery(self, host: "Host", packet: Packet) -> None:
+    def on_misdelivery(self, host: Host, packet: Packet) -> None:
         """Default: Andromeda-style follow-me redirection at the old host."""
         new_pip = host.follow_me.get(packet.dst_vip)
         if new_pip is not None:
@@ -101,7 +101,7 @@ class TranslationScheme:
         packet.outer_dst = gateway.pip
         packet.resolved = False
 
-    def send_misdelivered_via_gateway(self, host: "Host", packet: Packet) -> None:
+    def send_misdelivered_via_gateway(self, host: Host, packet: Packet) -> None:
         """Re-forward a misdelivered packet toward a gateway.
 
         The stale ``(vip, old_pip)`` pair is carried in-band so caches

@@ -11,7 +11,8 @@ semantics every cached lookup must respect (§3.3).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.baselines.base import TranslationScheme
 from repro.cache.direct_mapped import DirectMappedCache, InsertResult
@@ -46,11 +47,11 @@ class CachingScheme(TranslationScheme):
     # ------------------------------------------------------------------
     # cache construction
     # ------------------------------------------------------------------
-    def caching_switch_ids(self, network: "VirtualNetwork") -> Iterable[int]:
+    def caching_switch_ids(self, network: VirtualNetwork) -> Iterable[int]:
         """Which switches cache; subclasses narrow this (default: all)."""
         return [switch.switch_id for switch in network.fabric.switches]
 
-    def setup(self, network: "VirtualNetwork") -> None:
+    def setup(self, network: VirtualNetwork) -> None:
         super().setup(network)
         self.prepare(network)
         ids = list(self.caching_switch_ids(network))
@@ -65,19 +66,19 @@ class CachingScheme(TranslationScheme):
         """Cache constructor; subclasses may swap the geometry."""
         return DirectMappedCache(num_slots, salt=salt)
 
-    def prepare(self, network: "VirtualNetwork") -> None:
+    def prepare(self, network: VirtualNetwork) -> None:
         """Hook run before cache construction (roles, RNGs, ...)."""
 
-    def slots_by_switch(self, network: "VirtualNetwork",
+    def slots_by_switch(self, network: VirtualNetwork,
                         ids: list[int]) -> dict[int, int]:
         """Per-switch slot counts; default is the equal split of §5."""
         per_switch = self.total_cache_slots // len(ids) if ids else 0
         return {switch_id: per_switch for switch_id in ids}
 
-    def cache_of(self, switch: "Switch") -> DirectMappedCache | None:
+    def cache_of(self, switch: Switch) -> DirectMappedCache | None:
         return self.caches.get(switch.switch_id)
 
-    def on_switch_reset(self, switch: "Switch") -> None:
+    def on_switch_reset(self, switch: Switch) -> None:
         """Fault hook: a failed/recovered switch loses its SRAM state.
 
         Invoked by :meth:`Switch.fail`/:meth:`Switch.recover`; the
@@ -97,7 +98,7 @@ class CachingScheme(TranslationScheme):
     #: Sentinel distinguishing "not passed" from "switch has no cache".
     _UNSET_CACHE = object()
 
-    def try_resolve(self, switch: "Switch", packet: Packet,
+    def try_resolve(self, switch: Switch, packet: Packet,
                     cache=_UNSET_CACHE) -> bool:
         """Look up an unresolved packet in ``switch``'s cache.
 
@@ -139,7 +140,7 @@ class CachingScheme(TranslationScheme):
             switch.layer, packet.kind is PacketKind.DATA and packet.seq == 0)
         return True
 
-    def learn_destination(self, switch: "Switch", packet: Packet,
+    def learn_destination(self, switch: Switch, packet: Packet,
                           only_if_clear: bool = False) -> InsertResult | None:
         """Destination learning: cache (dst VIP -> outer dst) if resolved."""
         if not packet.resolved:
@@ -149,7 +150,7 @@ class CachingScheme(TranslationScheme):
             return None
         return cache.insert(packet.dst_vip, packet.outer_dst, only_if_clear)
 
-    def learn_source(self, switch: "Switch", packet: Packet,
+    def learn_source(self, switch: Switch, packet: Packet,
                      only_if_clear: bool = False) -> InsertResult | None:
         """Source learning: cache (src VIP -> outer src); always valid."""
         cache = self.cache_of(switch)

@@ -11,8 +11,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import math
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.experiments.figures import (
     FIG5_SCHEMES,
@@ -39,9 +40,12 @@ ARTIFACTS = ("fig5a", "fig5b", "fig5c", "fig5d", "fig6", "fig7", "fig9",
 
 def _scale_from_args(args: argparse.Namespace) -> FigureScale:
     kwargs = {}
-    if getattr(args, "vms", None):
+    # ``is not None``, not truthiness: ``--flows 0`` / ``--vms 0`` are
+    # legitimate degenerate inputs that must reach the scale, not fall
+    # back to the defaults.
+    if getattr(args, "vms", None) is not None:
         kwargs["num_vms"] = args.vms
-    if getattr(args, "flows", None):
+    if getattr(args, "flows", None) is not None:
         kwargs["hadoop_flows"] = args.flows
     if getattr(args, "ratios", None):
         kwargs["ratios"] = tuple(args.ratios)
@@ -65,6 +69,11 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _us(value_ns: float) -> str:
+    """Nanoseconds → microseconds cell; ``n/a`` when no flow completed."""
+    return f"{value_ns / 1000:.1f}" if math.isfinite(value_ns) else "n/a"
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
     flows, num_vms = build_trace(args.trace, scale)
@@ -80,8 +89,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             ["cache ratio", result.cache_ratio],
             ["flows completed", f"{result.completion_rate:.1%}"],
             ["hit rate", f"{result.hit_rate:.3f}"],
-            ["avg FCT [us]", f"{result.avg_fct_ns / 1000:.1f}"],
-            ["avg first-packet [us]", f"{result.avg_first_packet_ns / 1000:.1f}"],
+            ["avg FCT [us]", _us(result.avg_fct_ns)],
+            ["avg first-packet [us]", _us(result.avg_first_packet_ns)],
             ["avg stretch", f"{result.avg_stretch:.2f}"],
             ["gateway packets", result.gateway_arrivals],
             ["drops", result.drops],
@@ -217,6 +226,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static determinism/invariant lint (see docs/linting.md)."""
+    from repro.analysis.cli import run
+    return run(args)
+
+
 def cmd_trace_generate(args: argparse.Namespace) -> int:
     from repro.traces.io import save_flows
     scale = _scale_from_args(args)
@@ -310,6 +325,18 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="also write the profile summary to "
                                      "this JSON file")
     profile_parser.set_defaults(func=cmd_profile)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="static determinism & simulator-invariant checks",
+        description="Run the repro.analysis lint engine: AST-based rules "
+                    "that keep the simulator deterministic (no wall-clock "
+                    "reads, no global RNG, integer-ns time, freelist and "
+                    "memo-table invariants).  Exits non-zero when any "
+                    "unsuppressed finding remains; see docs/linting.md.")
+    from repro.analysis.cli import add_arguments as _add_lint_arguments
+    _add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(func=cmd_lint)
 
     report_parser = subparsers.add_parser(
         "report", help="print every persisted benchmark table")

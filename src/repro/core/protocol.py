@@ -56,7 +56,7 @@ class _CacheTable(dict):
 
     __slots__ = ("_owner",)
 
-    def __init__(self, owner: "SwitchV2P", *args) -> None:
+    def __init__(self, owner: SwitchV2P, *args) -> None:
         super().__init__(*args)
         self._owner = owner
 
@@ -302,12 +302,11 @@ class SwitchV2P(CachingScheme):
                     packet.spill_entry = result.evicted
             if resolved and not already_known:
                 self._maybe_send_learning_packet(switch, packet)
-        elif role is None:
+        elif role is None and packet.resolved and cache is not None:
             # Role-unaware ablation: greedy destination learning.
-            if packet.resolved and cache is not None:
-                result = cache.insert(packet.dst_vip, packet.outer_dst)
-                if result.evicted is not None and config.enable_spillover:
-                    packet.spill_entry = result.evicted
+            result = cache.insert(packet.dst_vip, packet.outer_dst)
+            if result.evicted is not None and config.enable_spillover:
+                packet.spill_entry = result.evicted
         return True
 
     # ------------------------------------------------------------------

@@ -13,9 +13,9 @@ processes) for the benchmark harness.
 from __future__ import annotations
 
 import os
+from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.experiments.runner import RunResult, run_experiment
 from repro.net.topology import FatTreeSpec
@@ -53,7 +53,8 @@ def default_workers() -> int:
     try:
         return max(0, int(value))
     except ValueError:
-        raise ValueError(f"REPRO_PARALLEL={value!r} is not an integer")
+        raise ValueError(
+            f"REPRO_PARALLEL={value!r} is not an integer") from None
 
 
 def parallel_run_experiments(jobs: Sequence[ExperimentJob],

@@ -10,8 +10,8 @@ e.g. Bluebird dropping everything — still terminate).
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
 
 from repro.baselines import (
     Bluebird,

@@ -7,8 +7,8 @@ topology, exactly as the paper normalizes Figures 5/6/9/10.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.experiments.runner import RunResult, run_experiment
 from repro.metrics.reporting import improvement

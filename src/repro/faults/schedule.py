@@ -90,58 +90,58 @@ class FaultSchedule:
     # ------------------------------------------------------------------
     # builders
     # ------------------------------------------------------------------
-    def add(self, event: FaultEvent) -> "FaultSchedule":
+    def add(self, event: FaultEvent) -> FaultSchedule:
         self.events.append(event)
         return self
 
-    def fail_switch(self, at_ns: int, layer: str, where) -> "FaultSchedule":
+    def fail_switch(self, at_ns: int, layer: str, where) -> FaultSchedule:
         """Fail the switch at ``where`` (see :meth:`_find_switch`)."""
         return self.add(FaultEvent(at_ns, FaultKind.SWITCH_FAIL,
                                    _switch_locator(layer, where)))
 
-    def recover_switch(self, at_ns: int, layer: str, where) -> "FaultSchedule":
+    def recover_switch(self, at_ns: int, layer: str, where) -> FaultSchedule:
         return self.add(FaultEvent(at_ns, FaultKind.SWITCH_RECOVER,
                                    _switch_locator(layer, where)))
 
     def switch_outage(self, layer: str, where, start_ns: int,
-                      duration_ns: int) -> "FaultSchedule":
+                      duration_ns: int) -> FaultSchedule:
         """Fail at ``start_ns`` and recover ``duration_ns`` later."""
         self.fail_switch(start_ns, layer, where)
         return self.recover_switch(start_ns + duration_ns, layer, where)
 
     def link_down(self, at_ns: int, a_locator: tuple,
-                  b_locator: tuple) -> "FaultSchedule":
+                  b_locator: tuple) -> FaultSchedule:
         """Cut the (unidirectional pair of the) cable between two switches."""
         return self.add(FaultEvent(at_ns, FaultKind.LINK_DOWN,
                                    ("link", a_locator, b_locator)))
 
     def link_up(self, at_ns: int, a_locator: tuple,
-                b_locator: tuple) -> "FaultSchedule":
+                b_locator: tuple) -> FaultSchedule:
         return self.add(FaultEvent(at_ns, FaultKind.LINK_UP,
                                    ("link", a_locator, b_locator)))
 
     def link_outage(self, a_locator: tuple, b_locator: tuple, start_ns: int,
-                    duration_ns: int) -> "FaultSchedule":
+                    duration_ns: int) -> FaultSchedule:
         self.link_down(start_ns, a_locator, b_locator)
         return self.link_up(start_ns + duration_ns, a_locator, b_locator)
 
     def link_loss(self, at_ns: int, a_locator: tuple, b_locator: tuple,
-                  rate: float) -> "FaultSchedule":
+                  rate: float) -> FaultSchedule:
         """Impose per-packet random loss ``rate`` on the cable (0 clears)."""
         return self.add(FaultEvent(at_ns, FaultKind.LINK_LOSS,
                                    ("link", a_locator, b_locator), rate))
 
-    def crash_gateway(self, at_ns: int, index: int) -> "FaultSchedule":
+    def crash_gateway(self, at_ns: int, index: int) -> FaultSchedule:
         """Crash the ``index``-th gateway of the network."""
         return self.add(FaultEvent(at_ns, FaultKind.GATEWAY_CRASH,
                                    ("gateway", index)))
 
-    def restart_gateway(self, at_ns: int, index: int) -> "FaultSchedule":
+    def restart_gateway(self, at_ns: int, index: int) -> FaultSchedule:
         return self.add(FaultEvent(at_ns, FaultKind.GATEWAY_RESTART,
                                    ("gateway", index)))
 
     def gateway_outage(self, index: int, start_ns: int,
-                       duration_ns: int) -> "FaultSchedule":
+                       duration_ns: int) -> FaultSchedule:
         self.crash_gateway(start_ns, index)
         return self.restart_gateway(start_ns + duration_ns, index)
 
@@ -170,7 +170,7 @@ class FaultSchedule:
     # ------------------------------------------------------------------
     # application
     # ------------------------------------------------------------------
-    def apply(self, network: "VirtualNetwork") -> None:
+    def apply(self, network: VirtualNetwork) -> None:
         """Bind to ``network``: schedule every event on its engine.
 
         Gateway events additionally enable the network's gateway
@@ -182,7 +182,7 @@ class FaultSchedule:
         for event in sorted(self.events, key=lambda e: e.at_ns):
             network.engine.schedule(event.at_ns, self._fire, network, event)
 
-    def _fire(self, network: "VirtualNetwork", event: FaultEvent) -> None:
+    def _fire(self, network: VirtualNetwork, event: FaultEvent) -> None:
         kind = event.kind
         if kind in (FaultKind.SWITCH_FAIL, FaultKind.SWITCH_RECOVER):
             switch = self._find_switch(network, event.target)
@@ -216,7 +216,7 @@ class FaultSchedule:
     # locator resolution
     # ------------------------------------------------------------------
     @staticmethod
-    def _find_switch(network: "VirtualNetwork", locator: tuple) -> "Switch":
+    def _find_switch(network: VirtualNetwork, locator: tuple) -> Switch:
         fabric = network.fabric
         layer = locator[0]
         if layer == "tor":
@@ -228,8 +228,8 @@ class FaultSchedule:
         raise ValueError(f"unknown switch locator {locator!r}")
 
     @classmethod
-    def _find_links(cls, network: "VirtualNetwork",
-                    locator: tuple) -> list["Link"]:
+    def _find_links(cls, network: VirtualNetwork,
+                    locator: tuple) -> list[Link]:
         """Both directions of the cable between two located switches."""
         _tag, a_loc, b_loc = locator
         a = cls._find_switch(network, a_loc)
@@ -238,7 +238,7 @@ class FaultSchedule:
                 network.fabric.link_between(b, a)]
 
     @staticmethod
-    def _find_gateway(network: "VirtualNetwork", locator: tuple) -> "Gateway":
+    def _find_gateway(network: VirtualNetwork, locator: tuple) -> Gateway:
         return network.gateways[locator[1]]
 
 

@@ -7,7 +7,8 @@ comparison (EXPERIMENTS.md) is a visual diff.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 
 def format_cell(value: Any) -> str:

@@ -9,8 +9,8 @@ migration disruption and recovery) and in-network hit rate over time.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.sim.engine import Engine
 

@@ -70,8 +70,8 @@ class Link:
     def __init__(
         self,
         engine: Engine,
-        src: "Node",
-        dst: "Node",
+        src: Node,
+        dst: Node,
         rate_bps: float,
         propagation_ns: int,
         buffer_bytes: int,
@@ -136,7 +136,7 @@ class Link:
             self._ser_cache[wire_bytes] = ns
         return ns
 
-    def transmit(self, packet: "Packet") -> bool:
+    def transmit(self, packet: Packet) -> bool:
         """Enqueue ``packet`` for transmission.
 
         Returns:

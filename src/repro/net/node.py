@@ -46,7 +46,7 @@ class Node:
     def __init__(self, name: str) -> None:
         self.name = name
 
-    def receive(self, packet: Packet, link: "Link | None" = None) -> None:
+    def receive(self, packet: Packet, link: Link | None = None) -> None:
         """Deliver ``packet`` arriving over ``link`` (None for injection)."""
         raise NotImplementedError
 
@@ -62,8 +62,8 @@ class SwitchHandler(Protocol):
     mappings, or absorb the packet entirely (returning False).
     """
 
-    def on_switch(self, switch: "Switch", packet: Packet,
-                  ingress: "Link | None") -> bool:
+    def on_switch(self, switch: Switch, packet: Packet,
+                  ingress: Link | None) -> bool:
         """Return False to consume the packet instead of forwarding it."""
         ...  # pragma: no cover - protocol
 
@@ -71,8 +71,8 @@ class SwitchHandler(Protocol):
 class _NullHandler:
     """Default no-op handler (plain forwarding, no caching)."""
 
-    def on_switch(self, switch: "Switch", packet: Packet,
-                  ingress: "Link | None") -> bool:
+    def on_switch(self, switch: Switch, packet: Packet,
+                  ingress: Link | None) -> bool:
         return True
 
 
@@ -142,22 +142,22 @@ class Switch(Node):
         self.layer = layer
         self.pod = pod
         self.rack = rack
-        self.host_links: dict[int, "Link"] = {}
-        self.up_links: list["Link"] = []
-        self.down_links: dict[int, "Link"] = {}
-        self.pod_links: dict[int, "Link"] = {}
+        self.host_links: dict[int, Link] = {}
+        self.up_links: list[Link] = []
+        self.down_links: dict[int, Link] = {}
+        self.pod_links: dict[int, Link] = {}
         self.handler: SwitchHandler = NULL_HANDLER
         self.stats = SwitchStats()
         #: Owning fabric (set at construction by the topology builder);
         #: used to learn whether any faults are active so the fast
         #: no-fault forwarding path stays cheap.
-        self.fabric: "Fabric | None" = None
+        self.fabric: Fabric | None = None
         self._failed = False
         #: Memoized ECMP choices: (flow_id ^ dst) -> egress link.  Only
         #: written while the fabric is fault-free (the hash is a pure
         #: function of the key then); flushed by the fabric on every
         #: fault transition (see :meth:`Fabric.note_fault`).
-        self._ecmp_memo: dict[int, "Link"] = {}
+        self._ecmp_memo: dict[int, Link] = {}
         #: PIPs of directly attached servers (ToRs only) — used for
         #: misdelivery tagging (paper §3.3).
         self.attached_pips: set[int] = set()
@@ -211,7 +211,7 @@ class Switch(Node):
     # ------------------------------------------------------------------
     # data path
     # ------------------------------------------------------------------
-    def receive(self, packet: Packet, link: "Link | None" = None) -> None:
+    def receive(self, packet: Packet, link: Link | None = None) -> None:
         # Hot path: this body runs once per switch hop for every packet
         # in the simulation.  ``wire_bytes`` is read through its cache
         # slot (computed at most once per hop, reused by the egress
@@ -332,7 +332,7 @@ class Switch(Node):
         if not route[index].transmit(packet):
             self.stats.drops += 1
 
-    def _receive_invalidation(self, packet: Packet, link: "Link | None") -> None:
+    def _receive_invalidation(self, packet: Packet, link: Link | None) -> None:
         """Process an invalidation en route (handler hook at every hop)."""
         self.handler.on_switch(self, packet, link)
         if packet.target_switch == self.switch_id:
@@ -354,7 +354,7 @@ class Switch(Node):
         if link is None or not link.transmit(packet):
             self.stats.drops += 1
 
-    def next_hop(self, packet: Packet) -> "Link | None":
+    def next_hop(self, packet: Packet) -> Link | None:
         """Select the egress link for ``packet`` (ECMP up, exact down).
 
         Equal-cost choices skip candidates whose *entire* deterministic
@@ -384,7 +384,7 @@ class Switch(Node):
         # Core: one link per pod.
         return self.pod_links.get(dst_pod)
 
-    def _ecmp_up(self, packet: Packet, dst: int) -> "Link | None":
+    def _ecmp_up(self, packet: Packet, dst: int) -> Link | None:
         ups = self.up_links
         if not ups:
             return None
@@ -418,7 +418,7 @@ class Switch(Node):
             return None
         return usable[ecmp_index(key, self.switch_id, len(usable))]
 
-    def _up_path_usable(self, link: "Link", dst: int) -> bool:
+    def _up_path_usable(self, link: Link, dst: int) -> bool:
         """Is ``link`` a viable equal-cost choice toward ``dst``?
 
         Checks the immediate hop always; when the fabric reports active
@@ -464,7 +464,7 @@ class Switch(Node):
         )
 
 
-def _down_link_usable(link: "Link | None") -> bool:
+def _down_link_usable(link: Link | None) -> bool:
     """A deterministic down-link is usable if up and its peer is alive."""
     if link is None or not link.up:
         return False
@@ -485,7 +485,7 @@ def _core_down_usable(core: Switch, dst: int) -> bool:
     return True
 
 
-def _core_path_usable(core_link: "Link", dst: int) -> bool:
+def _core_path_usable(core_link: Link, dst: int) -> bool:
     """Spine-to-core candidate: the core and its fixed down-path live?"""
     if not core_link.up:
         return False

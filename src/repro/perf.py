@@ -24,9 +24,9 @@ import cProfile
 import io
 import pstats
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
 
 
 class PhaseTimer:
@@ -119,7 +119,7 @@ def profile_experiment(spec, scheme_name: str, flows, num_vms: int,
                        cache_ratio: float, seed: int = 0,
                        trace_name: str = "",
                        with_cprofile: bool = False,
-                       top: int = 25) -> tuple[RunProfile, "object"]:
+                       top: int = 25) -> tuple[RunProfile, object]:
     """Run one experiment under the phase timers (optionally cProfile).
 
     Returns:

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import gc
 import heapq
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 # Unit helpers: all simulation timestamps are integers in nanoseconds.
 NANOSECOND = 1

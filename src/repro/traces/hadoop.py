@@ -39,8 +39,8 @@ class HadoopTraceParams:
     start_offset_ns: int = 0
 
     def __post_init__(self) -> None:
-        if self.num_flows < 1:
-            raise ValueError("need at least one flow")
+        if self.num_flows < 0:
+            raise ValueError("flow count cannot be negative")
 
 
 def generate(params: HadoopTraceParams, rng: np.random.Generator) -> list[FlowSpec]:

@@ -8,8 +8,8 @@ and lets externally produced traces be fed into the simulator.
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable
 from pathlib import Path
-from typing import Iterable
 
 from repro.transport.flow import FlowSpec
 

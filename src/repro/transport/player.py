@@ -8,7 +8,7 @@ use to inject a trace into a simulation.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.metrics.collector import FlowRecord
 from repro.net.packet import Packet, PacketKind
@@ -26,7 +26,7 @@ class _VipDemux:
 
     __slots__ = ("player", "vip", "receivers", "senders")
 
-    def __init__(self, player: "TrafficPlayer", vip: int) -> None:
+    def __init__(self, player: TrafficPlayer, vip: int) -> None:
         self.player = player
         self.vip = vip
         self.receivers: dict[int, object] = {}

@@ -50,7 +50,7 @@ class GatewayFailureDetector:
         miss_threshold: consecutive missed probes before failover.
     """
 
-    def __init__(self, network: "VirtualNetwork",
+    def __init__(self, network: VirtualNetwork,
                  probe_interval_ns: int = DEFAULT_PROBE_INTERVAL_NS,
                  backoff_base_ns: int = DEFAULT_BACKOFF_BASE_NS,
                  max_backoff_ns: int = DEFAULT_MAX_BACKOFF_NS,
@@ -83,7 +83,7 @@ class GatewayFailureDetector:
         for gateway in self.network.gateways:
             self.watch(gateway)
 
-    def watch(self, gateway: "Gateway") -> None:
+    def watch(self, gateway: Gateway) -> None:
         """Add ``gateway`` to the probe loop (idempotent)."""
         if gateway.pip in self._watched:
             return
@@ -102,7 +102,7 @@ class GatewayFailureDetector:
         self._started = False
 
     # ------------------------------------------------------------------
-    def _probe(self, gateway: "Gateway") -> None:
+    def _probe(self, gateway: Gateway) -> None:
         self.probes_sent += 1
         if gateway.failed:
             misses = self._misses[gateway.pip] + 1

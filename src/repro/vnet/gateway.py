@@ -11,7 +11,8 @@ service rate can be set to model CPU-bound software gateways.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.net.node import Node
 from repro.net.packet import Packet
@@ -62,7 +63,7 @@ class Gateway(Node):
         self.engine = engine
         self.database = database
         self.pip = -1
-        self.uplink: "Link | None" = None
+        self.uplink: Link | None = None
         self.processing_ns = processing_ns
         self.service_ns = service_ns
         self._busy_until = 0

@@ -16,7 +16,8 @@ update protocol relies on (§3.3 and §5.2):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Protocol
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Protocol
 
 from repro.net.addresses import UNRESOLVED
 from repro.net.node import Node
@@ -36,11 +37,11 @@ _ACK = PacketKind.ACK
 class HostHandler(Protocol):
     """Scheme hooks executed at end hosts."""
 
-    def on_host_send(self, host: "Host", packet: Packet) -> None:
+    def on_host_send(self, host: Host, packet: Packet) -> None:
         """Choose the packet's outer destination before transmission."""
         ...  # pragma: no cover - protocol
 
-    def on_misdelivery(self, host: "Host", packet: Packet) -> None:
+    def on_misdelivery(self, host: Host, packet: Packet) -> None:
         """Re-forward a packet whose destination VM moved away."""
         ...  # pragma: no cover - protocol
 
@@ -86,7 +87,7 @@ class Host(Node):
         super().__init__(name)
         self.engine = engine
         self.pip = -1
-        self.uplink: "Link | None" = None
+        self.uplink: Link | None = None
         self.vms: set[int] = set()
         self.endpoints: dict[int, Endpoint] = {}
         self.follow_me: dict[int, int] = {}

@@ -9,7 +9,7 @@ correctness is restored lazily via misdelivery handling (§3.3).
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.net.addresses import format_vip
 

@@ -1,0 +1,11 @@
+"""Fixture: D102 — hidden global RNG state."""
+import random
+
+import numpy as np
+
+
+def jitter(values):
+    random.shuffle(values)
+    noise = np.random.normal(0.0, 1.0, len(values))
+    rng = np.random.default_rng()
+    return values, noise, rng

@@ -1,0 +1,9 @@
+"""Fixture: D104 — ordering by object identity."""
+
+
+def stable_order(packets):
+    first = min(packets, key=id)
+    ranked = sorted(packets, key=lambda p: (p.prio, id(p)))
+    if id(first) < id(ranked[0]):
+        return ranked
+    return [first]

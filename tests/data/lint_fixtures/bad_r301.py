@@ -1,0 +1,7 @@
+"""Fixture: R301 — packet read after being handed back to the pool."""
+
+
+def deliver(pool, packet, stats):
+    stats.delivered += 1
+    pool.release(packet)
+    stats.last_size = packet.size

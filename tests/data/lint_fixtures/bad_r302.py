@@ -1,0 +1,17 @@
+"""Fixture: R302 — freelist packets escaping their release point."""
+
+
+class Sender:
+    def enqueue(self, pool):
+        packet = pool.acquire()
+        self.pending = packet
+        self.queue.append(packet)
+
+
+def make_sender(pool):
+    packet = pool.acquire()
+
+    def send():
+        return packet.size
+
+    return send

@@ -1,0 +1,12 @@
+"""Fixture: T202 — float expressions assigned to *_ns variables.
+
+Linted with ``module_name="repro.fixtures.bad_t202"``.
+"""
+
+GAP_NS = 1.5
+
+
+def budget(packet, total_bytes, rate):
+    delay_ns = total_bytes / rate
+    packet.deadline_ns = delay_ns * 2.0
+    return delay_ns

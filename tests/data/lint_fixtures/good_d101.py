@@ -1,0 +1,8 @@
+"""Fixture: D101-clean — simulation timestamps come from the engine clock."""
+
+
+def stamp_events(engine, events):
+    started_ns = engine.now
+    for event in events:
+        event.sim_ts_ns = engine.now
+    return started_ns

@@ -1,0 +1,11 @@
+"""Fixture: D102-clean — randomness flows through seeded generators."""
+import numpy as np
+
+
+def jitter(values, rng):
+    rng.shuffle(values)
+    return values
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,8 @@
+"""Fixture: D103-clean — sets are sorted or consumed order-insensitively."""
+
+
+def collect(switches):
+    active = {s.name for s in switches if s.up}
+    ordered = sorted(active)
+    total = len(active)
+    return ordered, total, max(active, default="")

@@ -1,0 +1,9 @@
+"""Fixture: D104-clean — ordering keys use stable identifiers."""
+
+
+def stable_order(packets):
+    first = min(packets, key=lambda p: p.flow_id)
+    ranked = sorted(packets, key=lambda p: (p.prio, p.flow_id))
+    if first.flow_id < ranked[0].flow_id:
+        return ranked
+    return [first]

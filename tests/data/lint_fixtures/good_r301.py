@@ -1,0 +1,21 @@
+"""Fixture: R301-clean — release() is the last touch on every path.
+
+``deliver`` releases inside a returning branch: the read on the other
+branch is unreachable from the release point and must not be flagged.
+"""
+
+
+def deliver(pool, packet, stats, local):
+    if packet.dst in local:
+        stats.delivered += 1
+        pool.release(packet)
+        return
+    stats.forwarded += 1
+    packet.ttl -= 1
+
+
+def recycle(pool, packet):
+    size = packet.size
+    pool.release(packet)
+    packet = pool.acquire()
+    return size, packet.size

@@ -1,0 +1,19 @@
+"""Fixture: R302-clean — only copied fields outlive the packet."""
+
+
+class Sender:
+    def enqueue(self, pool):
+        packet = pool.acquire()
+        self.pending_size = packet.size
+        self.queue.append(packet.flow_id)
+        pool.release(packet)
+
+
+def make_sender(pool):
+    packet = pool.acquire()
+    flow_id = packet.flow_id
+
+    def send():
+        return flow_id
+
+    return send

@@ -1,0 +1,22 @@
+"""Fixture: R303-clean — every fault mutator notes the fault.
+
+Linted with ``module_name="repro.fixtures.good_r303"``.
+"""
+
+
+class Fabric:
+    def __init__(self):
+        self._ecmp_memo = {}
+        self.fault_count = 0
+
+    def note_fault(self):
+        self.fault_count += 1
+        self._ecmp_memo.clear()
+
+    def fail_switch(self, switch):
+        switch.up = False
+        self.note_fault()
+
+    def recover_switch(self, switch):
+        switch.up = True
+        self.note_fault()

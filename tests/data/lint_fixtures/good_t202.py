@@ -1,0 +1,11 @@
+"""Fixture: T202-clean — *_ns stays integral; rates may be fractional.
+
+Linted with ``module_name="repro.fixtures.good_t202"``.
+"""
+
+
+def budget(total_bytes, rate_bytes_per_ns):
+    delay_ns = total_bytes // 2
+    drain_rate_per_ns = 1 / 500
+    gap_ns = round(total_bytes / rate_bytes_per_ns)
+    return delay_ns, drain_rate_per_ns, gap_ns

@@ -1,0 +1,10 @@
+"""Fixture: suppression comments neutralise reviewed findings."""
+import random
+
+
+def shake(engine, handler, probe_a, probe_b):
+    random.seed(7)  # repro-lint: disable=D102 -- fixture: trailing form
+    # repro-lint: disable-next-line=D104 -- fixture: next-line form
+    flipped = id(probe_a) < id(probe_b)
+    engine.schedule(1.5, handler)
+    return flipped

@@ -1,0 +1,8 @@
+"""Fixture: whole-file suppression."""
+# repro-lint: disable-file=D102 -- fixture: file-wide opt-out form
+import random
+
+
+def shake(values):
+    random.shuffle(values)
+    return random.random()

@@ -18,6 +18,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import SwitchV2P
+from repro.experiments.faults import ChaosParams, run_chaos_experiment
 from repro.experiments.parallel import ExperimentJob, parallel_run_experiments
 from repro.experiments.runner import (
     RunResult,
@@ -26,6 +27,7 @@ from repro.experiments.runner import (
     run_flows,
 )
 from repro.net.topology import FatTreeSpec
+from repro.sim.engine import msec
 from repro.traces.hadoop import HadoopTraceParams, generate
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_hadoop_run.json"
@@ -104,6 +106,17 @@ def test_golden_hadoop_snapshot():
     mismatches = {key: (expected[key], got[key])
                   for key in expected if expected[key] != got[key]}
     assert not mismatches, f"drift vs golden snapshot: {mismatches}"
+
+
+def test_chaos_experiment_is_deterministic():
+    """The faults path — schedules, failover probes, memo flushes — must
+    be as seed-stable as the fault-free runs.  ChaosRow is a frozen
+    dataclass tree, so == compares every per-phase resilience number.
+    """
+    params = ChaosParams(num_flows=120, num_vms=32, horizon_ns=msec(12))
+    first, second = (run_chaos_experiment(params, schemes=("SwitchV2P",))
+                     for _ in range(2))
+    assert first == second
 
 
 def test_run_experiment_twice_identical():

@@ -1,0 +1,236 @@
+"""Tests for the ``repro.analysis`` lint engine and its CLI.
+
+Every D/T/R rule is driven against one failing and one passing fixture
+under ``tests/data/lint_fixtures/``; the suppression forms and the CLI
+entry point get their own coverage.
+"""
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, lint_source
+from repro.analysis.config import MemoPairing, load_config
+from repro.analysis.engine import collect_files, lint_paths
+from repro.analysis.registry import all_rules, get_rule, selected_rules
+
+FIXTURES = Path(__file__).resolve().parent / "data" / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: R303 pairing aimed at the fixture Fabric classes.
+_FIXTURE_PAIRING = MemoPairing(
+    module="repro.fixtures.*r303",
+    cls="Fabric",
+    mutators=("fail_.*", "recover_.*"),
+    require=("note_fault",),
+)
+
+
+def _lint_fixture(rule_id: str, name: str,
+                  config: LintConfig | None = None):
+    """Run exactly one rule over one fixture file."""
+    if config is None:
+        config = LintConfig()
+    path = FIXTURES / name
+    module_name = f"repro.fixtures.{path.stem}"
+    return lint_source(path.read_text(encoding="utf-8"), path, config,
+                       module_name=module_name, rules=[get_rule(rule_id)])
+
+
+# (rule, failing fixture, expected findings, passing fixture)
+CASES = [
+    ("D101", "bad_d101.py", 3, "good_d101.py"),
+    ("D102", "bad_d102.py", 3, "good_d102.py"),
+    ("D103", "bad_d103.py", 3, "good_d103.py"),
+    ("D104", "bad_d104.py", 3, "good_d104.py"),
+    ("T201", "bad_t201.py", 3, "good_t201.py"),
+    ("T202", "bad_t202.py", 3, "good_t202.py"),
+    ("R301", "bad_r301.py", 1, "good_r301.py"),
+    ("R302", "bad_r302.py", 3, "good_r302.py"),
+    ("R303", "bad_r303.py", 1, "good_r303.py"),
+]
+
+
+def _case_config(rule_id: str) -> LintConfig:
+    if rule_id == "R303":
+        return LintConfig(memo_pairings=(_FIXTURE_PAIRING,))
+    return LintConfig()
+
+
+@pytest.mark.parametrize(("rule_id", "bad", "expected", "good"), CASES)
+def test_rule_flags_bad_fixture(rule_id, bad, expected, good):
+    findings = _lint_fixture(rule_id, bad, _case_config(rule_id))
+    assert len(findings) == expected, [f.message for f in findings]
+    assert all(f.rule_id == rule_id for f in findings)
+    assert not any(f.suppressed for f in findings)
+
+
+@pytest.mark.parametrize(("rule_id", "bad", "expected", "good"), CASES)
+def test_rule_passes_good_fixture(rule_id, bad, expected, good):
+    findings = _lint_fixture(rule_id, good, _case_config(rule_id))
+    assert findings == [], [f.message for f in findings]
+
+
+def test_r303_flags_the_right_mutator():
+    (finding,) = _lint_fixture("R303", "bad_r303.py",
+                               _case_config("R303"))
+    assert "fail_switch" in finding.message
+    assert "note_fault" in finding.message
+
+
+def test_r303_reports_stale_pairing():
+    stale = replace(_FIXTURE_PAIRING, mutators=("vanished_.*",))
+    findings = _lint_fixture("R303", "good_r303.py",
+                             LintConfig(memo_pairings=(stale,)))
+    assert len(findings) == 1
+    assert "stale" in findings[0].message
+
+
+def test_r301_respects_returning_branch():
+    # good_r301.py releases inside an ``if ...: return`` arm and touches
+    # the packet on the fall-through path; that must not be flagged.
+    assert _lint_fixture("R301", "good_r301.py") == []
+
+
+def test_t202_exempts_rates():
+    findings = _lint_fixture("T202", "good_t202.py")
+    assert findings == []  # *_per_ns names are rates, not durations
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_trailing_and_next_line_suppressions():
+    path = FIXTURES / "suppressed.py"
+    findings = lint_source(path.read_text(encoding="utf-8"), path,
+                           LintConfig(), module_name="repro.fixtures.sup")
+    by_rule = {f.rule_id: f for f in findings}
+    assert by_rule["D102"].suppressed
+    assert by_rule["D104"].suppressed
+    assert not by_rule["T201"].suppressed  # control: still reported
+
+
+def test_file_wide_suppression():
+    path = FIXTURES / "suppressed_file.py"
+    findings = lint_source(path.read_text(encoding="utf-8"), path,
+                           LintConfig(), module_name="repro.fixtures.supf")
+    assert len(findings) == 2
+    assert all(f.rule_id == "D102" and f.suppressed for f in findings)
+
+
+def test_all_wildcard_suppression():
+    source = "import random\nrandom.random()  # repro-lint: disable=all\n"
+    findings = lint_source(source, Path("x.py"), LintConfig(),
+                           module_name="repro.fixtures.wild")
+    assert findings and all(f.suppressed for f in findings)
+
+
+def test_marker_inside_string_does_not_suppress():
+    source = ('import random\n'
+              'MARK = "# repro-lint: disable-file=D102"\n'
+              'random.random()\n')
+    findings = lint_source(source, Path("x.py"), LintConfig(),
+                           module_name="repro.fixtures.str")
+    assert findings and not any(f.suppressed for f in findings)
+
+
+# ----------------------------------------------------------------------
+# engine + config
+# ----------------------------------------------------------------------
+def test_syntax_error_becomes_e999():
+    findings = lint_source("def broken(:\n", Path("broken.py"),
+                           LintConfig())
+    assert len(findings) == 1
+    assert findings[0].rule_id == "E999"
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        selected_rules(("D999",), ())
+
+
+def test_rule_catalogue_is_complete():
+    ids = {rule.rule_id for rule in all_rules()}
+    assert {"D101", "D102", "D103", "D104",
+            "T201", "T202", "R301", "R302", "R303"} <= ids
+
+
+def test_collect_files_skips_pycache(tmp_path):
+    (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("x = 2\n")
+    files = collect_files(["pkg"], root=tmp_path)
+    assert [f.name for f in files] == ["mod.py"]
+
+
+def test_load_config_reads_repo_pyproject():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    assert "src" in config.paths
+    assert config.memo_pairings  # repo pairings are declared in TOML
+
+
+def test_load_config_rejects_unknown_key(tmp_path):
+    bad = tmp_path / "pyproject.toml"
+    bad.write_text("[tool.repro-lint]\nmystery-knob = 3\n")
+    with pytest.raises(ValueError, match="mystery-knob"):
+        load_config(bad)
+
+
+def test_lint_paths_over_fixture_dir():
+    result = lint_paths([str(FIXTURES)], LintConfig(), root=REPO_ROOT)
+    assert result.files_checked == len(list(FIXTURES.glob("*.py")))
+    # Path-derived module names put fixtures outside repro.*, so only
+    # the unscoped rules fire — but those alone must flag the bad files.
+    flagged = {Path(f.path).name for f in result.unsuppressed}
+    assert "bad_d102.py" in flagged
+    assert "good_d102.py" not in flagged
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _run_cli(*argv: str, cwd: Path = REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        cwd=cwd, env=env, capture_output=True, text=True, check=False)
+
+
+def test_cli_clean_on_own_sources():
+    proc = _run_cli()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+
+
+def test_cli_nonzero_on_bad_fixture():
+    proc = _run_cli(str(FIXTURES / "bad_d102.py"))
+    assert proc.returncode == 1
+    assert "D102" in proc.stdout
+
+
+def test_cli_json_report():
+    proc = _run_cli(str(FIXTURES / "bad_d102.py"), "--format", "json")
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert all(f["rule"] == "D102" for f in payload["findings"])
+
+
+def test_cli_list_rules():
+    proc = _run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in ("D101", "T201", "R303"):
+        assert rule_id in proc.stdout
+
+
+def test_cli_rejects_unknown_rule():
+    proc = _run_cli("--select", "Z000")
+    assert proc.returncode == 2
+    assert "unknown rule" in proc.stderr
