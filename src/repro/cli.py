@@ -54,6 +54,45 @@ def _scale_from_args(args: argparse.Namespace) -> FigureScale:
     return FigureScale(**kwargs)
 
 
+def _sweep_progress(label: str = "sweep"):
+    """A terminal progress callback for sweep jobs, or None off-tty.
+
+    Receives the orchestrator's ``(done, total, cached)`` ticks and
+    redraws one status line; cache hits are counted so a warm re-run
+    visibly reports "all cached".
+    """
+    stream = sys.stderr
+    if not stream.isatty():
+        return None
+    cached_count = [0]
+
+    def callback(done: int, total: int, cached: bool) -> None:
+        if cached:
+            cached_count[0] += 1
+        stream.write(f"\r  {label}: {done}/{total} points "
+                     f"({cached_count[0]} cached)   ")
+        stream.flush()
+        if done == total:
+            stream.write("\n")
+
+    return callback
+
+
+def _chaos_progress():
+    """Progress callback for the chaos experiment's scheme runs."""
+    stream = sys.stderr
+    if not stream.isatty():
+        return None
+
+    def callback(done: int, total: int, label: str) -> None:
+        stream.write(f"\r  chaos: {done}/{total} runs ({label})   ")
+        stream.flush()
+        if done == total:
+            stream.write("\n")
+
+    return callback
+
+
 def _print_sweep(rows) -> None:
     table = [[r.scheme, r.x_value, f"{r.hit_rate:.3f}",
               f"{r.fct_improvement:.2f}", f"{r.first_packet_improvement:.2f}"]
@@ -101,14 +140,17 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_reproduce(args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
     artifact = args.artifact
+    workers = args.workers
+    progress = _sweep_progress(artifact)
     if artifact in ("fig5a", "fig5b", "fig5c", "fig5d"):
         trace = {"fig5a": "hadoop", "fig5b": "microbursts",
                  "fig5c": "websearch", "fig5d": "video"}[artifact]
         schemes = FIG5_SCHEMES if trace != "video" else (
             "SwitchV2P", "GwCache", "LocalLearning", "NoCache")
-        _print_sweep(figure5(trace, scale, schemes=schemes))
+        _print_sweep(figure5(trace, scale, schemes=schemes,
+                             workers=workers, progress=progress))
     elif artifact == "fig6":
-        _print_sweep(figure6(scale))
+        _print_sweep(figure6(scale, workers=workers, progress=progress))
     elif artifact == "fig7":
         results = figure7(scale)
         pods = len(next(iter(results.values())).pod_bytes)
@@ -134,7 +176,8 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         print(render_table(["resource", "utilization"],
                            [[k, f"{v:.1f}%"] for k, v in estimate.items()]))
     elif artifact == "appendix":
-        _print_sweep(appendix_controller(scale))
+        _print_sweep(appendix_controller(scale, workers=workers,
+                                         progress=progress))
     else:
         print(f"unknown artifact {artifact!r}; see 'repro list'",
               file=sys.stderr)
@@ -183,7 +226,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if overrides:
         params = replace(params, **overrides)
     schemes = tuple(args.schemes) if args.schemes else CHAOS_SCHEMES
-    rows = run_chaos_experiment(params, schemes)
+    rows = run_chaos_experiment(params, schemes, progress=_chaos_progress())
     print(render_chaos_table(rows))
     return 0
 
@@ -232,6 +275,29 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run(args)
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the content-addressed run cache."""
+    from repro.experiments.runcache import (
+        RunCache,
+        default_cache_dir,
+        runcache_enabled,
+    )
+    store = RunCache(default_cache_dir())
+    if args.cache_command == "info":
+        entries = store.entries()
+        print(render_table(["property", "value"], [
+            ["location", str(store.root)],
+            ["enabled", "yes" if runcache_enabled() else
+             "no (REPRO_RUNCACHE=0)"],
+            ["entries", len(entries)],
+            ["size [KiB]", f"{store.size_bytes() / 1024:.1f}"],
+        ]))
+    elif args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached run(s) from {store.root}")
+    return 0
+
+
 def cmd_trace_generate(args: argparse.Namespace) -> int:
     from repro.traces.io import save_flows
     scale = _scale_from_args(args)
@@ -256,7 +322,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "paper's experiments")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker processes for parallelizable commands "
-                             "(sets REPRO_PARALLEL; 0 = sequential)")
+                             "(passed through explicitly; 0 = sequential, "
+                             "default: the REPRO_PARALLEL variable)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list schemes, traces, artifacts") \
@@ -338,6 +405,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_lint_arguments(lint_parser)
     lint_parser.set_defaults(func=cmd_lint)
 
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect or clear the content-addressed run cache",
+        description="The run cache memoizes completed experiment runs "
+                    "on disk (see docs/simulator.md); re-running an "
+                    "unchanged figure sweep is then pure cache hits. "
+                    "Disable with REPRO_RUNCACHE=0, relocate with "
+                    "REPRO_RUNCACHE_DIR.")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command",
+                                            required=True)
+    cache_sub.add_parser("info", help="show location, entry count, size") \
+        .set_defaults(func=cmd_cache)
+    cache_sub.add_parser("clear", help="delete every cached run") \
+        .set_defaults(func=cmd_cache)
+
     report_parser = subparsers.add_parser(
         "report", help="print every persisted benchmark table")
     report_parser.add_argument("--results-dir", default="benchmarks/results")
@@ -363,11 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # --workers is threaded explicitly into each command (never via the
+    # environment, which would leak into the calling process and any
+    # embedding application); REPRO_PARALLEL remains a fallback read by
+    # repro.experiments.parallel.default_workers when --workers is absent.
     if args.workers is not None:
-        # Sweeps and figure loops route through parallel_run_experiments,
-        # which reads REPRO_PARALLEL via default_workers().
-        import os
-        os.environ["REPRO_PARALLEL"] = str(max(0, args.workers))
+        args.workers = max(0, args.workers)
     return args.func(args)
 
 

@@ -232,16 +232,31 @@ def _run_once(scheme_name: str, params: ChaosParams,
 
 def run_chaos_experiment(params: ChaosParams | None = None,
                          schemes: tuple[str, ...] = CHAOS_SCHEMES,
-                         ) -> list[ChaosRow]:
-    """Run every scheme with and without the shared fault schedule."""
+                         progress=None) -> list[ChaosRow]:
+    """Run every scheme with and without the shared fault schedule.
+
+    Args:
+        progress: optional ``progress(done, total, label)`` callback,
+            fired after each of the ``2 * len(schemes)`` runs (labels
+            like ``"SwitchV2P/baseline"``, ``"SwitchV2P/faulted"``);
+            the CLI uses it to show sweep progress.
+    """
     if params is None:
         params = ChaosParams()
     rows = []
+    total = 2 * len(schemes)
+    done = 0
     for name in schemes:
         base_summary, base_fct, base_window, _ = _run_once(name, params, None)
+        done += 1
+        if progress is not None:
+            progress(done, total, f"{name}/baseline")
         # A fresh schedule per run: the fired-event log is per-application.
         faulted_summary, faulted_fct, faulted_window, failovers = _run_once(
             name, params, chaos_schedule(params))
+        done += 1
+        if progress is not None:
+            progress(done, total, f"{name}/faulted")
         rows.append(ChaosRow(scheme=name, baseline=base_summary,
                              faulted=faulted_summary,
                              baseline_fct_ns=base_fct,

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-import numpy as np
-
 from repro.experiments.runner import RunResult, run_experiment
 from repro.experiments.sweeps import (
     SweepRow,
@@ -21,13 +19,7 @@ from repro.experiments.sweeps import (
 )
 from repro.net.node import Layer
 from repro.net.topology import FatTreeSpec
-from repro.sim.randomness import RandomStreams
-from repro.traces import alibaba, hadoop, microbursts, video, websearch
-from repro.traces.alibaba import AlibabaTraceParams
-from repro.traces.hadoop import HadoopTraceParams
-from repro.traces.microbursts import MicroburstTraceParams
-from repro.traces.video import VideoTraceParams
-from repro.traces.websearch import WebSearchTraceParams
+from repro.traces.spec import TraceSpec
 from repro.transport.reliable import TransportConfig
 
 
@@ -85,38 +77,45 @@ def ft16_spec() -> FatTreeSpec:
     )
 
 
-def _rng(scale: FigureScale, name: str) -> np.random.Generator:
-    return RandomStreams(scale.seed).stream(name)
+def trace_spec_for(name: str, scale: FigureScale) -> TraceSpec:
+    """The :class:`TraceSpec` describing a named trace at this scale.
+
+    The spec regenerates exactly the flows :func:`build_trace` returns
+    (same named RNG stream per :mod:`repro.sim.randomness`), which is
+    what lets parallel sweep jobs carry the spec instead of the flows.
+    """
+    if name == "hadoop":
+        return TraceSpec.create("hadoop", scale.seed,
+                                num_vms=scale.num_vms,
+                                num_flows=scale.hadoop_flows)
+    if name == "websearch":
+        return TraceSpec.create("websearch", scale.seed,
+                                num_vms=scale.num_vms,
+                                num_flows=scale.websearch_flows)
+    if name == "microbursts":
+        return TraceSpec.create("microbursts", scale.seed,
+                                num_vms=scale.num_vms,
+                                num_bursts=scale.microburst_bursts)
+    if name == "video":
+        # Longer streams give the 0.5% learning-packet mechanism time
+        # to converge, as in the paper's (much longer) video trace.
+        return TraceSpec.create("video", scale.seed,
+                                num_vms=scale.num_vms,
+                                num_streams=scale.video_streams,
+                                duration_ns=20_000_000)
+    if name == "alibaba":
+        return TraceSpec.create(
+            "alibaba", scale.seed,
+            num_services=scale.alibaba_services,
+            containers_per_service=scale.alibaba_containers,
+            num_rpcs=scale.alibaba_rpcs)
+    raise ValueError(f"unknown trace {name!r}")
 
 
 def build_trace(name: str, scale: FigureScale) -> tuple[list, int]:
     """Generate a named trace; returns (flows, num_vms)."""
-    if name == "hadoop":
-        params = HadoopTraceParams(num_vms=scale.num_vms,
-                                   num_flows=scale.hadoop_flows)
-        return hadoop.generate(params, _rng(scale, "hadoop")), scale.num_vms
-    if name == "websearch":
-        params = WebSearchTraceParams(num_vms=scale.num_vms,
-                                      num_flows=scale.websearch_flows)
-        return websearch.generate(params, _rng(scale, "websearch")), scale.num_vms
-    if name == "microbursts":
-        params = MicroburstTraceParams(num_vms=scale.num_vms,
-                                       num_bursts=scale.microburst_bursts)
-        return microbursts.generate(params, _rng(scale, "microbursts")), \
-            scale.num_vms
-    if name == "video":
-        # Longer streams give the 0.5% learning-packet mechanism time
-        # to converge, as in the paper's (much longer) video trace.
-        params = VideoTraceParams(num_vms=scale.num_vms,
-                                  num_streams=scale.video_streams,
-                                  duration_ns=20_000_000)
-        return video.generate(params, _rng(scale, "video")), scale.num_vms
-    if name == "alibaba":
-        params = AlibabaTraceParams(num_services=scale.alibaba_services,
-                                    containers_per_service=scale.alibaba_containers,
-                                    num_rpcs=scale.alibaba_rpcs)
-        return alibaba.generate(params, _rng(scale, "alibaba")), params.num_vms
-    raise ValueError(f"unknown trace {name!r}")
+    spec = trace_spec_for(name, scale)
+    return spec.materialize(), spec.num_vms
 
 
 def bluebird_kwargs(flows, spec: FatTreeSpec, scale: FigureScale) -> dict:
@@ -148,28 +147,36 @@ def _transport_for(trace: str, scale: FigureScale) -> TransportConfig | None:
 # Figures 5a-5d and 6: cache-size sweeps per trace
 # ----------------------------------------------------------------------
 def figure5(trace: str, scale: FigureScale | None = None,
-            schemes: tuple[str, ...] = FIG5_SCHEMES) -> list[SweepRow]:
+            schemes: tuple[str, ...] = FIG5_SCHEMES,
+            workers: int | None = None, cache="auto",
+            progress=None) -> list[SweepRow]:
     """Hit rate / FCT / first-packet improvement vs cache size (FT8)."""
     scale = scale or FigureScale()
-    flows, num_vms = build_trace(trace, scale)
+    tspec = trace_spec_for(trace, scale)
+    flows, num_vms = tspec.materialize(), tspec.num_vms
     spec = ft8_spec()
     return cache_size_sweep(
         spec, flows, num_vms, scale.ratios, schemes,
         seed=scale.seed, trace_name=trace,
         transport=_transport_for(trace, scale),
-        scheme_kwargs={"Bluebird": bluebird_kwargs(flows, spec, scale)})
+        scheme_kwargs={"Bluebird": bluebird_kwargs(flows, spec, scale)},
+        trace_spec=tspec, workers=workers, cache=cache, progress=progress)
 
 
 def figure6(scale: FigureScale | None = None,
-            schemes: tuple[str, ...] = FIG5_SCHEMES) -> list[SweepRow]:
+            schemes: tuple[str, ...] = FIG5_SCHEMES,
+            workers: int | None = None, cache="auto",
+            progress=None) -> list[SweepRow]:
     """The Alibaba sweep on the larger FT16-style topology."""
     scale = scale or FigureScale()
-    flows, num_vms = build_trace("alibaba", scale)
+    tspec = trace_spec_for("alibaba", scale)
+    flows, num_vms = tspec.materialize(), tspec.num_vms
     spec = ft16_spec()
     return cache_size_sweep(
         spec, flows, num_vms, scale.ratios, schemes,
         seed=scale.seed, trace_name="alibaba",
-        scheme_kwargs={"Bluebird": bluebird_kwargs(flows, spec, scale)})
+        scheme_kwargs={"Bluebird": bluebird_kwargs(flows, spec, scale)},
+        trace_spec=tspec, workers=workers, cache=cache, progress=progress)
 
 
 # ----------------------------------------------------------------------
@@ -281,10 +288,12 @@ def table5(scale: FigureScale | None = None,
 # ----------------------------------------------------------------------
 def appendix_controller(scale: FigureScale | None = None,
                         periods_us: tuple[int, ...] = (150, 300),
-                        ) -> list[SweepRow]:
+                        workers: int | None = None, cache="auto",
+                        progress=None) -> list[SweepRow]:
     """Controller-vs-SwitchV2P on WebSearch across cache sizes."""
     scale = scale or FigureScale()
-    flows, num_vms = build_trace("websearch", scale)
+    tspec = trace_spec_for("websearch", scale)
+    flows, num_vms = tspec.materialize(), tspec.num_vms
     schemes = ["SwitchV2P"] + [f"Controller@{p}us" for p in periods_us]
     scheme_kwargs = {
         f"Controller@{p}us": {"period_ns": p * 1000} for p in periods_us
@@ -292,7 +301,7 @@ def appendix_controller(scale: FigureScale | None = None,
     transport = _transport_for("websearch", scale)
     baseline = run_experiment(ft8_spec(), "NoCache", flows, num_vms, 0.0,
                               scale.seed, transport=transport,
-                              trace_name="websearch")
+                              trace_name="websearch", cache=cache)
     from repro.experiments.parallel import (
         ExperimentJob,
         parallel_run_experiments,
@@ -303,11 +312,12 @@ def appendix_controller(scale: FigureScale | None = None,
         for scheme in schemes:
             actual = "Controller" if scheme.startswith("Controller") else scheme
             jobs.append(ExperimentJob(
-                spec=ft8_spec(), scheme_name=actual, flows=tuple(flows),
+                spec=ft8_spec(), scheme_name=actual, trace=tspec,
                 num_vms=num_vms, cache_ratio=ratio, seed=scale.seed,
                 transport=transport, trace_name="websearch",
                 scheme_kwargs=scheme_kwargs.get(scheme) or {}))
             labels.append((ratio, scheme))
-    results = parallel_run_experiments(jobs)
+    results = parallel_run_experiments(jobs, workers=workers, cache=cache,
+                                       progress=progress)
     return [_normalized_row(replace(result, scheme=scheme), baseline, ratio)
             for (ratio, scheme), result in zip(labels, results)]

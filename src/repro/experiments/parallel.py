@@ -1,54 +1,144 @@
-"""Parallel execution of independent experiment runs.
+"""Streaming parallel execution of independent experiment runs.
 
 Cache-size sweeps are embarrassingly parallel: every (scheme, ratio)
 point is an independent simulation.  This module fans runs out over a
-process pool while preserving determinism (each run's seed and inputs
-are explicit, so results are identical to sequential execution).
+process pool while preserving determinism — each run's inputs are
+explicit and self-contained, so results are bit-identical to sequential
+execution regardless of completion order.
 
-Enabled by passing ``workers`` to :func:`parallel_run_experiments` or
-setting the ``REPRO_PARALLEL`` environment variable (number of worker
-processes) for the benchmark harness.
+Design points of the orchestrator:
+
+* **Cheap payloads** — jobs preferentially carry a
+  :class:`~repro.traces.spec.TraceSpec` (generator name + params +
+  seed, a few hundred bytes) instead of a materialized
+  ``tuple[FlowSpec, ...]``; the worker regenerates the flows locally
+  and deterministically (:mod:`repro.sim.randomness`).
+* **Result memoization** — before dispatch, every job is looked up in
+  the content-addressed run cache
+  (:mod:`repro.experiments.runcache`); hits never reach the pool, and
+  completed misses are stored by the parent, making sweeps resumable.
+* **Streaming dispatch** — jobs are submitted in chunks and collected
+  ``imap_unordered``-style as they finish, with deterministic
+  reassembly by job index; a ``progress`` callback fires on every
+  completion and per-job wall-clock times feed a
+  :class:`repro.perf.PhaseTimer` under the ``"jobs"`` phase.
+
+Worker count: pass ``workers=`` explicitly (the CLI threads its
+``--workers`` flag through); the ``REPRO_PARALLEL`` environment
+variable remains a fallback for harnesses that cannot.
 """
 
 from __future__ import annotations
 
 import os
-from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro.experiments.runcache import (
+    canonical_items,
+    job_key,
+    kwargs_dict,
+    resolve_cache,
+)
 from repro.experiments.runner import RunResult, run_experiment
 from repro.net.topology import FatTreeSpec
+from repro.perf import timed_call
+from repro.traces.spec import TraceSpec
 from repro.transport.flow import FlowSpec
 from repro.transport.reliable import TransportConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perf import PhaseTimer
+
+#: ``progress(done, total, cached)`` — invoked after every job
+#: resolves, whether served from cache (``cached=True``) or simulated.
+ProgressFn = Callable[[int, int, bool], None]
 
 
 @dataclass(frozen=True)
 class ExperimentJob:
-    """One picklable experiment description."""
+    """One picklable, hashable experiment description.
+
+    The workload is either ``flows`` (materialized, heavyweight) or
+    ``trace`` (a :class:`TraceSpec` the worker materializes locally) —
+    exactly one must be set.  ``scheme_kwargs`` accepts a plain dict
+    for convenience and is canonicalized to a sorted item tuple on
+    construction, so the frozen job is fully hashable and shares its
+    normal form with the run-cache key derivation.
+    """
 
     spec: FatTreeSpec
     scheme_name: str
-    flows: tuple[FlowSpec, ...]
-    num_vms: int
-    cache_ratio: float
+    flows: tuple[FlowSpec, ...] | None = None
+    num_vms: int = 0
+    cache_ratio: float = 0.0
     seed: int = 0
     transport: TransportConfig | None = None
     horizon_ns: int | None = None
     trace_name: str = ""
-    scheme_kwargs: dict = field(default_factory=dict)
+    scheme_kwargs: tuple = ()
+    trace: TraceSpec | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.scheme_kwargs, dict):
+            object.__setattr__(self, "scheme_kwargs",
+                               canonical_items(self.scheme_kwargs))
+        elif not isinstance(self.scheme_kwargs, tuple):
+            object.__setattr__(self, "scheme_kwargs",
+                               tuple(self.scheme_kwargs))
+        if self.flows is not None and not isinstance(self.flows, tuple):
+            object.__setattr__(self, "flows", tuple(self.flows))
+        if (self.flows is None) == (self.trace is None):
+            raise ValueError(
+                "ExperimentJob needs exactly one of flows= or trace=")
+        if self.num_vms <= 0:
+            raise ValueError("ExperimentJob.num_vms must be positive")
+
+    def resolve_flows(self) -> tuple[FlowSpec, ...]:
+        """The flow list, regenerating from the trace spec if needed."""
+        if self.flows is not None:
+            return self.flows
+        return tuple(self.trace.materialize())
+
+    def scheme_kwargs_dict(self) -> dict:
+        """The canonical kwargs back as a plain dict for the factory."""
+        return kwargs_dict(self.scheme_kwargs)
 
 
-def _run_job(job: ExperimentJob) -> RunResult:
-    return run_experiment(
-        job.spec, job.scheme_name, list(job.flows), job.num_vms,
+def _execute_job(job: ExperimentJob) -> tuple[RunResult, int]:
+    """Run one job; returns (result, wall_ns).
+
+    The inner run bypasses the run cache (``cache=None``): the
+    orchestrating parent already resolved hits and is the single
+    writer, so workers never race on the store.
+    """
+    return timed_call(
+        run_experiment,
+        job.spec, job.scheme_name, job.resolve_flows(), job.num_vms,
         job.cache_ratio, job.seed, job.transport, job.horizon_ns,
         keep_network=False, trace_name=job.trace_name,
-        scheme_kwargs=dict(job.scheme_kwargs) or None)
+        scheme_kwargs=job.scheme_kwargs_dict() or None, cache=None)
+
+
+def _run_chunk(items: list[tuple[int, ExperimentJob]]
+               ) -> list[tuple[int, RunResult, int]]:
+    """Worker entry point: run a chunk, tagging results by job index."""
+    out = []
+    for index, job in items:
+        result, wall_ns = _execute_job(job)
+        out.append((index, result, wall_ns))
+    return out
 
 
 def default_workers() -> int:
-    """Worker count from REPRO_PARALLEL (0/unset = sequential)."""
+    """Worker count from REPRO_PARALLEL (0/unset = sequential).
+
+    A fallback only — callers with an explicit worker count (the CLI's
+    ``--workers``) pass it straight through instead of mutating the
+    environment.
+    """
     value = os.environ.get("REPRO_PARALLEL", "0")
     try:
         return max(0, int(value))
@@ -57,17 +147,89 @@ def default_workers() -> int:
             f"REPRO_PARALLEL={value!r} is not an integer") from None
 
 
+def default_chunksize(pending: int, workers: int) -> int:
+    """Jobs per pool task: amortize pickling without starving the pool.
+
+    Aim for ~4 tasks per worker so completion streaming stays granular,
+    capped at 8 jobs per task so one straggler chunk cannot serialize a
+    large tail.
+    """
+    return max(1, min(8, -(-pending // (workers * 4))))
+
+
 def parallel_run_experiments(jobs: Sequence[ExperimentJob],
-                             workers: int | None = None) -> list[RunResult]:
-    """Run jobs, in order, optionally over a process pool.
+                             workers: int | None = None, *,
+                             chunksize: int | None = None,
+                             cache="auto",
+                             progress: ProgressFn | None = None,
+                             perf: PhaseTimer | None = None,
+                             ) -> list[RunResult]:
+    """Run jobs, optionally over a process pool, with memoization.
 
     Results are returned in job order regardless of completion order,
     and are bit-identical to sequential execution (simulations are
-    deterministic given their explicit seeds).
+    deterministic given their explicit inputs).
+
+    Args:
+        workers: process count; ``None`` falls back to
+            :func:`default_workers` (the ``REPRO_PARALLEL`` variable),
+            and ``0``/``1`` runs inline.
+        chunksize: jobs per pool task (default
+            :func:`default_chunksize`).
+        cache: a :class:`~repro.experiments.runcache.RunCache`,
+            ``None`` to disable memoization, or ``"auto"`` (default)
+            for the environment-configured store.
+        progress: ``progress(done, total, cached)`` per resolved job.
+        perf: optional :class:`~repro.perf.PhaseTimer`; each job's
+            wall-clock time accumulates under the ``"jobs"`` phase.
     """
+    jobs = list(jobs)
+    total = len(jobs)
     if workers is None:
         workers = default_workers()
-    if workers <= 1 or len(jobs) <= 1:
-        return [_run_job(job) for job in jobs]
+    store = resolve_cache(cache)
+    results: list[RunResult | None] = [None] * total
+    keys: list[str | None] = [None] * total
+    done = 0
+
+    if store is not None:
+        for index, job in enumerate(jobs):
+            keys[index] = job_key(job)
+            hit = store.get(keys[index])
+            if hit is not None:
+                results[index] = hit
+                done += 1
+                if progress is not None:
+                    progress(done, total, True)
+
+    pending = [index for index in range(total) if results[index] is None]
+
+    def record(index: int, result: RunResult, wall_ns: int) -> None:
+        nonlocal done
+        results[index] = result
+        if perf is not None:
+            perf.add("jobs", wall_ns)
+        if store is not None:
+            store.put(keys[index], result)
+        done += 1
+        if progress is not None:
+            progress(done, total, False)
+
+    if workers <= 1 or len(pending) <= 1:
+        for index in pending:
+            result, wall_ns = _execute_job(jobs[index])
+            record(index, result, wall_ns)
+        return results
+
+    if chunksize is None:
+        chunksize = default_chunksize(len(pending), workers)
+    chunks = [pending[i:i + chunksize]
+              for i in range(0, len(pending), chunksize)]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_job, jobs))
+        futures = [pool.submit(_run_chunk,
+                               [(index, jobs[index]) for index in chunk])
+                   for chunk in chunks]
+        for future in as_completed(futures):
+            for index, result, wall_ns in future.result():
+                record(index, result, wall_ns)
+    return results

@@ -25,6 +25,7 @@ from repro.baselines import (
     OnDemand,
 )
 from repro.cache.sizing import aggregate_slots
+from repro.experiments.runcache import resolve_cache, run_key
 from repro.core import UNIFORM, HybridSwitchV2P, SwitchV2P, SwitchV2PConfig
 from repro.metrics.collector import Collector
 from repro.net.topology import FatTreeSpec
@@ -199,13 +200,37 @@ def run_experiment(spec: FatTreeSpec, scheme_name: str, flows: Sequence[FlowSpec
                    keep_network: bool = False,
                    trace_name: str = "",
                    scheme_kwargs: dict | None = None,
-                   perf=None) -> RunResult:
-    """One-call experiment: build scheme + network, play flows, summarize."""
+                   perf=None,
+                   cache="auto") -> RunResult:
+    """One-call experiment: build scheme + network, play flows, summarize.
+
+    Results are memoized in the content-addressed run cache
+    (:mod:`repro.experiments.runcache`): with ``cache="auto"`` (the
+    default) an unchanged run is served from disk without simulating.
+    Pass ``cache=None`` to force execution, or a
+    :class:`~repro.experiments.runcache.RunCache` for an explicit
+    store.  Runs that retain live objects (``keep_network=True``) are
+    never cached.
+    """
     if perf is None:
         perf = _NULL_TIMER
+    store = None if keep_network else resolve_cache(cache)
+    key = None
+    if store is not None:
+        with perf.phase("cache"):
+            key = run_key(spec, scheme_name, num_vms, cache_ratio, seed,
+                          transport=transport, horizon_ns=horizon_ns,
+                          trace_name=trace_name, scheme_kwargs=scheme_kwargs,
+                          flows=flows)
+            hit = store.get(key)
+        if hit is not None:
+            return hit
     with perf.phase("build"):
         scheme = make_scheme(scheme_name, num_vms, cache_ratio,
                              **(scheme_kwargs or {}))
         network = build_network(spec, scheme, num_vms, seed)
-    return run_flows(network, flows, transport, horizon_ns, keep_network,
-                     trace_name, cache_ratio, perf=perf)
+    result = run_flows(network, flows, transport, horizon_ns, keep_network,
+                       trace_name, cache_ratio, perf=perf)
+    if store is not None:
+        store.put(key, result)
+    return result

@@ -44,11 +44,29 @@ def cache_size_sweep(
     transport: TransportConfig | None = None,
     scheme_kwargs: dict[str, dict] | None = None,
     horizon_ns: int | None = None,
+    trace_spec=None,
+    workers: int | None = None,
+    cache="auto",
+    progress=None,
+    perf=None,
 ) -> list[SweepRow]:
     """The Figure 5/6 sweep: schemes x aggregate cache sizes.
 
     The NoCache reference is simulated once (its behaviour does not
     depend on the cache budget) and reused to normalize every point.
+
+    Args:
+        trace_spec: optional :class:`~repro.traces.spec.TraceSpec`
+            describing the same workload as ``flows``; when given,
+            parallel jobs carry the lightweight spec and workers
+            regenerate the flows locally instead of unpickling them.
+        workers: process count for the grid points (``None`` defers to
+            the ``REPRO_PARALLEL`` fallback).
+        cache: run-cache handle (``"auto"``/``None``/RunCache); a warm
+            cache turns the whole sweep into disk reads.
+        progress: ``progress(done, total, cached)`` per grid job.
+        perf: optional :class:`~repro.perf.PhaseTimer` accumulating
+            per-job wall-clock under the ``"jobs"`` phase.
     """
     from repro.experiments.parallel import (
         ExperimentJob,
@@ -57,7 +75,8 @@ def cache_size_sweep(
 
     kwargs_by_scheme = scheme_kwargs or {}
     baseline = run_experiment(spec, "NoCache", flows, num_vms, 0.0, seed,
-                              transport, horizon_ns, trace_name=trace_name)
+                              transport, horizon_ns, trace_name=trace_name,
+                              cache=cache)
     # Schemes without in-switch caches produce identical results at
     # every ratio; simulate them once and replicate the row.
     ratio_independent = {"NoCache": baseline}
@@ -66,12 +85,13 @@ def cache_size_sweep(
             ratio_independent[scheme] = run_experiment(
                 spec, scheme, flows, num_vms, 0.0, seed, transport,
                 horizon_ns, trace_name=trace_name,
-                scheme_kwargs=kwargs_by_scheme.get(scheme))
+                scheme_kwargs=kwargs_by_scheme.get(scheme), cache=cache)
 
     # The remaining (scheme, ratio) points are independent simulations;
-    # they run through the parallel executor (sequential unless
-    # REPRO_PARALLEL or `workers` asks otherwise).
-    flow_tuple = tuple(flows)
+    # they run through the streaming parallel executor (sequential
+    # unless `workers` or REPRO_PARALLEL asks otherwise), with cache
+    # hits resolved before anything is dispatched.
+    flow_tuple = None if trace_spec is not None else tuple(flows)
     jobs: list[ExperimentJob] = []
     grid: list[tuple[float, str]] = []
     for ratio in ratios:
@@ -82,9 +102,10 @@ def cache_size_sweep(
                     spec=spec, scheme_name=scheme, flows=flow_tuple,
                     num_vms=num_vms, cache_ratio=ratio, seed=seed,
                     transport=transport, horizon_ns=horizon_ns,
-                    trace_name=trace_name,
+                    trace_name=trace_name, trace=trace_spec,
                     scheme_kwargs=kwargs_by_scheme.get(scheme) or {}))
-    job_results = iter(parallel_run_experiments(jobs))
+    job_results = iter(parallel_run_experiments(
+        jobs, workers=workers, cache=cache, progress=progress, perf=perf))
     rows: list[SweepRow] = []
     for ratio, scheme in grid:
         result = ratio_independent.get(scheme)
@@ -104,6 +125,7 @@ def gateway_count_sweep(
     seed: int = 0,
     trace_name: str = "",
     horizon_ns: int | None = None,
+    cache="auto",
 ) -> list[SweepRow]:
     """The Figure 9 sweep: vary deployed gateways, fixed cache budget.
 
@@ -134,7 +156,8 @@ def gateway_count_sweep(
         flows = trace_factory(spec)
         num_gateways = spec.num_gateways
         baseline = run_experiment(spec, "NoCache", flows, num_vms, 0.0, seed,
-                                  horizon_ns=horizon_ns, trace_name=trace_name)
+                                  horizon_ns=horizon_ns, trace_name=trace_name,
+                                  cache=cache)
         if reference is None:
             reference = baseline
         for scheme in schemes:
@@ -144,7 +167,7 @@ def gateway_count_sweep(
                 result = run_experiment(spec, scheme, flows, num_vms,
                                         cache_ratio, seed,
                                         horizon_ns=horizon_ns,
-                                        trace_name=trace_name)
+                                        trace_name=trace_name, cache=cache)
             rows.append(_normalized_row(result, reference, float(num_gateways)))
     return rows
 
@@ -160,6 +183,7 @@ def topology_scale_sweep(
     seed: int = 0,
     trace_name: str = "",
     horizon_ns: int | None = None,
+    cache="auto",
 ) -> list[SweepRow]:
     """The Figure 10 sweep: scale pods while keeping servers constant."""
     rows: list[SweepRow] = []
@@ -179,7 +203,8 @@ def topology_scale_sweep(
         )
         flows = trace_factory(spec)
         baseline = run_experiment(spec, "NoCache", flows, num_vms, 0.0, seed,
-                                  horizon_ns=horizon_ns, trace_name=trace_name)
+                                  horizon_ns=horizon_ns, trace_name=trace_name,
+                                  cache=cache)
         for scheme in schemes:
             if scheme == "NoCache":
                 result = baseline
@@ -187,7 +212,7 @@ def topology_scale_sweep(
                 result = run_experiment(spec, scheme, flows, num_vms,
                                         cache_ratio, seed,
                                         horizon_ns=horizon_ns,
-                                        trace_name=trace_name)
+                                        trace_name=trace_name, cache=cache)
             rows.append(_normalized_row(result, baseline, float(pods)))
     return rows
 

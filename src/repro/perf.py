@@ -56,9 +56,32 @@ class PhaseTimer:
             elapsed = time.perf_counter_ns() - start
             self.phases_ns[name] = self.phases_ns.get(name, 0) + elapsed
 
+    def add(self, name: str, elapsed_ns: int) -> None:
+        """Fold an externally measured duration into phase ``name``.
+
+        The parallel sweep orchestrator measures each job's wall clock
+        inside the worker process and feeds it back here, so a timer in
+        the parent accumulates true per-job compute time even though
+        the jobs ran elsewhere.
+        """
+        self.phases_ns[name] = self.phases_ns.get(name, 0) + int(elapsed_ns)
+
     @property
     def total_ns(self) -> int:
         return sum(self.phases_ns.values())
+
+
+def timed_call(fn, /, *args, **kwargs):
+    """Call ``fn`` and return ``(result, elapsed_wall_ns)``.
+
+    Lives here (not at the call sites) because wall-clock reads are
+    confined to :mod:`repro.perf` by the determinism lint (D101): the
+    simulation must never observe real time, and keeping every
+    ``perf_counter_ns`` behind this module makes that auditable.
+    """
+    start = time.perf_counter_ns()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter_ns() - start
 
 
 @dataclass

@@ -15,6 +15,7 @@ from repro.traces.distributions import (
 )
 from repro.traces.hadoop import HadoopTraceParams
 from repro.traces.incast import IncastTraceParams
+from repro.traces.spec import TRACE_REGISTRY, TraceSpec
 from repro.traces.microbursts import MicroburstTraceParams
 from repro.traces.video import VideoTraceParams
 from repro.traces.websearch import WebSearchTraceParams
@@ -32,6 +33,8 @@ __all__ = [
     "MicroburstTraceParams",
     "VideoTraceParams",
     "IncastTraceParams",
+    "TraceSpec",
+    "TRACE_REGISTRY",
     "TraceSummary",
     "summarize",
     "draw_pairs",

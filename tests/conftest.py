@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Keep the suite hermetic: unless a test (or the invoking environment)
+# explicitly opts in, no test may read or write the user's on-disk run
+# cache — a stale entry there could mask a real behavioural regression.
+# Tests of the cache itself monkeypatch REPRO_RUNCACHE/-_DIR or pass
+# explicit RunCache instances rooted in tmp_path.
+os.environ.setdefault("REPRO_RUNCACHE", "0")
 
 from repro.net.topology import FatTreeSpec
 from repro.vnet.network import NetworkConfig, VirtualNetwork

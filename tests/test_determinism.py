@@ -20,15 +20,18 @@ import numpy as np
 from repro.core import SwitchV2P
 from repro.experiments.faults import ChaosParams, run_chaos_experiment
 from repro.experiments.parallel import ExperimentJob, parallel_run_experiments
+from repro.experiments.runcache import RunCache
 from repro.experiments.runner import (
     RunResult,
     build_network,
     run_experiment,
     run_flows,
 )
+from repro.experiments.sweeps import cache_size_sweep
 from repro.net.topology import FatTreeSpec
 from repro.sim.engine import msec
 from repro.traces.hadoop import HadoopTraceParams, generate
+from repro.traces.spec import TraceSpec
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_hadoop_run.json"
 
@@ -117,6 +120,44 @@ def test_chaos_experiment_is_deterministic():
     first, second = (run_chaos_experiment(params, schemes=("SwitchV2P",))
                      for _ in range(2))
     assert first == second
+
+
+def test_sweep_identical_across_execution_modes(tmp_path):
+    """One sweep, three execution paths, byte-identical rows.
+
+    The same small cache-size sweep runs sequentially, over a 4-worker
+    process pool, and as a warm-cache replay; every SweepRow (including
+    the embedded RunResult scalars) must match exactly.  This is the
+    orchestrator's core contract: parallelism and memoization are pure
+    performance features, invisible in the results.
+    """
+    spec = FatTreeSpec(pods=2, racks_per_pod=2, servers_per_rack=2,
+                       spines_per_pod=2, num_cores=2,
+                       gateway_pods=(1,), gateways_per_pod=1)
+    trace = TraceSpec.create("hadoop", 7, num_vms=16, num_flows=40)
+    flows = trace.materialize()
+    kwargs = dict(spec=spec, flows=flows, num_vms=16, ratios=(0.5, 4.0),
+                  schemes=("SwitchV2P", "GwCache"), seed=7,
+                  trace_name="hadoop", trace_spec=trace)
+
+    store = RunCache(tmp_path)
+    sequential = cache_size_sweep(workers=0, cache=store, **kwargs)
+    parallel = cache_size_sweep(workers=4, cache=None, **kwargs)
+    replay_store = RunCache(tmp_path)
+    replayed = cache_size_sweep(workers=0, cache=replay_store, **kwargs)
+
+    assert replay_store.stats.misses == 0, "warm replay must be all hits"
+    assert replay_store.stats.hits > 0
+    assert len(sequential) == len(parallel) == len(replayed)
+    for seq, par, rep in zip(sequential, parallel, replayed):
+        assert (seq.scheme, seq.x_value) == (par.scheme, par.x_value)
+        assert (seq.scheme, seq.x_value) == (rep.scheme, rep.x_value)
+        assert seq.hit_rate == par.hit_rate == rep.hit_rate
+        assert seq.fct_improvement == par.fct_improvement == rep.fct_improvement
+        assert (seq.first_packet_improvement == par.first_packet_improvement
+                == rep.first_packet_improvement)
+        assert _result_dict(seq.result) == _result_dict(par.result)
+        assert _result_dict(seq.result) == _result_dict(rep.result)
 
 
 def test_run_experiment_twice_identical():

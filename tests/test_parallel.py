@@ -1,24 +1,39 @@
-"""Tests for the parallel experiment runner."""
+"""Tests for the streaming parallel experiment orchestrator."""
+
+import dataclasses
 
 import pytest
 
 from repro.experiments.parallel import (
     ExperimentJob,
+    default_chunksize,
     default_workers,
     parallel_run_experiments,
 )
+from repro.experiments.runcache import RunCache
+from repro.perf import PhaseTimer
+from repro.traces.spec import TraceSpec
 from repro.transport.flow import FlowSpec
 
 from conftest import tiny_spec
 
 
+def _flows(count: int = 20):
+    return tuple(FlowSpec(src_vip=i % 8, dst_vip=(i + 3) % 8,
+                          size_bytes=2_000, start_ns=i * 20_000)
+                 for i in range(count))
+
+
 def jobs(count=3):
-    flows = tuple(FlowSpec(src_vip=i % 8, dst_vip=(i + 3) % 8,
-                           size_bytes=2_000, start_ns=i * 20_000)
-                  for i in range(20))
     return [ExperimentJob(spec=tiny_spec(), scheme_name="SwitchV2P",
-                          flows=flows, num_vms=8, cache_ratio=4.0, seed=s)
+                          flows=_flows(), num_vms=8, cache_ratio=4.0, seed=s)
             for s in range(count)]
+
+
+def _result_dict(result) -> dict:
+    return {f.name: getattr(result, f.name)
+            for f in dataclasses.fields(result)
+            if f.name not in ("collector", "network")}
 
 
 def test_sequential_execution():
@@ -54,3 +69,132 @@ def test_default_workers_env(monkeypatch):
     monkeypatch.setenv("REPRO_PARALLEL", "soup")
     with pytest.raises(ValueError):
         default_workers()
+
+
+# ----------------------------------------------------------------------
+# Trace-spec jobs (workers regenerate flows locally)
+# ----------------------------------------------------------------------
+def test_trace_spec_job_matches_flows_job():
+    """A job carrying the lightweight TraceSpec recipe must produce the
+    same result as one carrying the materialized flow list."""
+    trace = TraceSpec.create("hadoop", 5, num_vms=8, num_flows=30)
+    by_spec = ExperimentJob(spec=tiny_spec(), scheme_name="SwitchV2P",
+                            num_vms=8, cache_ratio=4.0, seed=5, trace=trace)
+    by_flows = ExperimentJob(spec=tiny_spec(), scheme_name="SwitchV2P",
+                             flows=tuple(trace.materialize()), num_vms=8,
+                             cache_ratio=4.0, seed=5)
+    a, b = parallel_run_experiments([by_spec, by_flows], workers=0)
+    assert _result_dict(a) == _result_dict(b)
+
+
+def test_trace_spec_job_parallel_matches_sequential():
+    trace = TraceSpec.create("hadoop", 5, num_vms=8, num_flows=30)
+    batch = [ExperimentJob(spec=tiny_spec(), scheme_name="SwitchV2P",
+                           num_vms=8, cache_ratio=4.0, seed=s, trace=trace)
+             for s in (5, 7)]
+    sequential = parallel_run_experiments(batch, workers=0)
+    parallel = parallel_run_experiments(batch, workers=2)
+    for seq, par in zip(sequential, parallel):
+        assert _result_dict(seq) == _result_dict(par)
+
+
+# ----------------------------------------------------------------------
+# Job hygiene (frozen dataclass, canonical kwargs)
+# ----------------------------------------------------------------------
+def test_job_is_hashable_and_canonicalizes_kwargs():
+    a = ExperimentJob(spec=tiny_spec(), scheme_name="Hoverboard",
+                      flows=_flows(), num_vms=8, cache_ratio=4.0,
+                      scheme_kwargs={"x": 1, "y": 2.5})
+    b = ExperimentJob(spec=tiny_spec(), scheme_name="Hoverboard",
+                      flows=_flows(), num_vms=8, cache_ratio=4.0,
+                      scheme_kwargs={"y": 2.5, "x": 1})
+    assert isinstance(a.scheme_kwargs, tuple)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a.scheme_kwargs_dict() == {"x": 1, "y": 2.5}
+
+
+def test_job_tuples_list_flows():
+    job = ExperimentJob(spec=tiny_spec(), scheme_name="SwitchV2P",
+                        flows=list(_flows(4)), num_vms=8, cache_ratio=4.0)
+    assert isinstance(job.flows, tuple)
+    assert job.resolve_flows() == job.flows
+
+
+def test_job_requires_exactly_one_workload_form():
+    with pytest.raises(ValueError):
+        ExperimentJob(spec=tiny_spec(), scheme_name="SwitchV2P", num_vms=8)
+    with pytest.raises(ValueError):
+        ExperimentJob(spec=tiny_spec(), scheme_name="SwitchV2P",
+                      flows=_flows(), num_vms=8,
+                      trace=TraceSpec.create("hadoop", 0, num_vms=8,
+                                             num_flows=4))
+
+
+def test_job_requires_positive_vm_count():
+    with pytest.raises(ValueError):
+        ExperimentJob(spec=tiny_spec(), scheme_name="SwitchV2P",
+                      flows=_flows(), num_vms=0)
+
+
+# ----------------------------------------------------------------------
+# Orchestration: progress, perf, chunking, memoization
+# ----------------------------------------------------------------------
+def test_progress_callback_fires_per_job():
+    ticks = []
+    parallel_run_experiments(jobs(3), workers=0,
+                             progress=lambda d, t, c: ticks.append((d, t, c)))
+    assert ticks == [(1, 3, False), (2, 3, False), (3, 3, False)]
+
+
+def test_progress_callback_streams_in_parallel():
+    ticks = []
+    parallel_run_experiments(jobs(3), workers=2, chunksize=1,
+                             progress=lambda d, t, c: ticks.append((d, t, c)))
+    assert [d for d, _, _ in ticks] == [1, 2, 3]
+    assert all(t == 3 and c is False for _, t, c in ticks)
+
+
+def test_perf_timer_accumulates_job_wall_clock():
+    timer = PhaseTimer()
+    parallel_run_experiments(jobs(2), workers=0, perf=timer)
+    assert timer.phases_ns.get("jobs", 0) > 0
+
+
+def test_default_chunksize_bounds():
+    assert default_chunksize(1, 4) == 1
+    assert default_chunksize(16, 4) == 1
+    assert default_chunksize(64, 4) == 4
+    assert default_chunksize(1_000, 4) == 8
+    assert default_chunksize(0, 4) == 1
+
+
+def test_cache_short_circuits_dispatch(tmp_path):
+    batch = jobs(3)
+    store = RunCache(tmp_path)
+    cold = parallel_run_experiments(batch, workers=0, cache=store)
+    assert store.stats.stores == 3
+    ticks = []
+    warm = parallel_run_experiments(
+        batch, workers=2, cache=store,
+        progress=lambda d, t, c: ticks.append((d, t, c)))
+    assert store.stats.misses == 3  # the cold pass's initial lookups
+    assert store.stats.hits == 3
+    assert ticks == [(1, 3, True), (2, 3, True), (3, 3, True)]
+    for a, b in zip(cold, warm):
+        assert _result_dict(a) == _result_dict(b)
+
+
+def test_partial_cache_runs_only_misses(tmp_path):
+    batch = jobs(3)
+    store = RunCache(tmp_path)
+    parallel_run_experiments([batch[1]], workers=0, cache=store)
+    ticks = []
+    results = parallel_run_experiments(
+        batch, workers=0, cache=store,
+        progress=lambda d, t, c: ticks.append(c))
+    assert ticks.count(True) == 1
+    assert ticks.count(False) == 2
+    assert store.stats.stores == 3
+    alone = parallel_run_experiments([batch[1]], workers=0, cache=None)
+    assert _result_dict(results[1]) == _result_dict(alone[0])
