@@ -1,0 +1,79 @@
+"""CI smoke check for the chaos fuzzer and its invariant oracles.
+
+Exercises the whole ``python -m repro chaos`` pipeline in miniature and
+asserts its contract end to end:
+
+1. a fixed-seed batch of fuzzed trials runs *clean* on SwitchV2P and
+   the strongest gateway baseline — random faults within the generator's
+   envelope must never break the invariant oracles;
+2. the ``oracle-canary`` self-test bug makes the identical batch fail —
+   proving the harness can fail at all (a gate that cannot go red
+   gates nothing);
+3. an injected real defect (``skip-cache-flush``: switch SRAM survives
+   a power cycle) trips the structural oracle, is shrunk to a handful
+   of events, and the written reproducer artifact re-trips the same
+   oracle when replayed.
+
+This is a hard pass/fail gate: it checks correctness of the chaos
+harness, not speed.  Run it as
+``PYTHONPATH=src python benchmarks/chaos_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments.chaosfuzz import (
+    ChaosFuzzParams,
+    replay_reproducer,
+    run_chaos_fuzz,
+)
+
+#: Reduced workload so the whole gate finishes in CI-friendly time.
+PARAMS = ChaosFuzzParams(num_vms=16, num_flows=24)
+SEED = 1
+TRIALS = 3
+#: Largest acceptable minimized schedule for the injected defect (the
+#: ISSUE's acceptance bound; skip-cache-flush typically shrinks to 1).
+MAX_SHRUNK_EVENTS = 5
+
+
+def main() -> int:
+    # 1. stock trials must be clean on both architectures.
+    clean = run_chaos_fuzz(trials=TRIALS, seed=SEED,
+                           schemes=("SwitchV2P", "GwCache"), params=PARAMS)
+    assert clean.clean, [str(v) for o in clean.failures for v in o.violations]
+    print(f"clean: {len(clean.outcomes)} trial runs, no violations")
+
+    # 2. the canary proves the gate can go red.
+    canary = run_chaos_fuzz(trials=1, seed=SEED, schemes=("SwitchV2P",),
+                            params=PARAMS, bug="oracle-canary", shrink=False)
+    assert not canary.clean, "canary bug did not fail the harness"
+    assert canary.failures[0].violations[0].oracle == "canary"
+    print("canary: armed self-test violation detected")
+
+    # 3. real defect -> shrink -> artifact -> replay re-trips.
+    with tempfile.TemporaryDirectory() as tmp:
+        buggy = run_chaos_fuzz(trials=TRIALS, seed=SEED,
+                               schemes=("SwitchV2P",), params=PARAMS,
+                               bug="skip-cache-flush", artifact_dir=tmp)
+        assert not buggy.clean, "skip-cache-flush never tripped an oracle"
+        oracle = buggy.failures[0].violations[0].oracle
+        assert oracle == "structural", oracle
+        assert buggy.shrunk_events is not None
+        assert buggy.shrunk_events <= MAX_SHRUNK_EVENTS, buggy.shrunk_events
+        assert buggy.reproducer_path is not None
+        replayed = replay_reproducer(Path(buggy.reproducer_path))
+        assert any(v.oracle == oracle for v in replayed.violations), \
+            "reproducer artifact no longer re-trips the oracle"
+        print(f"shrink: structural violation minimized to "
+              f"{buggy.shrunk_events} event(s); replay re-trips it")
+
+    print("chaos smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

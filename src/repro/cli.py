@@ -231,6 +231,68 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos fuzzing: random fault schedules vs. the invariant oracles."""
+    from dataclasses import replace
+
+    from repro.experiments.chaosfuzz import (
+        BUGS,
+        CHAOS_FUZZ_SCHEMES,
+        ChaosFuzzParams,
+        replay_reproducer,
+        run_chaos_fuzz,
+    )
+    if args.replay is not None:
+        outcome = replay_reproducer(args.replay)
+        if outcome.violations:
+            print(f"replay re-tripped {len(outcome.violations)} "
+                  f"violation(s) on {outcome.scheme} "
+                  f"({outcome.num_events} events):")
+            for violation in outcome.violations:
+                print(f"  {violation}")
+            return 1
+        print(f"replay of {args.replay} ran clean on {outcome.scheme} — "
+              "the recorded defect no longer reproduces")
+        return 0
+    if args.bug is not None and args.bug not in BUGS:
+        print(f"unknown bug {args.bug!r}; known: {', '.join(sorted(BUGS))}",
+              file=sys.stderr)
+        return 2
+    params = ChaosFuzzParams()
+    overrides = {}
+    if args.flows is not None:
+        overrides["num_flows"] = args.flows
+    if args.vms is not None:
+        overrides["num_vms"] = args.vms
+    if args.cache_ratio is not None:
+        overrides["cache_ratio"] = args.cache_ratio
+    if overrides:
+        params = replace(params, **overrides)
+    schemes = tuple(args.schemes) if args.schemes else CHAOS_FUZZ_SCHEMES
+    result = run_chaos_fuzz(args.trials, args.seed, schemes, params,
+                            bug=args.bug, artifact_dir=args.artifact_dir,
+                            shrink=not args.no_shrink,
+                            progress=_chaos_progress())
+    trials_run = len({outcome.trial for outcome in result.outcomes})
+    if result.clean:
+        print(f"chaos: {trials_run} trial(s) x {len(schemes)} scheme(s) "
+              f"(seed {args.seed}) — all oracles clean")
+        return 0
+    failure = result.failures[0]
+    print(f"chaos: oracle violation in trial {failure.trial} on "
+          f"{failure.scheme} (seed {args.seed}, {failure.num_events} "
+          "events):")
+    for violation in failure.violations:
+        print(f"  {violation}")
+    if result.shrunk_events is not None:
+        print(f"shrunk the schedule to {result.shrunk_events} event(s)")
+    if result.reproducer_path is not None:
+        print(f"reproducer written to {result.reproducer_path}")
+        print(f"replay with: python -m repro chaos --replay "
+              f"{result.reproducer_path}")
+    return 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Profile one experiment: phase timers, rates, optional cProfile."""
     import json as _json
@@ -373,6 +435,44 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--cache-ratio", type=float, default=None)
     faults_parser.add_argument("--seed", type=int, default=None)
     faults_parser.set_defaults(func=cmd_faults)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="chaos fuzzing: random fault schedules vs. invariant oracles",
+        description="Sample random fault schedules from the topology and "
+                    "run them against each scheme with runtime invariant "
+                    "oracles attached (no misdelivery, no forwarding "
+                    "loops, packet conservation, cache coherence, "
+                    "liveness).  A failing schedule is delta-debugged to "
+                    "a minimal reproducer artifact; --replay re-runs one. "
+                    "Deterministic per --seed.  Exits 1 on any violation.")
+    chaos_parser.add_argument("--trials", type=int, default=10,
+                              help="fuzzed schedules per scheme (default 10)")
+    chaos_parser.add_argument("--seed", type=int, default=1,
+                              help="root seed; same seed => same schedules "
+                                   "and verdicts (default 1)")
+    chaos_parser.add_argument("--schemes", nargs="+",
+                              choices=sorted(SCHEME_FACTORIES), default=None,
+                              help="schemes to fuzz (default: "
+                                   "SwitchV2P GwCache)")
+    chaos_parser.add_argument("--vms", type=int, default=None)
+    chaos_parser.add_argument("--flows", type=int, default=None)
+    chaos_parser.add_argument("--cache-ratio", type=float, default=None)
+    chaos_parser.add_argument("--bug", default=None, metavar="NAME",
+                              help="inject a deliberate bug (harness "
+                                   "self-test): skip-cache-flush, "
+                                   "misdelivery-loop, oracle-canary")
+    chaos_parser.add_argument("--artifact-dir", default="chaos-artifacts",
+                              metavar="DIR",
+                              help="where failing trials write reproducer "
+                                   "artifacts (default: chaos-artifacts/)")
+    chaos_parser.add_argument("--no-shrink", action="store_true",
+                              help="skip delta-debugging the failing "
+                                   "schedule")
+    chaos_parser.add_argument("--replay", default=None, metavar="ARTIFACT",
+                              help="re-run a saved reproducer artifact "
+                                   "instead of fuzzing")
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     profile_parser = subparsers.add_parser(
         "profile",

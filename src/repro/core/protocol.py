@@ -230,12 +230,19 @@ class SwitchV2P(CachingScheme):
         #    a host port whose outer source is not the attached server
         #    was re-forwarded by the hypervisor.  Gateways also attach
         #    to host ports but are excluded (their node type differs).
+        #    A re-forwarded packet whose original sender is colocated
+        #    with the old VM location has outer_src == the attached
+        #    server, so the source check alone misses it — the stale
+        #    mapping it carries in-band (§3.3) is the tell; without it
+        #    the ToR's own stale entry bounces the packet back to the
+        #    same host indefinitely.
         if (
             switch.layer is _LAYER_TOR
             and ingress is not None
             and ingress._src_is_host
-            and packet.outer_src != ingress.src.pip
             and not packet._misdelivery_tag
+            and (packet.outer_src != ingress.src.pip
+                 or packet._carried_mapping is not None)
         ):
             self._tag_misdelivered(switch, packet)
 

@@ -1,0 +1,383 @@
+"""Chaos-fuzzing trials: random fault schedules vs. invariant oracles.
+
+Each trial samples a random :class:`~repro.faults.FaultSchedule` from
+the live topology (:mod:`repro.faults.fuzz`), runs a workload under it
+with the runtime oracles of :mod:`repro.faults.oracles` attached, and
+reports any invariant violations.  When a trial fails, the schedule is
+delta-debugged down to a minimal reproducing event subset
+(:mod:`repro.faults.shrink`) and written out as a JSON reproducer
+artifact with a ready-to-paste replay command.
+
+Everything derives from one root seed: the schedules, the workload and
+the substrate RNG, so the same ``--seed`` always produces the same
+verdicts and a reproducer replays exactly.
+
+The module also carries a registry of *deliberate* bugs
+(:data:`BUGS`) that can be injected per run — both to prove the oracles
+actually catch the failure classes they claim to (CI's chaos-smoke gate
+uses the ``oracle-canary``), and to demo the shrinking pipeline on a
+real defect such as a switch that keeps its cache across a power cycle.
+
+Run via ``python -m repro chaos``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.faults import _place_tenants, chaos_spec
+from repro.experiments.runner import make_scheme
+from repro.faults.fuzz import FuzzConfig, generate_schedule
+from repro.faults.oracles import DEFAULT_HOP_BOUND, OracleSuite, OracleViolation
+from repro.faults.schedule import FaultKind, FaultSchedule
+from repro.faults.shrink import ddmin
+from repro.sim.engine import msec, usec
+from repro.sim.randomness import derive_seed
+from repro.transport.flow import FlowSpec
+from repro.transport.player import TrafficPlayer
+from repro.transport.reliable import TransportConfig
+from repro.vnet.network import NetworkConfig, VirtualNetwork
+
+#: Schemes fuzzed by default: the paper's system and the strongest
+#: gateway-centric baseline.  Two architectures double the oracle
+#: coverage for the cost of two runs per schedule.
+CHAOS_FUZZ_SCHEMES: tuple[str, ...] = ("SwitchV2P", "GwCache")
+
+_ARTIFACT_FORMAT = "repro-chaos-reproducer"
+_ARTIFACT_VERSION = 1
+
+_GATEWAY_KINDS = frozenset((FaultKind.GATEWAY_CRASH, FaultKind.GATEWAY_RESTART))
+
+
+@dataclass(frozen=True)
+class ChaosFuzzParams:
+    """Workload + transport tuning of one chaos trial.
+
+    The workload is deliberately smaller and the transport deliberately
+    more impatient than the scripted chaos experiment's: a trial must
+    reach a quiescent horizon (all flows terminal) in well under a
+    second of wall clock, because the shrinker re-runs it dozens of
+    times.
+    """
+
+    num_vms: int = 48
+    num_flows: int = 120
+    min_flow_bytes: int = 800
+    max_flow_bytes: int = 6_000
+    arrival_span_ns: int = msec(3)
+    cache_ratio: float = 16.0
+    hop_bound: int = DEFAULT_HOP_BOUND
+    #: Transport give-up tuning: with the RTO capped at 2 ms and six
+    #: retransmissions, a flow whose destination is unreachable fails
+    #: within ~12 ms, which bounds the liveness horizon.
+    max_retransmits: int = 6
+    max_rto_ns: int = msec(2)
+    #: Gateway failure-detector tuning (only armed when the schedule
+    #: contains gateway events).
+    probe_interval_ns: int = usec(200)
+    miss_threshold: int = 3
+    fuzz: FuzzConfig = FuzzConfig()
+
+    def horizon_ns(self, schedule: FaultSchedule) -> int:
+        """A horizon leaving every flow time to reach a terminal state.
+
+        Last disruption (or last flow arrival, whichever is later) plus
+        a grace period covering a full give-up ladder of RTO-capped
+        retransmissions, with slack for detours and failover probes.
+        """
+        grace_ns = (self.max_retransmits + 2) * self.max_rto_ns + msec(2)
+        last_event = schedule.last_event_ns()
+        busy_ns = max(self.arrival_span_ns,
+                      last_event if last_event is not None else 0)
+        return busy_ns + grace_ns
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Verdict of one (schedule, scheme) run."""
+
+    trial: int
+    scheme: str
+    trial_seed: int
+    num_events: int
+    violations: tuple[OracleViolation, ...]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+
+@dataclass
+class ChaosFuzzResult:
+    """Everything one ``python -m repro chaos`` invocation produced."""
+
+    outcomes: list[TrialOutcome]
+    reproducer_path: str | None = None
+    shrunk_events: int | None = None
+
+    @property
+    def failures(self) -> list[TrialOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.failed]
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+
+# ----------------------------------------------------------------------
+# deliberate bugs (harness self-tests + shrinking demos)
+# ----------------------------------------------------------------------
+def _bug_skip_cache_flush(network: VirtualNetwork, suite: OracleSuite) -> None:
+    """Switch power cycles no longer flush the scheme's cache state.
+
+    Shadows the scheme's ``on_switch_reset`` with an instance attribute
+    of None, which :meth:`Switch._flush_scheme_state` treats as "no
+    flush hook".  A failed switch then keeps its SRAM — exactly the
+    stale-state resurrection the structural oracle forbids.
+    """
+    network.scheme.on_switch_reset = None
+
+
+def _bug_misdelivery_loop(network: VirtualNetwork, suite: OracleSuite) -> None:
+    """Misdelivered packets bounce back to the same wrong host forever.
+
+    Replaces the scheme's misdelivery re-forwarding with a rule that
+    re-addresses the packet to the very host that just rejected it —
+    the classic stale-rule forwarding loop the hop-bound oracle exists
+    to catch.
+    """
+    def bounce(host, packet) -> None:
+        packet.outer_dst = host.pip
+        packet.resolved = True
+        host.reforward(packet)
+    network.scheme.on_misdelivery = bounce
+
+
+def _bug_oracle_canary(network: VirtualNetwork, suite: OracleSuite) -> None:
+    """Arm the synthetic always-failing oracle (proves the gate gates)."""
+    suite.arm_canary()
+
+
+#: name -> injector(network, suite).  Injectors patch the per-run scheme
+#: instance (never the class), so no cleanup is needed.
+BUGS = {
+    "skip-cache-flush": _bug_skip_cache_flush,
+    "misdelivery-loop": _bug_misdelivery_loop,
+    "oracle-canary": _bug_oracle_canary,
+}
+
+
+# ----------------------------------------------------------------------
+# one trial
+# ----------------------------------------------------------------------
+def fuzz_flows(params: ChaosFuzzParams, trial_seed: int) -> list[FlowSpec]:
+    """The trial workload: short flows between random VM pairs."""
+    rng = np.random.default_rng(derive_seed(trial_seed, "flows"))
+    flows = []
+    for _ in range(params.num_flows):
+        src = int(rng.integers(0, params.num_vms))
+        dst = int(rng.integers(0, params.num_vms - 1))
+        if dst >= src:
+            dst += 1
+        flows.append(FlowSpec(
+            src_vip=src,
+            dst_vip=dst,
+            size_bytes=int(rng.integers(params.min_flow_bytes,
+                                        params.max_flow_bytes + 1)),
+            start_ns=int(rng.integers(0, params.arrival_span_ns)),
+        ))
+    return flows
+
+
+def _schedule_from(events) -> FaultSchedule:
+    """A fresh schedule over ``events`` (the fired log is per-apply)."""
+    schedule = FaultSchedule()
+    for event in events:
+        schedule.add(event)
+    return schedule
+
+
+def run_one_trial(scheme_name: str, events, params: ChaosFuzzParams,
+                  trial_seed: int, bug: str | None = None,
+                  trial: int = 0) -> TrialOutcome:
+    """Run one scheme under one fault-event list with oracles attached.
+
+    Deterministic in all arguments: the substrate RNG, the workload and
+    the schedule all derive from ``trial_seed``.  ``events`` may be any
+    subset of a generated schedule — this is the function the shrinker
+    re-runs.
+    """
+    spec = chaos_spec()
+    schedule = _schedule_from(events)
+    scheme = make_scheme(scheme_name, params.num_vms, params.cache_ratio)
+    network = VirtualNetwork(NetworkConfig(spec=spec, seed=trial_seed), scheme)
+    _place_tenants(network, spec, params.num_vms)
+    suite = OracleSuite(network, hop_bound=params.hop_bound)
+    if any(event.kind in _GATEWAY_KINDS for event in schedule.events):
+        # Configure the detector before the schedule's own (idempotent)
+        # enable call so the trial's probe timings take effect.
+        network.enable_gateway_failover(
+            probe_interval_ns=params.probe_interval_ns,
+            miss_threshold=params.miss_threshold)
+    if bug is not None:
+        BUGS[bug](network, suite)
+    schedule.apply(network)
+    suite.watch_schedule(schedule)
+    player = TrafficPlayer(network, TransportConfig(
+        max_retransmits=params.max_retransmits,
+        max_rto_ns=params.max_rto_ns))
+    player.add_flows(fuzz_flows(params, trial_seed))
+    horizon_ns = params.horizon_ns(schedule)
+    network.run(until=horizon_ns)
+    suite.finish(horizon_ns)
+    return TrialOutcome(trial=trial, scheme=scheme_name,
+                        trial_seed=trial_seed,
+                        num_events=len(schedule.events),
+                        violations=tuple(suite.violations))
+
+
+# ----------------------------------------------------------------------
+# shrinking + reproducer artifacts
+# ----------------------------------------------------------------------
+def shrink_failure(outcome: TrialOutcome, events, params: ChaosFuzzParams,
+                   bug: str | None = None, progress=None) -> list:
+    """ddmin the event list to a minimal subset re-tripping the oracle.
+
+    "Still failing" means: re-running the identical trial with the
+    candidate events trips at least one violation of the *same oracle*
+    as the original failure (not necessarily the same detail string —
+    shrinking changes timing).
+    """
+    target_oracle = outcome.violations[0].oracle
+    attempts = 0
+
+    def still_fails(candidate) -> bool:
+        nonlocal attempts
+        attempts += 1
+        if progress is not None:
+            progress(attempts, len(candidate))
+        result = run_one_trial(outcome.scheme, candidate, params,
+                               outcome.trial_seed, bug, outcome.trial)
+        return any(v.oracle == target_oracle for v in result.violations)
+
+    return ddmin(list(events), still_fails)
+
+
+def write_reproducer(path, outcome: TrialOutcome, events,
+                     params: ChaosFuzzParams, root_seed: int,
+                     bug: str | None, original_events: int,
+                     target_oracle: str | None = None) -> Path:
+    """Write the JSON artifact ``python -m repro chaos --replay`` reads."""
+    path = Path(path)
+    violation = outcome.violations[0]
+    if target_oracle is not None:
+        for candidate in outcome.violations:
+            if candidate.oracle == target_oracle:
+                violation = candidate
+                break
+    payload = {
+        "format": _ARTIFACT_FORMAT,
+        "version": _ARTIFACT_VERSION,
+        "scheme": outcome.scheme,
+        "root_seed": root_seed,
+        "trial": outcome.trial,
+        "trial_seed": outcome.trial_seed,
+        "bug": bug,
+        "oracle": violation.oracle,
+        "detail": violation.detail,
+        "params": dataclasses.asdict(params),
+        "schedule": _schedule_from(events).to_dict(),
+        "original_events": original_events,
+        "command": f"python -m repro chaos --replay {path}",
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _params_from_dict(data: dict) -> ChaosFuzzParams:
+    fields = dict(data)
+    fuzz = FuzzConfig(**fields.pop("fuzz"))
+    return ChaosFuzzParams(fuzz=fuzz, **fields)
+
+
+def replay_reproducer(path) -> TrialOutcome:
+    """Re-run a saved reproducer artifact exactly as recorded."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != _ARTIFACT_FORMAT:
+        raise ValueError(f"{path} is not a chaos reproducer artifact")
+    if data.get("version") != _ARTIFACT_VERSION:
+        raise ValueError(f"{path} has artifact version {data.get('version')}, "
+                         f"this build reads version {_ARTIFACT_VERSION}")
+    params = _params_from_dict(data["params"])
+    schedule = FaultSchedule.from_dict(data["schedule"])
+    return run_one_trial(data["scheme"], schedule.events, params,
+                         int(data["trial_seed"]), data.get("bug"),
+                         int(data["trial"]))
+
+
+# ----------------------------------------------------------------------
+# the trial loop
+# ----------------------------------------------------------------------
+def run_chaos_fuzz(trials: int, seed: int,
+                   schemes: tuple[str, ...] = CHAOS_FUZZ_SCHEMES,
+                   params: ChaosFuzzParams | None = None,
+                   bug: str | None = None,
+                   artifact_dir=None,
+                   shrink: bool = True,
+                   progress=None) -> ChaosFuzzResult:
+    """Run fuzzed chaos trials; shrink + archive the first failure.
+
+    Each trial derives its own seed from ``seed``, samples one schedule
+    and runs it against every scheme.  Scanning stops at the first
+    failing run (further trials would re-report the same defect); when
+    ``shrink`` is set, the failing schedule is minimized and — if
+    ``artifact_dir`` is given — written out as a reproducer artifact.
+
+    Args:
+        progress: optional ``progress(done, total, label)`` callback
+            fired after every scheme run.
+    """
+    if params is None:
+        params = ChaosFuzzParams()
+    spec = chaos_spec()
+    result = ChaosFuzzResult(outcomes=[])
+    total = trials * len(schemes)
+    done = 0
+    for trial in range(trials):
+        trial_seed = derive_seed(seed, f"chaos-trial-{trial}")
+        schedule = generate_schedule(spec, params.num_vms, params.fuzz,
+                                     seed=trial_seed)
+        events = list(schedule.events)
+        for scheme_name in schemes:
+            outcome = run_one_trial(scheme_name, events, params, trial_seed,
+                                    bug, trial)
+            result.outcomes.append(outcome)
+            done += 1
+            if progress is not None:
+                progress(done, total, f"trial {trial}/{scheme_name}: "
+                         + ("FAIL" if outcome.failed else "ok"))
+            if outcome.failed:
+                final = outcome
+                shrunk = events
+                if shrink:
+                    shrunk = shrink_failure(outcome, events, params, bug)
+                    # One more run on the minimal events so the artifact
+                    # records the violation the replay will reproduce.
+                    final = run_one_trial(scheme_name, shrunk, params,
+                                          trial_seed, bug, trial)
+                result.shrunk_events = len(shrunk)
+                if artifact_dir is not None:
+                    target = outcome.violations[0].oracle
+                    name = (f"chaos-repro-{outcome.scheme}-{target}"
+                            f"-trial{trial}.json")
+                    result.reproducer_path = str(write_reproducer(
+                        Path(artifact_dir) / name, final, shrunk, params,
+                        seed, bug, len(events), target_oracle=target))
+                return result
+    return result

@@ -1,5 +1,17 @@
-"""Fault injection: timed schedules of switch/link/gateway failures."""
+"""Fault injection: timed schedules, chaos fuzzing, oracles, shrinking."""
 
+from repro.faults.fuzz import FuzzConfig, generate_schedule
+from repro.faults.oracles import OracleSuite, OracleViolation
 from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.faults.shrink import ddmin
 
-__all__ = ["FaultEvent", "FaultKind", "FaultSchedule"]
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "FuzzConfig",
+    "generate_schedule",
+    "OracleSuite",
+    "OracleViolation",
+    "ddmin",
+]

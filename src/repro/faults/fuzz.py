@@ -1,0 +1,232 @@
+"""Randomized fault-schedule generation (chaos fuzzing).
+
+Hand-written :class:`~repro.faults.FaultSchedule` objects only test the
+failures someone already thought of.  This module samples *random*
+schedules from the live topology — switch outages, link cuts, random
+link loss, gateway crashes and VM migrations, with tunable mix,
+intensity and burstiness — deterministically from a seed, so a failing
+trial is exactly reproducible (and shrinkable, see
+:mod:`repro.faults.shrink`).
+
+Targets are enumerated from the :class:`~repro.net.topology.FatTreeSpec`
+in a fixed order, and every random draw comes from one
+``numpy`` generator seeded via :func:`repro.sim.randomness.derive_seed`,
+so the same ``(spec, num_vms, config, seed)`` always yields the same
+event list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.net.topology import FatTreeSpec
+from repro.sim.engine import msec, usec
+from repro.sim.randomness import derive_seed
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Tuning knobs of the schedule generator.
+
+    Attributes:
+        window_ns: faults are injected in ``[0, window_ns)``; recovery
+            events may land up to ``max_outage_ns`` past the window.
+        mean_events: Poisson mean of the number of disruptions sampled
+            (recoveries paired by ``ensure_recovery`` do not count).
+        burstiness: probability in [0, 1] that a disruption fires in a
+            tight burst right after the previous one instead of at an
+            independent uniform time — correlated failures (rack power
+            events, maintenance scripts) are where protocols break.
+        ensure_recovery: when True, every switch/link/gateway fault is
+            paired with a recovery (and every loss event with a
+            loss-clearing event), so liveness oracles may demand that
+            all flows reach a terminal state after the last recovery.
+            When False, roughly half the faults are permanent.
+        min_outage_ns / max_outage_ns: outage duration bounds.
+        max_loss_rate: upper bound of the per-packet loss probability
+            imposed by LINK_LOSS events (lower bound 5%).
+        switch_weight / link_weight / loss_weight / gateway_weight /
+            migrate_weight: relative probability of each disruption
+            kind; a zero weight removes the kind from the mix.
+    """
+
+    window_ns: int = msec(4)
+    mean_events: int = 6
+    burstiness: float = 0.3
+    ensure_recovery: bool = True
+    min_outage_ns: int = usec(300)
+    max_outage_ns: int = msec(1.5)
+    max_loss_rate: float = 0.25
+    switch_weight: float = 3.0
+    link_weight: float = 3.0
+    loss_weight: float = 1.5
+    gateway_weight: float = 2.0
+    migrate_weight: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.window_ns <= 0:
+            raise ValueError("fault window must be positive")
+        if not 0.0 <= self.burstiness <= 1.0:
+            raise ValueError(f"burstiness must be in [0, 1], got "
+                             f"{self.burstiness}")
+        if not 0 < self.min_outage_ns <= self.max_outage_ns:
+            raise ValueError("need 0 < min_outage_ns <= max_outage_ns")
+        if not 0.05 <= self.max_loss_rate <= 1.0:
+            raise ValueError("max_loss_rate must be in [0.05, 1]")
+        weights = (self.switch_weight, self.link_weight, self.loss_weight,
+                   self.gateway_weight, self.migrate_weight)
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("fault-kind weights must be >= 0 and not all 0")
+
+
+# ----------------------------------------------------------------------
+# target enumeration (fixed order => deterministic sampling)
+# ----------------------------------------------------------------------
+def switch_targets(spec: FatTreeSpec) -> list[tuple]:
+    """Every switch locator, in construction order."""
+    targets: list[tuple] = [("tor", pod, rack)
+                            for pod in range(spec.pods)
+                            for rack in range(spec.racks_per_pod)]
+    targets.extend(("spine", pod, j)
+                   for pod in range(spec.pods)
+                   for j in range(spec.spines_per_pod))
+    targets.extend(("core", c) for c in range(spec.num_cores))
+    return targets
+
+
+def cable_targets(spec: FatTreeSpec) -> list[tuple]:
+    """Every switch-to-switch cable as an (a_locator, b_locator) pair."""
+    cables: list[tuple] = []
+    for pod in range(spec.pods):
+        for rack in range(spec.racks_per_pod):
+            for j in range(spec.spines_per_pod):
+                cables.append((("tor", pod, rack), ("spine", pod, j)))
+    group = (spec.num_cores // spec.spines_per_pod
+             if spec.spines_per_pod else 0)
+    for pod in range(spec.pods):
+        for j in range(spec.spines_per_pod):
+            for g in range(group):
+                cables.append((("spine", pod, j), ("core", j * group + g)))
+    return cables
+
+
+def tenant_slots(spec: FatTreeSpec) -> list[tuple[int, int, int]]:
+    """(pod, rack, host) slots outside the gateway racks.
+
+    Matches the chaos experiments' tenant placement (gateway racks are
+    dedicated, paper Figure 8), so migration targets always name a
+    server that actually hosts tenant VMs.
+    """
+    gateway_racks = [(pod, spec.gateway_rack) for pod in spec.gateway_pods]
+    return [(pod, rack, h)
+            for pod in range(spec.pods)
+            for rack in range(spec.racks_per_pod)
+            if (pod, rack) not in gateway_racks
+            for h in range(spec.servers_per_rack)]
+
+
+# ----------------------------------------------------------------------
+# generation
+# ----------------------------------------------------------------------
+#: Jitter window for bursty events: a burst member fires within this
+#: many nanoseconds of its predecessor.
+_BURST_SPREAD_NS = usec(50)
+
+
+def generate_schedule(spec: FatTreeSpec, num_vms: int,
+                      config: FuzzConfig | None = None,
+                      seed: int = 0) -> FaultSchedule:
+    """Sample one random fault schedule for ``spec``.
+
+    Args:
+        spec: topology the schedule will target (locators are derived
+            from it, so the schedule applies to any network built from
+            an identical spec).
+        num_vms: VIP space size; migration events pick VIPs below it.
+            Zero disables migrations regardless of their weight.
+        config: generator tuning; defaults to :class:`FuzzConfig`.
+        seed: every draw derives from this — identical seeds yield
+            identical schedules.
+
+    Returns:
+        A :class:`FaultSchedule` with events sorted by firing time.
+    """
+    if config is None:
+        config = FuzzConfig()
+    rng = np.random.default_rng(derive_seed(seed, "chaos-fuzz"))
+
+    switches = switch_targets(spec)
+    cables = cable_targets(spec)
+    slots = tenant_slots(spec)
+    kinds: list[str] = []
+    weights: list[float] = []
+    for kind, weight, viable in (
+            ("switch", config.switch_weight, bool(switches)),
+            ("link", config.link_weight, bool(cables)),
+            ("loss", config.loss_weight, bool(cables)),
+            ("gateway", config.gateway_weight, spec.num_gateways > 0),
+            ("migrate", config.migrate_weight, num_vms > 0 and bool(slots))):
+        if weight > 0 and viable:
+            kinds.append(kind)
+            weights.append(weight)
+    total_weight = sum(weights)
+
+    count = 1 + int(rng.poisson(max(0, config.mean_events - 1)))
+    count = min(count, 4 * config.mean_events + 4)
+
+    schedule = FaultSchedule()
+    prev_ns: int | None = None
+    for _ in range(count):
+        if prev_ns is not None and float(rng.random()) < config.burstiness:
+            at_ns = min(config.window_ns - 1,
+                        prev_ns + int(rng.integers(0, _BURST_SPREAD_NS)))
+        else:
+            at_ns = int(rng.integers(0, config.window_ns))
+        prev_ns = at_ns
+        kind = _pick_weighted(rng, kinds, weights, total_weight)
+        outage_ns = int(rng.integers(config.min_outage_ns,
+                                     config.max_outage_ns + 1))
+        recover = config.ensure_recovery or float(rng.random()) < 0.5
+        if kind == "switch":
+            where = switches[int(rng.integers(len(switches)))]
+            schedule.add(FaultEvent(at_ns, FaultKind.SWITCH_FAIL, where))
+            if recover:
+                schedule.add(FaultEvent(at_ns + outage_ns,
+                                        FaultKind.SWITCH_RECOVER, where))
+        elif kind == "link":
+            a_loc, b_loc = cables[int(rng.integers(len(cables)))]
+            schedule.link_down(at_ns, a_loc, b_loc)
+            if recover:
+                schedule.link_up(at_ns + outage_ns, a_loc, b_loc)
+        elif kind == "loss":
+            a_loc, b_loc = cables[int(rng.integers(len(cables)))]
+            rate = 0.05 + float(rng.random()) * (config.max_loss_rate - 0.05)
+            schedule.link_loss(at_ns, a_loc, b_loc, rate)
+            if recover:
+                schedule.link_loss(at_ns + outage_ns, a_loc, b_loc, 0.0)
+        elif kind == "gateway":
+            index = int(rng.integers(spec.num_gateways))
+            schedule.crash_gateway(at_ns, index)
+            if recover:
+                schedule.restart_gateway(at_ns + outage_ns, index)
+        else:  # migrate: churn, never needs a recovery event
+            vip = int(rng.integers(num_vms))
+            pod, rack, host = slots[int(rng.integers(len(slots)))]
+            schedule.migrate_vm(at_ns, vip, pod, rack, host)
+    schedule.events.sort(key=lambda e: e.at_ns)
+    return schedule
+
+
+def _pick_weighted(rng, kinds: list[str], weights: list[float],
+                   total: float) -> str:
+    """One weighted draw without building numpy object arrays."""
+    roll = float(rng.random()) * total
+    acc = 0.0
+    for kind, weight in zip(kinds, weights):
+        acc += weight
+        if roll < acc:
+            return kind
+    return kinds[-1]

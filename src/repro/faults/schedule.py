@@ -17,6 +17,7 @@ object so a schedule is not tied to one network instance.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING
@@ -38,6 +39,11 @@ class FaultKind(Enum):
     LINK_LOSS = "link-loss"
     GATEWAY_CRASH = "gateway-crash"
     GATEWAY_RESTART = "gateway-restart"
+    #: Control-plane churn rather than a fault proper: live-migrate a
+    #: VM to a located server.  Included so randomized schedules can
+    #: exercise the lazy-invalidation path (stale caches, follow-me,
+    #: misdelivery re-forwarding) alongside failures.
+    VM_MIGRATE = "vm-migrate"
 
 
 @dataclass(frozen=True)
@@ -145,6 +151,13 @@ class FaultSchedule:
         self.crash_gateway(start_ns, index)
         return self.restart_gateway(start_ns + duration_ns, index)
 
+    def migrate_vm(self, at_ns: int, vip: int, pod: int, rack: int,
+                   host_index: int) -> FaultSchedule:
+        """Live-migrate ``vip`` to the server at (pod, rack, host_index)."""
+        return self.add(FaultEvent(at_ns, FaultKind.VM_MIGRATE,
+                                   ("vm", int(vip), int(pod), int(rack),
+                                    int(host_index))))
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -166,6 +179,40 @@ class FaultSchedule:
                 if e.kind in (FaultKind.SWITCH_RECOVER, FaultKind.LINK_UP,
                               FaultKind.GATEWAY_RESTART)]
         return max(ends, default=None)
+
+    def last_event_ns(self) -> int | None:
+        """Time of the latest event of any kind (migrations included)."""
+        return max((e.at_ns for e in self.events), default=None)
+
+    # ------------------------------------------------------------------
+    # serialization (reproducer artifacts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form of the schedule (events only, not ``fired``)."""
+        return {"events": [
+            {"at_ns": e.at_ns, "kind": e.kind.value,
+             "target": _listify(e.target), "loss_rate": e.loss_rate}
+            for e in self.events
+        ]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FaultSchedule:
+        schedule = cls()
+        for entry in data["events"]:
+            schedule.add(FaultEvent(
+                at_ns=int(entry["at_ns"]),
+                kind=FaultKind(entry["kind"]),
+                target=_tuplify(entry["target"]),
+                loss_rate=float(entry.get("loss_rate", 0.0))))
+        return schedule
+
+    def to_json(self) -> str:
+        """Serialize to JSON; :meth:`from_json` round-trips exactly."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> FaultSchedule:
+        return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------
     # application
@@ -203,6 +250,8 @@ class FaultSchedule:
                 link.set_loss(event.loss_rate, rng)
                 label = (f"{kind.value} {event.loss_rate:.0%} "
                          f"{link.src.name}<->{link.dst.name}")
+        elif kind is FaultKind.VM_MIGRATE:
+            label = self._fire_migration(network, event.target)
         else:
             gateway = self._find_gateway(network, event.target)
             if kind is FaultKind.GATEWAY_CRASH:
@@ -211,6 +260,23 @@ class FaultSchedule:
                 gateway.recover()
             label = f"{kind.value} {gateway.name}"
         self.fired.append((network.engine.now, label))
+
+    @staticmethod
+    def _fire_migration(network: VirtualNetwork, target: tuple) -> str:
+        """Resolve a ``("vm", vip, pod, rack, host)`` target and migrate.
+
+        A target naming a VIP or server the network does not have is a
+        logged no-op rather than an error: randomized schedules must
+        stay applicable (and deterministic) across topologies.
+        """
+        from repro.net.addresses import make_pip
+        _tag, vip, pod, rack, host_index = target
+        host = network.host_by_pip.get(make_pip(pod, rack, host_index))
+        if host is None or network.database.get(vip) is None:
+            return (f"{FaultKind.VM_MIGRATE.value} vip {vip} -> "
+                    f"({pod},{rack},{host_index}) skipped: no such vip/server")
+        network.migrate(vip, host)
+        return f"{FaultKind.VM_MIGRATE.value} vip {vip} -> {host.name}"
 
     # ------------------------------------------------------------------
     # locator resolution
@@ -240,6 +306,20 @@ class FaultSchedule:
     @staticmethod
     def _find_gateway(network: VirtualNetwork, locator: tuple) -> Gateway:
         return network.gateways[locator[1]]
+
+
+def _listify(value):
+    """Recursively turn locator tuples into JSON-friendly lists."""
+    if isinstance(value, tuple):
+        return [_listify(item) for item in value]
+    return value
+
+
+def _tuplify(value):
+    """Inverse of :func:`_listify`: nested lists back into tuples."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
 
 
 def _switch_locator(layer: str, where) -> tuple:

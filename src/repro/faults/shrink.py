@@ -1,0 +1,79 @@
+"""Delta-debugging minimization of failing fault schedules.
+
+When a fuzzed schedule trips an oracle, the raw schedule usually mixes
+the one or two events that matter with a dozen that do not.  This
+module implements the classic ``ddmin`` algorithm (Zeller & Hildebrandt,
+"Simplifying and isolating failure-inducing input") over the *event
+list* of a :class:`~repro.faults.FaultSchedule`: it repeatedly re-runs
+the trial on subsets and complements of the events, keeping any smaller
+event list that still reproduces the failure, until the result is
+1-minimal — removing any single remaining event makes the failure
+disappear.
+
+The predicate the chaos driver supplies re-runs the full trial (same
+seed, same traffic, same scheme) with the candidate events, so the
+shrunk schedule is guaranteed to reproduce standalone.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def ddmin(items: Sequence[T],
+          failing: Callable[[list[T]], bool]) -> list[T]:
+    """Minimize ``items`` to a 1-minimal subset where ``failing`` holds.
+
+    Args:
+        items: the full failure-inducing input (event list).
+        failing: returns True when the given subset still reproduces
+            the failure.  Must hold for ``items`` itself.
+
+    Returns:
+        A subset of ``items`` (original order preserved) for which
+        ``failing`` returns True and removing any single element makes
+        it return False.
+    """
+    current = list(items)
+    if not failing(current):
+        raise ValueError("ddmin precondition: the full input must fail")
+    granularity = 2
+    while len(current) >= 2:
+        chunks = _split(current, granularity)
+        reduced = False
+        # Try each chunk alone, then each complement.
+        for chunk in chunks:
+            if failing(chunk):
+                current = chunk
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            for index in range(len(chunks)):
+                complement = [item for j, chunk in enumerate(chunks)
+                              if j != index for item in chunk]
+                if failing(complement):
+                    current = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def _split(items: list[T], pieces: int) -> list[list[T]]:
+    """Partition ``items`` into ``pieces`` contiguous, near-even chunks."""
+    chunks: list[list[T]] = []
+    start = 0
+    for index in range(pieces):
+        end = start + (len(items) - start) // (pieces - index)
+        if end > start:
+            chunks.append(items[start:end])
+        start = end
+    return chunks

@@ -35,6 +35,10 @@ class FlowRecord:
     #: experiments with dead endpoints still finish and can report
     #: per-flow availability.
     failed: bool = False
+    #: Why the flow failed (e.g. ``"max-retransmits"``).  Every failed
+    #: flow must carry one — the chaos oracles treat a failure without
+    #: a reason as a harness bug.
+    failure_reason: str | None = None
 
     @property
     def completed(self) -> bool:
@@ -127,6 +131,16 @@ class Collector:
     def failed_flows(self) -> list[FlowRecord]:
         """Flows whose transport gave up (terminal, never completing)."""
         return [flow for flow in self.flows.values() if flow.failed]
+
+    def unterminated_flows(self) -> list[FlowRecord]:
+        """Flows that ended the run neither completed nor failed.
+
+        Non-empty only while flows are genuinely in flight; at a
+        quiescent horizon the chaos liveness oracle requires this to be
+        empty.
+        """
+        return [flow for flow in self.flows.values()
+                if not flow.completed and not flow.failed]
 
     @property
     def completion_rate(self) -> float:

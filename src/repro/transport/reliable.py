@@ -152,6 +152,7 @@ class ReliableSender:
             # Give up: the destination (or every gateway on the way to
             # it) is unreachable.  Terminal state — no more timers.
             self.record.failed = True
+            self.record.failure_reason = "max-retransmits"
             self.done = True
             return
         # Retransmission timeout: go back to the hole, collapse cwnd.

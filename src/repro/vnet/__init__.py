@@ -5,7 +5,7 @@ from repro.vnet.gateway import Gateway
 from repro.vnet.hypervisor import Host
 from repro.vnet.mapping import MappingDatabase, MappingError
 from repro.vnet.network import NetworkConfig, VirtualNetwork
-from repro.vnet.validation import assert_valid, validate_network
+from repro.vnet.validation import assert_valid, check_invariants, validate_network
 
 __all__ = [
     "MappingDatabase",
@@ -16,5 +16,6 @@ __all__ = [
     "NetworkConfig",
     "VirtualNetwork",
     "validate_network",
+    "check_invariants",
     "assert_valid",
 ]

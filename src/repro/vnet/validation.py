@@ -5,6 +5,14 @@ database, per-host VM sets, per-ToR attachment tables, fabric wiring.
 ``validate_network`` audits all of it and returns human-readable
 descriptions of any inconsistencies; tests and long experiments run it
 to catch state-corruption bugs early.
+
+``check_invariants`` is the degraded-network-aware superset: it accepts
+failed switches, downed links and crashed gateways as legitimate states
+(a mid-outage network is *supposed* to look like that) and instead
+audits that the failure bookkeeping itself is consistent — fault
+counters match the visible failures, a failed switch really lost its
+cache SRAM, the hypervisors' live-gateway pool is a well-formed subset.
+The chaos oracles sweep it after every fault event.
 """
 
 from __future__ import annotations
@@ -24,9 +32,21 @@ def validate_network(network: VirtualNetwork) -> list[str]:
     return issues
 
 
+def check_invariants(network: VirtualNetwork) -> list[str]:
+    """``validate_network`` plus failure-state consistency.
+
+    Safe to run on a degraded network: failed switches, downed links
+    and crashed gateways are tolerated, but their *bookkeeping* must be
+    coherent — see :func:`_check_fault_state`.
+    """
+    issues = validate_network(network)
+    issues.extend(_check_fault_state(network))
+    return issues
+
+
 def assert_valid(network: VirtualNetwork) -> None:
     """Raise :class:`AssertionError` listing any invariant violations."""
-    issues = validate_network(network)
+    issues = check_invariants(network)
     if issues:
         raise AssertionError("network invariants violated:\n  "
                              + "\n  ".join(issues))
@@ -87,6 +107,60 @@ def _check_wiring(network: VirtualNetwork) -> list[str]:
         if set(core.pod_links) != set(range(spec.pods)):
             issues.append(f"{core.name} does not reach every pod")
     return issues
+
+
+def _check_fault_state(network: VirtualNetwork) -> list[str]:
+    """Failure bookkeeping is consistent with the visible failures."""
+    issues = []
+    fabric = network.fabric
+    failed_switches = [sw for sw in fabric.switches if sw.failed]
+    down_links = sum(1 for link in _all_links(network) if not link.up)
+    expected = len(failed_switches) + down_links
+    if fabric.fault_count != expected:
+        issues.append(
+            f"fabric.fault_count is {fabric.fault_count} but "
+            f"{len(failed_switches)} failed switch(es) + {down_links} down "
+            f"link(s) = {expected} faults are visible")
+    # A failed switch lost power: its cache SRAM must be empty until the
+    # scheme repopulates it after recovery.  (Schemes without per-switch
+    # caches have nothing to check.)
+    cache_of = getattr(network.scheme, "cache_of", None)
+    if cache_of is not None:
+        for switch in failed_switches:
+            cache = cache_of(switch)
+            if cache is not None and cache.occupancy() != 0:
+                issues.append(
+                    f"{switch.name} is failed but its cache still holds "
+                    f"{cache.occupancy()} entries (SRAM must not survive "
+                    "power loss)")
+    # The hypervisors' live pool is a well-formed view of the fleet: a
+    # subset of commissioned gateways, no duplicates.  (It may lag the
+    # truth — failure detection takes probes — so crashed-but-listed and
+    # recovered-but-delisted gateways are legitimate.)
+    live = network.live_gateways
+    if len(live) != len(set(id(gw) for gw in live)):
+        issues.append("live-gateway pool lists a gateway twice")
+    commissioned = set(id(gw) for gw in network.gateways)
+    for gateway in live:
+        if id(gateway) not in commissioned:
+            issues.append(f"live-gateway pool lists decommissioned "
+                          f"{gateway.name}")
+    return issues
+
+
+def _all_links(network: VirtualNetwork):
+    """Every link in the network, switch fabric and edge alike."""
+    fabric = network.fabric
+    links = list(fabric._switch_links.values())
+    for tor in fabric.tors.values():
+        links.extend(tor.host_links.values())
+    for host in network.hosts:
+        if host.uplink is not None:
+            links.append(host.uplink)
+    for gateway in network.gateways:
+        if gateway.uplink is not None:
+            links.append(gateway.uplink)
+    return links
 
 
 def _check_gateways(network: VirtualNetwork) -> list[str]:

@@ -213,6 +213,82 @@ def test_transport_gives_up_after_max_retransmits():
     assert all(record.failed for record in records)
     assert all(record.retransmissions >= 3 for record in records)
     assert len(network.collector.failed_flows()) == len(records)
+    # Give-ups are explicit terminal states: reason recorded, nothing
+    # left dangling (the chaos liveness oracle depends on both).
+    assert all(record.failure_reason == "max-retransmits"
+               for record in records)
+    assert network.collector.unterminated_flows() == []
+
+
+def test_unterminated_flows_tracks_open_work():
+    network = small_network(NoCache(), num_vms=8)
+    player = TrafficPlayer(network)
+    records = player.add_flows(steady_flows(1, span_ns=0))
+    network.run(until=usec(1))  # cut the run mid-flow
+    assert network.collector.unterminated_flows() == records
+    network.run(until=msec(40))
+    assert records[0].completed
+    assert network.collector.unterminated_flows() == []
+
+
+def test_detector_reinstates_recovery_at_backoff_ceiling():
+    """A gateway that recovers while probes sit at the backoff ceiling
+    is reinstated within one ceiling-length probe period."""
+    network = small_network(NoCache(), num_vms=8)
+    detector = network.enable_gateway_failover(
+        probe_interval_ns=usec(100), backoff_base_ns=usec(100),
+        max_backoff_ns=usec(400), miss_threshold=2)
+    gateway = network.gateways[0]
+    network.engine.schedule(usec(50), gateway.fail)
+    # Probes at 100, 200 (detection), 400, 800, then every 400 (ceiling).
+    network.run(until=usec(2_000))
+    assert detector.detections == 1
+    assert gateway not in network.live_gateways
+    assert detector._misses[gateway.pip] >= detector.miss_threshold
+    network.engine.schedule(usec(2_100), gateway.recover)
+    network.run(until=usec(2_100) + usec(400))
+    assert detector.reinstatements == 1
+    assert gateway in network.live_gateways
+    assert detector._misses[gateway.pip] == 0
+
+
+def test_detector_survives_crash_restart_crash_between_probes():
+    """Flapping faster than the probe period must not wedge the loop."""
+    network = small_network(NoCache(), num_vms=8)
+    detector = network.enable_gateway_failover(
+        probe_interval_ns=usec(200), backoff_base_ns=usec(100),
+        max_backoff_ns=usec(400), miss_threshold=2)
+    gateway = network.gateways[0]
+    # All three transitions land inside the first probe interval.
+    network.engine.schedule(usec(10), gateway.fail)
+    network.engine.schedule(usec(20), gateway.recover)
+    network.engine.schedule(usec(30), gateway.fail)
+    network.run(until=msec(3))
+    # The probe loop saw only "failed": detection happened exactly once.
+    assert detector.detections == 1
+    assert detector.reinstatements == 0
+    assert gateway not in network.live_gateways
+    # A later recovery is still picked up — the detector never wedged.
+    probes_before = detector.probes_sent
+    network.engine.schedule(msec(3) + usec(10), gateway.recover)
+    network.run(until=msec(4))
+    assert detector.probes_sent > probes_before
+    assert detector.reinstatements == 1
+    assert gateway in network.live_gateways
+
+
+def test_detector_ignores_blip_shorter_than_a_probe():
+    """A crash healed before any probe fires is never failed over."""
+    network = small_network(NoCache(), num_vms=8)
+    detector = network.enable_gateway_failover(
+        probe_interval_ns=usec(200), miss_threshold=2)
+    gateway = network.gateways[0]
+    network.engine.schedule(usec(10), gateway.fail)
+    network.engine.schedule(usec(20), gateway.recover)
+    network.run(until=msec(2))
+    assert detector.detections == 0
+    assert detector.reinstatements == 0
+    assert gateway in network.live_gateways
 
 
 def test_ondemand_install_requires_live_gateway():

@@ -60,3 +60,65 @@ def test_assert_valid_raises_with_details():
     network.hosts[0].endpoints[999] = object()
     with pytest.raises(AssertionError, match="endpoint"):
         assert_valid(network)
+
+
+# ----------------------------------------------------------------------
+# check_invariants: the chaos oracles' structural sweep
+# ----------------------------------------------------------------------
+def test_check_invariants_clean_on_degraded_network():
+    """Legitimate fault states (mid-outage) are not violations."""
+    from repro.core import SwitchV2P
+    from repro.faults import FaultSchedule
+    from repro.sim.engine import msec, usec
+    from repro.vnet.validation import check_invariants
+
+    network = small_network(SwitchV2P(200), num_vms=8)
+    schedule = (FaultSchedule()
+                .switch_outage("spine", (0, 0), usec(100), msec(2))
+                .link_outage(("tor", 0, 0), ("spine", 0, 1),
+                             usec(150), msec(2))
+                .gateway_outage(0, usec(200), msec(2)))
+    schedule.apply(network)
+    network.run(until=msec(1))  # mid-outage: everything still down
+    assert check_invariants(network) == []
+    network.run(until=msec(5))  # after recovery
+    assert check_invariants(network) == []
+
+
+def test_check_invariants_detects_unaccounted_switch_failure():
+    from repro.vnet.validation import check_invariants
+
+    network = small_network(NoCache(), num_vms=8)
+    # Corrupt: mark a switch failed without the fabric's accounting.
+    network.fabric.spines[(0, 0)]._failed = True
+    issues = check_invariants(network)
+    assert any("fault_count" in issue for issue in issues)
+
+
+def test_check_invariants_detects_surviving_sram():
+    from repro.core import SwitchV2P
+    from repro.vnet.validation import check_invariants
+
+    network = small_network(SwitchV2P(200), num_vms=8)
+    switch = network.fabric.spines[(0, 0)]
+    switch.fail()
+    # Corrupt: resurrect a cache entry inside the powered-off switch.
+    network.scheme.cache_of(switch).insert(0, network.database.get(0))
+    issues = check_invariants(network)
+    assert any("SRAM" in issue for issue in issues)
+
+
+def test_check_invariants_detects_corrupt_gateway_pool():
+    from repro.vnet.validation import check_invariants
+
+    network = small_network(NoCache(), num_vms=8)
+    network.live_gateways.append(network.live_gateways[0])
+    issues = check_invariants(network)
+    assert any("twice" in issue for issue in issues)
+
+
+def test_assert_valid_covers_fault_state():
+    network = small_network(NoCache(), num_vms=8)
+    network.fabric.fault_count = 5  # no visible fault justifies this
+    with pytest.raises(AssertionError, match="fault_count"):
+        assert_valid(network)
