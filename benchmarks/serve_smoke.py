@@ -1,0 +1,90 @@
+"""CI smoke check for always-on service mode.
+
+Exercises ``python -m repro serve`` end to end and asserts the ISSUE's
+acceptance contract:
+
+1. a 60-simulated-second run with continuous tenant/VM churn and the
+   rolling maintenance rotation completes with *zero* always-on oracle
+   violations, emits a full streaming-SLO timeline (>= 10 windows), and
+   reports post-maintenance hit-ratio recovery (a time-to-recover for
+   every maintenance event, gateways included);
+2. memory stays O(window): the peak number of co-resident FlowRecords
+   is a small multiple of one window's flow count, not the run total;
+3. the gate can go red: an absurd hop bound trips the forwarding-loop
+   oracle mid-run, fails fast, writes a reproducer artifact, and
+   replaying that artifact re-trips the same oracle (the config *is*
+   the reproducer).
+
+This is a hard pass/fail gate; everything is seed-deterministic, so
+runner noise cannot flake it.  Run as
+``PYTHONPATH=src python benchmarks/serve_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.service import ServiceConfig, replay_reproducer, run_service
+from repro.sim.engine import SECOND
+
+DURATION_S = 60
+MIN_WINDOWS = 10
+#: Peak co-resident FlowRecords must stay below this fraction of the
+#: total flows started — the bounded-memory acceptance bound.
+MAX_RETAINED_FRACTION = 0.10
+
+
+def main() -> int:
+    # 1. the long steady-state run must be clean and fully observable.
+    result = run_service(ServiceConfig(duration_ns=DURATION_S * SECOND))
+    assert result.clean, [str(v) for v in result.violations]
+    assert len(result.windows) >= MIN_WINDOWS, len(result.windows)
+    assert result.flows_completed > 0
+    assert result.tenants_departed > 0 and result.tenants_retired > 0
+    assert result.migrations > 0
+    gateway_events = [m for m in result.maintenance
+                      if m.event.target.startswith("gateway")]
+    assert len(gateway_events) >= 2, \
+        "the rotation must reach the gateways within a minute"
+    assert result.gateway_failovers >= 1
+    assert result.gateway_reinstatements >= 1
+    missing = [m.event.target for m in result.maintenance
+               if m.time_to_recover_ns is None]
+    assert not missing, f"no recovery observed after: {missing}"
+    print(f"clean: {len(result.windows)} windows, "
+          f"{result.flows_completed}/{result.flows_started} flows, "
+          f"{len(result.maintenance)} maintenance windows all recovered, "
+          f"{result.gateway_reinstatements} gateway reinstatement(s)")
+
+    # 2. bounded memory: retained records are O(window), not O(run).
+    fraction = result.peak_retained_records / result.flows_started
+    assert fraction <= MAX_RETAINED_FRACTION, \
+        (result.peak_retained_records, result.flows_started)
+    print(f"bounded memory: peak {result.peak_retained_records} retained "
+          f"records over {result.flows_started} flows "
+          f"({100 * fraction:.1f}%)")
+
+    # 3. the gate can go red, fails fast, and the artifact replays.
+    with tempfile.TemporaryDirectory() as tmp:
+        tripped = run_service(
+            ServiceConfig(duration_ns=10 * SECOND, hop_bound=1),
+            artifact_dir=tmp)
+        assert not tripped.clean, "hop_bound=1 did not trip any oracle"
+        oracle = tripped.violations[0].oracle
+        assert oracle == "forwarding-loop", oracle
+        assert tripped.horizon_ns < 10 * SECOND, "run did not fail fast"
+        assert tripped.reproducer_path is not None
+        replayed = replay_reproducer(Path(tripped.reproducer_path))
+        assert any(v.oracle == oracle for v in replayed.violations), \
+            "reproducer artifact no longer re-trips the oracle"
+        print(f"red path: {oracle} violation failed fast at "
+              f"t={tripped.violations[0].time_ns}ns; replay re-trips it")
+
+    print("serve smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

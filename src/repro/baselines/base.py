@@ -107,8 +107,19 @@ class TranslationScheme:
         The stale ``(vip, old_pip)`` pair is carried in-band so caches
         en route can distinguish their entry being stale from having
         already learned the new mapping (paper §3.3).
+
+        The misdelivery tag is reset: each re-forward starts a new
+        misdelivery episode, so the ToR re-tags the packet and sends a
+        targeted invalidation to ``hit_switch`` — the switch whose
+        stale entry just caused *this* bounce.  Without the reset only
+        the first episode invalidates, and with two generations of
+        stale entries in the fabric (a VM that migrated twice) a packet
+        can ping-pong between the two old hosts indefinitely: each old
+        host's re-forward is served by a cache holding the *other*
+        stale value, which never matches the carried pair.
         """
         packet.carried_mapping = (packet.dst_vip, host.pip)
+        packet.misdelivery_tag = False
         self.send_via_gateway(packet)
         host.reforward(packet)
 

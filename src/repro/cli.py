@@ -30,7 +30,7 @@ from repro.experiments.figures import (
     table5,
 )
 from repro.experiments.runner import SCHEME_FACTORIES, run_experiment
-from repro.metrics.reporting import render_table
+from repro.metrics.reporting import failure_breakdown_rows, render_table
 from repro.net.node import Layer
 
 TRACES = ("hadoop", "websearch", "alibaba", "microbursts", "video")
@@ -120,20 +120,21 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_experiment(spec, args.scheme, flows, num_vms,
                             args.cache_ratio, scale.seed,
                             trace_name=args.trace)
-    print(render_table(
-        ["metric", "value"],
-        [
-            ["scheme", result.scheme],
-            ["trace", result.trace],
-            ["cache ratio", result.cache_ratio],
-            ["flows completed", f"{result.completion_rate:.1%}"],
-            ["hit rate", f"{result.hit_rate:.3f}"],
-            ["avg FCT [us]", _us(result.avg_fct_ns)],
-            ["avg first-packet [us]", _us(result.avg_first_packet_ns)],
-            ["avg stretch", f"{result.avg_stretch:.2f}"],
-            ["gateway packets", result.gateway_arrivals],
-            ["drops", result.drops],
-        ]))
+    rows = [
+        ["scheme", result.scheme],
+        ["trace", result.trace],
+        ["cache ratio", result.cache_ratio],
+        ["flows completed", f"{result.completion_rate:.1%}"],
+        ["hit rate", f"{result.hit_rate:.3f}"],
+        ["avg FCT [us]", _us(result.avg_fct_ns)],
+        ["avg first-packet [us]", _us(result.avg_first_packet_ns)],
+        ["avg stretch", f"{result.avg_stretch:.2f}"],
+        ["gateway packets", result.gateway_arrivals],
+        ["drops", result.drops],
+    ]
+    rows.extend(failure_breakdown_rows(result.failed_flows,
+                                       result.failure_reasons))
+    print(render_table(["metric", "value"], rows))
     return 0
 
 
@@ -291,6 +292,91 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"replay with: python -m repro chaos --replay "
               f"{result.reproducer_path}")
     return 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Always-on service mode: long-horizon churn + rolling maintenance."""
+    from dataclasses import replace
+
+    from repro.service import (
+        ServiceConfig,
+        build_report,
+        render_report,
+        replay_reproducer,
+        run_service,
+        write_report,
+    )
+    from repro.sim.engine import SECOND, msec, usec
+
+    if args.replay is not None:
+        result = replay_reproducer(args.replay)
+        if result.violations:
+            print(f"replay re-tripped {len(result.violations)} violation(s):")
+            for violation in result.violations:
+                print(f"  {violation}")
+            return 1
+        print(f"replay of {args.replay} ran clean — the recorded defect "
+              "no longer reproduces")
+        return 0
+
+    config = ServiceConfig()
+    overrides = {}
+    if args.minutes is not None:
+        overrides["duration_ns"] = round(args.minutes * 60) * SECOND
+    if args.seconds is not None:
+        overrides["duration_ns"] = args.seconds * SECOND
+    if args.scheme is not None:
+        overrides["scheme"] = args.scheme
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.cache_ratio is not None:
+        overrides["cache_ratio"] = args.cache_ratio
+    if args.window_ms is not None:
+        overrides["window_ns"] = msec(args.window_ms)
+    if args.tenants is not None:
+        overrides["initial_tenants"] = args.tenants
+        overrides["max_tenants"] = max(args.tenants,
+                                       config.max_tenants)
+    if args.probe_interval_us is not None:
+        overrides["probe_interval_ns"] = usec(args.probe_interval_us)
+    if args.reinstate_timeout_us is not None:
+        overrides["reinstate_timeout_ns"] = usec(args.reinstate_timeout_us)
+    if overrides:
+        config = replace(config, **overrides)
+
+    on_window = None
+    if sys.stderr.isatty():
+        def on_window(stats) -> None:
+            sys.stderr.write(
+                f"\r  serve: window {stats.index} "
+                f"t={stats.end_ns / 1_000_000_000:.1f}s "
+                f"started={stats.flows_started} hit={stats.hit_ratio:.2f}   ")
+            sys.stderr.flush()
+
+    result = run_service(config, artifact_dir=args.artifact_dir,
+                         on_window=on_window)
+    if on_window is not None:
+        sys.stderr.write("\n")
+    report = build_report(result)
+    if args.report is not None:
+        write_report(args.report, report)
+    print(render_report(report))
+    if args.report is not None:
+        print(f"\nreport written to {args.report}")
+    if result.violations:
+        if result.reproducer_path is not None:
+            print(f"replay with: python -m repro serve --replay "
+                  f"{result.reproducer_path}")
+        return 1
+    return 0
+
+
+def cmd_serve_report(args: argparse.Namespace) -> int:
+    """Re-render a saved SLO report without re-simulating."""
+    from repro.service import load_report, render_report
+    report = load_report(args.input)
+    print(render_report(report))
+    return 1 if report["slo"]["violation_count"] else 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -473,6 +559,58 @@ def build_parser() -> argparse.ArgumentParser:
                               help="re-run a saved reproducer artifact "
                                    "instead of fuzzing")
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="always-on service mode: churn + maintenance + streaming SLOs",
+        description="Run the simulated datacenter as long-lived "
+                    "infrastructure: Poisson tenant arrivals/departures, "
+                    "background VM migration, rolling planned maintenance "
+                    "(drain/fail/recover rotation over ToRs, spines and "
+                    "gateways), per-window streaming SLO metrics in "
+                    "O(window) memory, and always-on invariant oracles "
+                    "that fail fast with a replayable reproducer. "
+                    "Exits 1 on any violation.")
+    serve_parser.add_argument("--minutes", type=float, default=None,
+                              help="simulated run length in minutes")
+    serve_parser.add_argument("--seconds", type=int, default=None,
+                              help="simulated run length in seconds "
+                                   "(default 10)")
+    serve_parser.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES),
+                              default=None,
+                              help="translation scheme (default SwitchV2P)")
+    serve_parser.add_argument("--seed", type=int, default=None)
+    serve_parser.add_argument("--cache-ratio", type=float, default=None)
+    serve_parser.add_argument("--window-ms", type=float, default=None,
+                              help="metrics window length in milliseconds "
+                                   "(default 1000)")
+    serve_parser.add_argument("--tenants", type=int, default=None,
+                              help="initial tenant count")
+    serve_parser.add_argument("--probe-interval-us", type=float, default=None,
+                              help="gateway failure-detector probe period "
+                                   "(microseconds; default 1000)")
+    serve_parser.add_argument("--reinstate-timeout-us", type=float,
+                              default=None,
+                              help="bound on detecting a recovered gateway "
+                                   "(microseconds; default 2000)")
+    serve_parser.add_argument("--report", default=None, metavar="PATH",
+                              help="also write the SLO report JSON here")
+    serve_parser.add_argument("--artifact-dir", default="serve-artifacts",
+                              metavar="DIR",
+                              help="where violations write reproducer "
+                                   "artifacts (default: serve-artifacts/)")
+    serve_parser.add_argument("--replay", default=None, metavar="ARTIFACT",
+                              help="re-run a saved service reproducer "
+                                   "instead of a fresh run")
+    serve_parser.set_defaults(func=cmd_serve)
+
+    serve_report_parser = subparsers.add_parser(
+        "serve-report",
+        help="re-render a saved service SLO report")
+    serve_report_parser.add_argument("--input", required=True, metavar="PATH",
+                                     help="report JSON written by "
+                                          "'repro serve --report'")
+    serve_report_parser.set_defaults(func=cmd_serve_report)
 
     profile_parser = subparsers.add_parser(
         "profile",

@@ -52,7 +52,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
 #: Bump whenever a code change alters simulated behaviour (event
 #: ordering, float arithmetic, RNG consumption, new RunResult fields).
 #: Old entries then miss and are rebuilt instead of serving stale data.
-SCHEMA_VERSION = 1
+#: 2: RunResult gained failed_flows / failure_reasons.
+SCHEMA_VERSION = 2
 
 _ENV_FLAG = "REPRO_RUNCACHE"
 _ENV_DIR = "REPRO_RUNCACHE_DIR"
@@ -303,6 +304,8 @@ def _encode_result(result, key: str) -> dict:
         value = getattr(result, field.name)
         if field.name == "pod_bytes":
             payload[field.name] = [int(b) for b in value]
+        elif field.name == "failure_reasons":
+            payload[field.name] = {str(k): int(v) for k, v in value.items()}
         else:
             payload[field.name] = _scalar(value)
     return {"schema": SCHEMA_VERSION, "key": key, "result": payload}

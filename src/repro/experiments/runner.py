@@ -121,6 +121,10 @@ class RunResult:
     reorder_events: int
     total_switch_bytes: int
     pod_bytes: list[int] = field(default_factory=list)
+    #: Per-flow availability: how many flows the transport gave up on,
+    #: and why (``failure_reason`` -> count).
+    failed_flows: int = 0
+    failure_reasons: dict[str, int] = field(default_factory=dict)
     collector: Collector | None = None
     network: VirtualNetwork | None = None
 
@@ -167,6 +171,11 @@ def run_flows(network: VirtualNetwork, flows: Sequence[FlowSpec],
     with perf.phase("run"):
         network.run(until=horizon_ns)
     collector = network.collector
+    failed = collector.failed_flows()
+    failure_reasons: dict[str, int] = {}
+    for record in failed:
+        reason = record.failure_reason or "unspecified"
+        failure_reasons[reason] = failure_reasons.get(reason, 0) + 1
     return RunResult(
         scheme=getattr(network.scheme, "name", type(network.scheme).__name__),
         trace=trace_name,
@@ -188,6 +197,8 @@ def run_flows(network: VirtualNetwork, flows: Sequence[FlowSpec],
         reorder_events=collector.reorder_events,
         total_switch_bytes=network.total_switch_bytes(),
         pod_bytes=network.pod_bytes(),
+        failed_flows=len(failed),
+        failure_reasons=failure_reasons,
         collector=collector if keep_network else None,
         network=network if keep_network else None,
     )

@@ -39,6 +39,11 @@ class FaultKind(Enum):
     LINK_LOSS = "link-loss"
     GATEWAY_CRASH = "gateway-crash"
     GATEWAY_RESTART = "gateway-restart"
+    #: Planned maintenance: pull the gateway out of the hypervisors'
+    #: load-balancing pool *before* it goes down, so new flows avoid it
+    #: (rolling-maintenance drain; recovery is detected by the failure
+    #: detector's probes after the subsequent restart).
+    GATEWAY_DRAIN = "gateway-drain"
     #: Control-plane churn rather than a fault proper: live-migrate a
     #: VM to a located server.  Included so randomized schedules can
     #: exercise the lazy-invalidation path (stale caches, follow-me,
@@ -146,10 +151,28 @@ class FaultSchedule:
         return self.add(FaultEvent(at_ns, FaultKind.GATEWAY_RESTART,
                                    ("gateway", index)))
 
+    def drain_gateway(self, at_ns: int, index: int) -> FaultSchedule:
+        """Remove the gateway from the load-balancing pool (planned)."""
+        return self.add(FaultEvent(at_ns, FaultKind.GATEWAY_DRAIN,
+                                   ("gateway", index)))
+
     def gateway_outage(self, index: int, start_ns: int,
                        duration_ns: int) -> FaultSchedule:
         self.crash_gateway(start_ns, index)
         return self.restart_gateway(start_ns + duration_ns, index)
+
+    def gateway_maintenance(self, index: int, drain_ns: int, crash_ns: int,
+                            restart_ns: int) -> FaultSchedule:
+        """Planned rolling maintenance: drain, then power-cycle.
+
+        Draining first means new flows stop selecting the gateway
+        before it goes dark; the detector's missed probes during the
+        outage arm reinstatement, and its first healthy probe after
+        ``restart_ns`` returns the gateway to the pool.
+        """
+        self.drain_gateway(drain_ns, index)
+        self.crash_gateway(crash_ns, index)
+        return self.restart_gateway(restart_ns, index)
 
     def migrate_vm(self, at_ns: int, vip: int, pod: int, rack: int,
                    host_index: int) -> FaultSchedule:
@@ -163,7 +186,8 @@ class FaultSchedule:
     # ------------------------------------------------------------------
     def has_gateway_events(self) -> bool:
         return any(event.kind in (FaultKind.GATEWAY_CRASH,
-                                  FaultKind.GATEWAY_RESTART)
+                                  FaultKind.GATEWAY_RESTART,
+                                  FaultKind.GATEWAY_DRAIN)
                    for event in self.events)
 
     def first_fault_ns(self) -> int | None:
@@ -197,13 +221,21 @@ class FaultSchedule:
 
     @classmethod
     def from_dict(cls, data: dict) -> FaultSchedule:
+        """Rebuild a schedule from :meth:`to_dict` output.
+
+        Malformed input raises :class:`ValueError` naming the offending
+        entry (``events[i]``) and what is wrong with it — reproducer
+        artifacts are hand-editable, so schema errors must be loud and
+        locatable, never a bare ``KeyError``.
+        """
+        if not isinstance(data, dict) or not isinstance(
+                data.get("events"), list):
+            raise ValueError(
+                "fault schedule must be an object with an 'events' list, "
+                f"got {type(data).__name__}")
         schedule = cls()
-        for entry in data["events"]:
-            schedule.add(FaultEvent(
-                at_ns=int(entry["at_ns"]),
-                kind=FaultKind(entry["kind"]),
-                target=_tuplify(entry["target"]),
-                loss_rate=float(entry.get("loss_rate", 0.0))))
+        for index, entry in enumerate(data["events"]):
+            schedule.add(_event_from_dict(entry, index))
         return schedule
 
     def to_json(self) -> str:
@@ -256,6 +288,8 @@ class FaultSchedule:
             gateway = self._find_gateway(network, event.target)
             if kind is FaultKind.GATEWAY_CRASH:
                 gateway.fail()
+            elif kind is FaultKind.GATEWAY_DRAIN:
+                network.mark_gateway_down(gateway)
             else:
                 gateway.recover()
             label = f"{kind.value} {gateway.name}"
@@ -306,6 +340,84 @@ class FaultSchedule:
     @staticmethod
     def _find_gateway(network: VirtualNetwork, locator: tuple) -> Gateway:
         return network.gateways[locator[1]]
+
+
+#: Locator validators per fault family; see :class:`FaultEvent`.
+_SWITCH_KINDS = frozenset((FaultKind.SWITCH_FAIL, FaultKind.SWITCH_RECOVER))
+_LINK_KINDS = frozenset((FaultKind.LINK_DOWN, FaultKind.LINK_UP,
+                         FaultKind.LINK_LOSS))
+_GW_KINDS = frozenset((FaultKind.GATEWAY_CRASH, FaultKind.GATEWAY_RESTART,
+                       FaultKind.GATEWAY_DRAIN))
+
+
+def _event_from_dict(entry, index: int) -> FaultEvent:
+    """One serialized event back into a validated :class:`FaultEvent`."""
+    where = f"events[{index}]"
+    if not isinstance(entry, dict):
+        raise ValueError(f"{where}: expected an object, "
+                         f"got {type(entry).__name__}")
+    missing = [key for key in ("at_ns", "kind", "target") if key not in entry]
+    if missing:
+        raise ValueError(f"{where}: missing field(s) {', '.join(missing)}")
+    raw_kind = entry["kind"]
+    try:
+        kind = FaultKind(raw_kind)
+    except ValueError:
+        known = ", ".join(sorted(member.value for member in FaultKind))
+        raise ValueError(f"{where}: unknown FaultKind {raw_kind!r}; "
+                         f"known kinds: {known}") from None
+    target = _tuplify(entry["target"])
+    _validate_locator(kind, target, where)
+    try:
+        at_ns = int(entry["at_ns"])
+        loss_rate = float(entry.get("loss_rate", 0.0))
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{where}: non-numeric at_ns/loss_rate "
+                         f"({exc})") from None
+    return FaultEvent(at_ns=at_ns, kind=kind, target=target,
+                      loss_rate=loss_rate)
+
+
+def _is_switch_locator(value) -> bool:
+    if not isinstance(value, tuple) or not value:
+        return False
+    if value[0] == "core":
+        return len(value) == 2 and isinstance(value[1], int)
+    if value[0] in ("tor", "spine"):
+        return len(value) == 3 and all(isinstance(v, int) for v in value[1:])
+    return False
+
+
+def _validate_locator(kind: FaultKind, target, where: str) -> None:
+    """Reject a target whose shape cannot address ``kind``'s object."""
+    if kind in _SWITCH_KINDS:
+        if not _is_switch_locator(target):
+            raise ValueError(
+                f"{where}: malformed switch locator {target!r} for "
+                f"{kind.value}; expected ('tor', pod, rack), "
+                "('spine', pod, index) or ('core', index)")
+    elif kind in _LINK_KINDS:
+        if not (isinstance(target, tuple) and len(target) == 3
+                and target[0] == "link"
+                and _is_switch_locator(target[1])
+                and _is_switch_locator(target[2])):
+            raise ValueError(
+                f"{where}: malformed link locator {target!r} for "
+                f"{kind.value}; expected ('link', switch_locator, "
+                "switch_locator)")
+    elif kind in _GW_KINDS:
+        if not (isinstance(target, tuple) and len(target) == 2
+                and target[0] == "gateway" and isinstance(target[1], int)):
+            raise ValueError(
+                f"{where}: malformed gateway locator {target!r} for "
+                f"{kind.value}; expected ('gateway', index)")
+    elif kind is FaultKind.VM_MIGRATE:
+        if not (isinstance(target, tuple) and len(target) == 5
+                and target[0] == "vm"
+                and all(isinstance(v, int) for v in target[1:])):
+            raise ValueError(
+                f"{where}: malformed vm locator {target!r} for "
+                f"{kind.value}; expected ('vm', vip, pod, rack, host_index)")
 
 
 def _listify(value):

@@ -1,7 +1,13 @@
 """Metrics collection and reporting."""
 
 from repro.metrics.collector import Collector, FlowRecord
-from repro.metrics.reporting import improvement, render_table
+from repro.metrics.reporting import (
+    failure_breakdown_rows,
+    improvement,
+    render_table,
+)
+from repro.metrics.sketch import QuantileSketch
+from repro.metrics.streaming import WindowedCollector, WindowStats
 from repro.metrics.resilience import (
     PhaseStats,
     ResilienceProbe,
@@ -20,6 +26,10 @@ __all__ = [
     "FlowRecord",
     "render_table",
     "improvement",
+    "failure_breakdown_rows",
+    "QuantileSketch",
+    "WindowedCollector",
+    "WindowStats",
     "Sample",
     "WindowedRateSampler",
     "RatioTimeline",

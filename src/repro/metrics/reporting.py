@@ -69,6 +69,23 @@ def render_heatmap(row_labels: Sequence[str], col_labels: Sequence[str],
                         title=title)
 
 
+def failure_breakdown_rows(failed_flows: int,
+                           failure_reasons: dict[str, int],
+                           label: str = "failed flows") -> list[list]:
+    """Summary-table rows for per-flow availability.
+
+    One row with the failed-flow count, then one indented row per
+    ``failure_reason`` (sorted by count, then name).  Callers append
+    these to a metric/value table; a run with zero failures still gets
+    the headline row so "0 failed" is stated, not implied.
+    """
+    rows: list[list] = [[label, failed_flows]]
+    for reason, count in sorted(failure_reasons.items(),
+                                key=lambda kv: (-kv[1], kv[0])):
+        rows.append([f"  {label}[{reason}]", count])
+    return rows
+
+
 def improvement(value: float, baseline: float) -> float:
     """Improvement factor of ``value`` over ``baseline`` (higher=better).
 

@@ -1,0 +1,132 @@
+"""Fixed-size streaming quantile sketch (DDSketch-style log buckets).
+
+Long-horizon service runs cannot keep every flow completion time in a
+list — percentiles must come from a structure whose memory is bounded
+regardless of how many values stream through.  :class:`QuantileSketch`
+buckets positive values logarithmically so any reported quantile is
+within a configurable *relative* error of the true value (1% by
+default), matching how latency SLOs are actually stated.  The bucket
+map is capped; when full, the lowest buckets collapse together, which
+degrades accuracy only at the cheap end of the distribution (the tail
+buckets an SLO cares about are never merged away).
+
+Everything is integer/float arithmetic on the inserted values — no
+randomness, no wall clock — so sketches are bit-deterministic and two
+sketches fed the same stream merge and report identically.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class QuantileSketch:
+    """Streaming quantiles with bounded memory and relative-error bounds.
+
+    Args:
+        relative_accuracy: guaranteed bound on
+            ``|reported - true| / true`` for any quantile, while the
+            bucket cap is not hit.
+        max_buckets: cap on distinct buckets; exceeding it collapses
+            the two lowest buckets (tail accuracy is preserved).
+    """
+
+    __slots__ = ("relative_accuracy", "max_buckets", "_gamma", "_log_gamma",
+                 "count", "_zero_count", "_buckets", "min_value", "max_value",
+                 "sum_value")
+
+    def __init__(self, relative_accuracy: float = 0.01,
+                 max_buckets: int = 2048) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative accuracy must be in (0, 1), got {relative_accuracy}")
+        if max_buckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {max_buckets}")
+        self.relative_accuracy = relative_accuracy
+        self.max_buckets = max_buckets
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self._gamma)
+        self.count = 0
+        self._zero_count = 0
+        #: bucket index -> count; index i covers (gamma^(i-1), gamma^i].
+        self._buckets: dict[int, int] = {}
+        self.min_value = math.inf
+        self.max_value = -math.inf
+        self.sum_value = 0.0
+
+    # ------------------------------------------------------------------
+    def add(self, value: float) -> None:
+        """Insert one observation (non-positive values count as zero)."""
+        self.count += 1
+        self.sum_value += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        if value <= 0:
+            self._zero_count += 1
+            return
+        key = math.ceil(math.log(value) / self._log_gamma)
+        buckets = self._buckets
+        buckets[key] = buckets.get(key, 0) + 1
+        if len(buckets) > self.max_buckets:
+            self._collapse_lowest()
+
+    def _collapse_lowest(self) -> None:
+        """Merge the two lowest buckets (cheap-end accuracy loss only)."""
+        lowest, second = sorted(self._buckets)[:2]
+        self._buckets[second] += self._buckets.pop(lowest)
+
+    def merge(self, other: QuantileSketch) -> None:
+        """Fold ``other`` (same accuracy) into this sketch in place."""
+        if other._gamma != self._gamma:
+            raise ValueError("cannot merge sketches with different accuracy")
+        self.count += other.count
+        self._zero_count += other._zero_count
+        self.sum_value += other.sum_value
+        if other.min_value < self.min_value:
+            self.min_value = other.min_value
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+        buckets = self._buckets
+        for key, num in other._buckets.items():
+            buckets[key] = buckets.get(key, 0) + num
+        while len(buckets) > self.max_buckets:
+            self._collapse_lowest()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def bucket_count(self) -> int:
+        """Distinct buckets currently held (memory gauge for tests)."""
+        return len(self._buckets) + (1 if self._zero_count else 0)
+
+    def mean(self) -> float:
+        if self.count == 0:
+            return math.inf
+        return self.sum_value / self.count
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` in [0, 1]; ``inf`` when empty.
+
+        Reported as the bucket midpoint in log space, which is what
+        bounds the relative error by ``relative_accuracy``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.inf
+        rank = q * (self.count - 1)
+        seen = self._zero_count
+        if rank < seen:
+            return max(0.0, self.min_value)
+        for key in sorted(self._buckets):
+            seen += self._buckets[key]
+            if rank < seen:
+                estimate = (2.0 * self._gamma ** key) / (self._gamma + 1.0)
+                # Clamp into the observed range: the extreme buckets
+                # would otherwise report beyond the true min/max.
+                return min(self.max_value, max(self.min_value, estimate))
+        return self.max_value

@@ -1,0 +1,277 @@
+"""Streaming, windowed metrics for long-horizon service runs.
+
+The plain :class:`~repro.metrics.collector.Collector` accumulates one
+:class:`~repro.metrics.collector.FlowRecord` per flow for the lifetime
+of a run — exactly right for a two-second episode, fatal for a service
+that runs for minutes of simulated time under continuous churn.
+:class:`WindowedCollector` keeps the same recording interface but
+*retires* flow records the moment they are terminal (completed or
+failed) at each window boundary, folding them into cumulative counters
+and fixed-size quantile sketches (:mod:`repro.metrics.sketch`).  Memory
+is therefore O(in-flight flows + one window), independent of run
+length, and each closed window emits an immutable :class:`WindowStats`
+for the SLO timeline.
+
+Window semantics:
+
+* a flow is counted as *started* in the window containing its
+  ``start_ns``;
+* a flow is counted as *completed*/*failed* — and its FCT enters the
+  sketches — in the window during which it reached that terminal state
+  (a flow spanning several windows is counted once, at the end);
+* per-window packet and gateway-arrival counts are deltas of the live
+  counters between boundaries, so hit ratios are per-window, not
+  cumulative;
+* an empty window (no traffic) still emits a WindowStats with zero
+  counts — gaps in a timeline are data, not missing rows.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.metrics.collector import Collector
+from repro.metrics.sketch import QuantileSketch
+from repro.sim.engine import SECOND
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Immutable per-window summary emitted at each window close."""
+
+    index: int
+    start_ns: int
+    end_ns: int
+    flows_started: int
+    flows_completed: int
+    flows_failed: int
+    failure_reasons: dict[str, int] = field(default_factory=dict)
+    fct_p50_ns: float = float("inf")
+    fct_p99_ns: float = float("inf")
+    packets_sent: int = 0
+    gateway_arrivals: int = 0
+    hit_ratio: float = 0.0
+    misdeliveries: int = 0
+    #: Non-terminal flow records still held after this window's
+    #: retirement pass (the bounded-memory gauge).
+    retained_records: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "flows_started": self.flows_started,
+            "flows_completed": self.flows_completed,
+            "flows_failed": self.flows_failed,
+            "failure_reasons": dict(self.failure_reasons),
+            "fct_p50_ns": _json_float(self.fct_p50_ns),
+            "fct_p99_ns": _json_float(self.fct_p99_ns),
+            "packets_sent": self.packets_sent,
+            "gateway_arrivals": self.gateway_arrivals,
+            "hit_ratio": self.hit_ratio,
+            "misdeliveries": self.misdeliveries,
+            "retained_records": self.retained_records,
+        }
+
+
+def _json_float(value: float) -> float | None:
+    """JSON has no inf; empty-window percentiles serialize as null."""
+    return value if value == value and abs(value) != float("inf") else None
+
+
+class WindowedCollector(Collector):
+    """A :class:`Collector` that retires terminal flows per window.
+
+    Usage::
+
+        collector = WindowedCollector(window_ns=SECOND)
+        network = VirtualNetwork(config, scheme, collector)
+        collector.attach(network)      # arms the periodic window close
+        ... run ...
+        collector.flush()              # close the final partial window
+
+    Args:
+        window_ns: window length (simulated time).
+        relative_accuracy: FCT sketch accuracy (1% default).
+        on_window: optional callback invoked with each closed
+            :class:`WindowStats` (the service driver's SLO hook).
+    """
+
+    def __init__(self, window_ns: int = SECOND,
+                 relative_accuracy: float = 0.01,
+                 on_window=None) -> None:
+        super().__init__()
+        if window_ns <= 0:
+            raise ValueError(f"window must be positive, got {window_ns}")
+        self.window_ns = window_ns
+        self.on_window = on_window
+        self.windows: list[WindowStats] = []
+        # Cumulative terminal-flow state (records themselves are gone).
+        self.flows_started_total = 0
+        self.completed_total = 0
+        self.failed_total = 0
+        self.failure_reason_totals: Counter = Counter()
+        self.fct_sketch = QuantileSketch(relative_accuracy)
+        self.first_packet_sketch = QuantileSketch(relative_accuracy)
+        #: High-water mark of co-resident FlowRecords (bounded-memory
+        #: acceptance gauge: must stay O(window), not O(run)).
+        self.peak_retained_records = 0
+        self._relative_accuracy = relative_accuracy
+        self._network = None
+        self._task = None
+        self._window_start_ns = 0
+        # Last-boundary snapshots for per-window deltas.
+        self._last_started = 0
+        self._last_gateway_arrivals = 0
+        self._last_packets_sent = 0
+        self._last_misdeliveries = 0
+        self._window_fct = QuantileSketch(relative_accuracy)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, network) -> None:
+        """Bind to a network and arm the periodic window close.
+
+        Must be called before the run starts (window boundaries are
+        multiples of ``window_ns`` from the attach time, normally 0).
+        """
+        self._network = network
+        self._window_start_ns = network.engine.now
+        self._task = network.engine.schedule_periodic(
+            self.window_ns, self._close_window)
+
+    def detach(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def flush(self) -> None:
+        """Close the final (possibly partial) window, if it has begun."""
+        if self._network is not None \
+                and self._network.engine.now > self._window_start_ns:
+            self._close_window()
+
+    # ------------------------------------------------------------------
+    # recording overrides
+    # ------------------------------------------------------------------
+    def register_flow(self, record) -> None:
+        self.flows_started_total += 1
+        super().register_flow(record)
+        if len(self.flows) > self.peak_retained_records:
+            self.peak_retained_records = len(self.flows)
+
+    # ------------------------------------------------------------------
+    # the window close
+    # ------------------------------------------------------------------
+    def _live_packets_sent(self) -> int:
+        """Packets sent so far, read live from the hosts.
+
+        ``Collector.packets_sent`` is folded only at finalize; a window
+        boundary needs the current value.
+        """
+        if self._network is None:
+            return self.packets_sent
+        return sum(host.packets_sent for host in self._network.hosts)
+
+    def _live_misdeliveries(self) -> int:
+        if self._network is None:
+            return self.misdeliveries
+        return sum(host.misdeliveries for host in self._network.hosts)
+
+    def _close_window(self) -> None:
+        now = self._network.engine.now if self._network is not None else 0
+        completed = failed = 0
+        reasons: Counter = Counter()
+        window_fct = self._window_fct
+        for flow_id in [fid for fid, rec in self.flows.items()
+                        if rec.completed or rec.failed]:
+            record = self.flows.pop(flow_id)
+            if record.completed:
+                completed += 1
+                self.completed_total += 1
+                self.fct_sketch.add(record.fct_ns)
+                window_fct.add(record.fct_ns)
+                if record.first_packet_latency_ns is not None:
+                    self.first_packet_sketch.add(record.first_packet_latency_ns)
+            else:
+                failed += 1
+                self.failed_total += 1
+                reason = record.failure_reason or "unspecified"
+                reasons[reason] += 1
+                self.failure_reason_totals[reason] += 1
+        sent = self._live_packets_sent()
+        sent_delta = sent - self._last_packets_sent
+        gateway_delta = self.gateway_arrivals - self._last_gateway_arrivals
+        misdeliveries = self._live_misdeliveries()
+        misdelivery_delta = misdeliveries - self._last_misdeliveries
+        hit_ratio = 0.0
+        if sent_delta > 0:
+            hit_ratio = 1.0 - min(gateway_delta, sent_delta) / sent_delta
+        stats = WindowStats(
+            index=len(self.windows),
+            start_ns=self._window_start_ns,
+            end_ns=now,
+            flows_started=self.flows_started_total - self._last_started,
+            flows_completed=completed,
+            flows_failed=failed,
+            failure_reasons=dict(reasons),
+            fct_p50_ns=window_fct.quantile(0.50),
+            fct_p99_ns=window_fct.quantile(0.99),
+            packets_sent=sent_delta,
+            gateway_arrivals=gateway_delta,
+            hit_ratio=hit_ratio,
+            misdeliveries=misdelivery_delta,
+            retained_records=len(self.flows),
+        )
+        self.windows.append(stats)
+        self._window_start_ns = now
+        self._last_started = self.flows_started_total
+        self._last_packets_sent = sent
+        self._last_gateway_arrivals = self.gateway_arrivals
+        self._last_misdeliveries = misdeliveries
+        self._window_fct = QuantileSketch(self._relative_accuracy)
+        if self.on_window is not None:
+            self.on_window(stats)
+
+    # ------------------------------------------------------------------
+    # summary overrides (cumulative state replaces the flows dict)
+    # ------------------------------------------------------------------
+    def _completed_now(self) -> int:
+        return self.completed_total + sum(
+            1 for r in self.flows.values() if r.completed)
+
+    def _failed_now(self) -> int:
+        return self.failed_total + sum(
+            1 for r in self.flows.values() if r.failed)
+
+    @property
+    def completion_rate(self) -> float:
+        if self.flows_started_total == 0:
+            return 0.0
+        return self._completed_now() / self.flows_started_total
+
+    def average_fct_ns(self) -> float:
+        sketch = self.fct_sketch
+        live = [r.fct_ns for r in self.flows.values() if r.fct_ns is not None]
+        total = sketch.count + len(live)
+        if total == 0:
+            return float("inf")
+        return (sketch.sum_value + sum(live)) / total
+
+    def average_first_packet_latency_ns(self) -> float:
+        sketch = self.first_packet_sketch
+        live = [r.first_packet_latency_ns for r in self.flows.values()
+                if r.first_packet_latency_ns is not None]
+        total = sketch.count + len(live)
+        if total == 0:
+            return float("inf")
+        return (sketch.sum_value + sum(live)) / total
+
+    def percentile_fct_ns(self, percentile: float) -> float:
+        """Sketch-backed percentile over every retired completion."""
+        if self.fct_sketch.count == 0:
+            return super().percentile_fct_ns(percentile)
+        return self.fct_sketch.quantile(percentile / 100.0)

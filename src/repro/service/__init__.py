@@ -1,0 +1,45 @@
+"""Always-on service mode: long-horizon steady-state operation.
+
+See :mod:`repro.service.driver` for the architecture overview; run via
+``python -m repro serve``.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.driver import (
+    ServiceDriver,
+    ServiceResult,
+    replay_reproducer,
+    run_service,
+    write_reproducer,
+)
+from repro.service.maintenance import (
+    MaintenanceEvent,
+    MaintenanceOutcome,
+    build_maintenance,
+    measure_recovery,
+    rotation_targets,
+)
+from repro.service.report import (
+    build_report,
+    load_report,
+    render_report,
+    write_report,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceDriver",
+    "ServiceResult",
+    "run_service",
+    "replay_reproducer",
+    "write_reproducer",
+    "MaintenanceEvent",
+    "MaintenanceOutcome",
+    "build_maintenance",
+    "measure_recovery",
+    "rotation_targets",
+    "build_report",
+    "load_report",
+    "render_report",
+    "write_report",
+]

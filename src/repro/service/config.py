@@ -1,0 +1,121 @@
+"""Configuration of a long-horizon service run.
+
+One frozen :class:`ServiceConfig` fully determines a service run: the
+scheme, the seed, the churn rates, the maintenance rotation and the
+transport give-up tuning all live here, so a run serializes to a small
+JSON object and replays exactly (the reproducer artifacts written by
+:mod:`repro.service.driver` embed one).
+
+Rates are expressed as *mean periods* in simulated nanoseconds rather
+than Hz — every other knob in the repo is a nanosecond quantity, and a
+period composes directly with ``rng.exponential(period)`` for Poisson
+processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.sim.engine import SECOND, msec
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything one always-on service run depends on."""
+
+    scheme: str = "SwitchV2P"
+    seed: int = 0
+    #: Simulated time during which arrivals/churn/maintenance happen;
+    #: the run then drains in-flight flows before the final verdict.
+    duration_ns: int = 10 * SECOND
+    #: Metrics window length (streaming SLO granularity).
+    window_ns: int = SECOND
+    cache_ratio: float = 16.0
+    #: Cache-budget sizing: the VIP address space the scheme's budget
+    #: is expressed against (≈ the expected peak of concurrent VMs;
+    #: VIPs themselves are never reused, so this is *not* a VIP cap).
+    address_space: int = 64
+
+    # --- tenant churn (Poisson arrivals, exponential lifetimes) ---
+    initial_tenants: int = 5
+    #: Arrivals are suppressed while this many tenants are active.
+    max_tenants: int = 8
+    min_vms_per_tenant: int = 2
+    max_vms_per_tenant: int = 4
+    tenant_arrival_period_ns: int = 4 * SECOND
+    tenant_lifetime_ns: int = 20 * SECOND
+
+    # --- workload (per-tenant Poisson flow arrivals) ---
+    flow_period_ns: int = msec(50)
+    min_flow_bytes: int = 800
+    max_flow_bytes: int = 6_000
+
+    # --- background migration churn (global Poisson process) ---
+    migration_period_ns: int = msec(500)
+
+    # --- rolling planned maintenance ---
+    maintenance_start_ns: int = 2 * SECOND
+    maintenance_period_ns: int = 5 * SECOND
+    #: Lead time between the drain announcement and the outage.
+    maintenance_drain_ns: int = msec(100)
+    maintenance_outage_ns: int = msec(200)
+
+    # --- gateway failure-detector tuning (see NetworkConfig) ---
+    probe_interval_ns: int = msec(1)
+    reinstate_timeout_ns: int = msec(2)
+
+    # --- transport give-up (bounds the drain horizon) ---
+    max_retransmits: int = 8
+    max_rto_ns: int = msec(4)
+
+    #: FCT sketch accuracy (relative error of reported percentiles).
+    relative_accuracy: float = 0.01
+
+    #: Forwarding-loop oracle bound.  Service-mode churn produces legal
+    #: recirculation deeper than short experiments ever see: a VM that
+    #: resided somewhere for seconds saturates fabric caches with its
+    #: old mapping, and after two quick migrations a chasing packet
+    #: ping-pongs between the two stale locations — each bounce
+    #: invalidates the entry that caused it (§3.3), so the chase is
+    #: bounded by the number of stale entries times the path length,
+    #: not by the chaos default of 64 hops.
+    hop_bound: int = 256
+
+    def __post_init__(self) -> None:
+        if self.duration_ns <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_ns}")
+        if self.window_ns <= 0:
+            raise ValueError(f"window must be positive, got {self.window_ns}")
+        if self.min_vms_per_tenant < 2:
+            raise ValueError("tenants need >= 2 VMs (flows are intra-tenant)")
+        if self.max_vms_per_tenant < self.min_vms_per_tenant:
+            raise ValueError("max_vms_per_tenant < min_vms_per_tenant")
+        if self.initial_tenants < 1 or self.max_tenants < self.initial_tenants:
+            raise ValueError("invalid tenant-count bounds")
+        if self.hop_bound < 1:
+            raise ValueError(f"hop_bound must be positive, got {self.hop_bound}")
+
+    def drain_grace_ns(self) -> int:
+        """Quiet time after ``duration_ns`` for in-flight flows to end.
+
+        A flow whose destination stays unreachable climbs the full
+        RTO ladder before giving up; the grace covers that ladder plus
+        slack for detours, so the liveness oracle's horizon is sound.
+        """
+        return (self.max_retransmits + 2) * self.max_rto_ns + msec(10)
+
+    # ------------------------------------------------------------------
+    # serialization (reproducer artifacts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ServiceConfig:
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError("unknown ServiceConfig field(s): "
+                             + ", ".join(sorted(unknown)))
+        return cls(**data)

@@ -1,0 +1,179 @@
+"""Rolling planned maintenance as a generated :class:`FaultSchedule`.
+
+Real fleets never take the whole fabric down: devices are rotated
+through drain → outage → recovery windows one at a time.  This module
+generates that rotation for a given topology — every non-gateway ToR,
+every spine and every gateway takes a turn, round-robin, one device per
+maintenance period — and returns both the executable
+:class:`~repro.faults.FaultSchedule` and a list of
+:class:`MaintenanceEvent` descriptors the SLO report uses to compute
+per-event time-to-recover.
+
+Gateways get the full drain → crash → restart treatment (the drain
+pulls them from the load-balancing pool before the outage, and the
+failure detector's probes reinstate them afterwards).  Switches have no
+pool to drain from; their "drain" phase is the announced lead time
+before the outage, recorded in the descriptor so recovery measurement
+starts from the right instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.schedule import FaultSchedule
+from repro.net.topology import FatTreeSpec
+from repro.service.config import ServiceConfig
+
+
+@dataclass(frozen=True)
+class MaintenanceEvent:
+    """One device's maintenance window (report-side descriptor)."""
+
+    #: Human-readable device label, e.g. ``"tor(1,0)"`` or ``"gateway 1"``.
+    target: str
+    #: Drain announced / load shifted away (gateways only act on this).
+    drain_ns: int
+    #: Device goes dark.
+    fail_ns: int
+    #: Device is back (switch recovered / gateway restarted).
+    recover_ns: int
+
+    def as_dict(self) -> dict:
+        return {"target": self.target, "drain_ns": self.drain_ns,
+                "fail_ns": self.fail_ns, "recover_ns": self.recover_ns}
+
+
+def rotation_targets(spec: FatTreeSpec) -> list[tuple]:
+    """The device rotation: non-gateway ToRs, spines and gateways,
+    interleaved round-robin across the three classes so each class gets
+    a turn every few periods (a class-by-class rotation would postpone
+    all gateway maintenance to the end of the pass, past the horizon of
+    short runs).
+
+    Gateway-rack ToRs are excluded — taking one down severs its
+    gateway while the failure detector still believes it healthy
+    (probes model control-plane reachability, not the data path), which
+    is a correlated-failure scenario for the chaos experiment, not
+    planned maintenance.
+    """
+    gateway_racks = {(pod, spec.gateway_rack) for pod in spec.gateway_pods}
+    tors: list[tuple] = []
+    for pod in range(spec.pods):
+        for rack in range(spec.racks_per_pod):
+            if (pod, rack) not in gateway_racks:
+                tors.append(("tor", pod, rack))
+    spines: list[tuple] = []
+    for pod in range(spec.pods):
+        for index in range(spec.spines_per_pod):
+            spines.append(("spine", pod, index))
+    num_gateways = len(spec.gateway_pods) * spec.gateways_per_pod
+    gateways: list[tuple] = [("gateway", i) for i in range(num_gateways)]
+    classes = [tors, spines, gateways]
+    targets: list[tuple] = []
+    round_ = 0
+    while any(round_ < len(cls) for cls in classes):
+        for cls in classes:
+            if round_ < len(cls):
+                targets.append(cls[round_])
+        round_ += 1
+    return targets
+
+
+@dataclass(frozen=True)
+class MaintenanceOutcome:
+    """Recovery measurement of one maintenance window (SLO report row)."""
+
+    event: MaintenanceEvent
+    #: Mean hit ratio of the traffic windows preceding the drain (the
+    #: level recovery is measured against); None without prior traffic.
+    baseline_hit_ratio: float | None
+    #: Index of the first post-recovery window back at the baseline.
+    recovered_window: int | None
+    #: recovered window's end minus the device's recovery instant;
+    #: None when the run ended before recovery was observed.
+    time_to_recover_ns: int | None
+
+    def as_dict(self) -> dict:
+        return {**self.event.as_dict(),
+                "baseline_hit_ratio": self.baseline_hit_ratio,
+                "recovered_window": self.recovered_window,
+                "time_to_recover_ns": self.time_to_recover_ns}
+
+
+#: A post-recovery window counts as recovered at this fraction of the
+#: pre-drain hit ratio (full equality would be noise-sensitive).
+_RECOVERY_FRACTION = 0.9
+
+#: Baseline = mean over this many pre-drain traffic windows.
+_BASELINE_WINDOWS = 3
+
+
+def measure_recovery(windows, events: list[MaintenanceEvent],
+                     ) -> list[MaintenanceOutcome]:
+    """Per-event time-to-recover from the windowed hit-ratio timeline.
+
+    For each maintenance event: the baseline is the mean hit ratio of
+    the last few traffic-carrying windows that closed before the drain;
+    recovery is the first window starting at/after the device's
+    recovery instant whose hit ratio is back within
+    :data:`_RECOVERY_FRACTION` of that baseline.
+    """
+    outcomes = []
+    for event in events:
+        before = [w.hit_ratio for w in windows
+                  if w.end_ns <= event.drain_ns and w.packets_sent > 0]
+        baseline = None
+        if before:
+            tail = before[-_BASELINE_WINDOWS:]
+            baseline = sum(tail) / len(tail)
+        recovered_window = None
+        ttr = None
+        for window in windows:
+            if window.start_ns < event.recover_ns or window.packets_sent == 0:
+                continue
+            if baseline is None \
+                    or window.hit_ratio >= _RECOVERY_FRACTION * baseline:
+                recovered_window = window.index
+                ttr = window.end_ns - event.recover_ns
+                break
+        outcomes.append(MaintenanceOutcome(
+            event=event, baseline_hit_ratio=baseline,
+            recovered_window=recovered_window, time_to_recover_ns=ttr))
+    return outcomes
+
+
+def build_maintenance(spec: FatTreeSpec, config: ServiceConfig,
+                      ) -> tuple[FaultSchedule, list[MaintenanceEvent]]:
+    """Generate the rotation schedule covering the run's duration.
+
+    One device per ``maintenance_period_ns``, starting at
+    ``maintenance_start_ns``; the rotation wraps if the run outlives
+    one pass over the fleet.  The last window is placed so its recovery
+    lands at least one metrics window before ``duration_ns`` — recovery
+    behaviour must be observable inside the measured horizon.
+    """
+    schedule = FaultSchedule()
+    events: list[MaintenanceEvent] = []
+    targets = rotation_targets(spec)
+    margin_ns = config.maintenance_outage_ns + config.window_ns
+    drain_at = config.maintenance_start_ns
+    index = 0
+    while drain_at + config.maintenance_drain_ns + config.maintenance_outage_ns \
+            + margin_ns <= config.duration_ns:
+        target = targets[index % len(targets)]
+        fail_at = drain_at + config.maintenance_drain_ns
+        recover_at = fail_at + config.maintenance_outage_ns
+        if target[0] == "gateway":
+            schedule.gateway_maintenance(target[1], drain_at, fail_at,
+                                         recover_at)
+            label = f"gateway {target[1]}"
+        else:
+            schedule.switch_outage(target[0], tuple(target[1:]), fail_at,
+                                   config.maintenance_outage_ns)
+            label = f"{target[0]}({', '.join(str(v) for v in target[1:])})"
+        events.append(MaintenanceEvent(target=label, drain_ns=drain_at,
+                                       fail_ns=fail_at, recover_ns=recover_at))
+        drain_at += config.maintenance_period_ns
+        index += 1
+    return schedule, events

@@ -1,0 +1,183 @@
+"""SLO reports for service runs: build, render, save, reload.
+
+A report is a plain JSON document (format ``repro-serve-report``) so it
+can be archived next to benchmark results and re-rendered later with
+``python -m repro serve-report`` without re-simulating.  The rendered
+form is the operator view: the per-window timeline, the worst windows,
+per-maintenance-event time-to-recover and the invariant verdict.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.metrics.reporting import failure_breakdown_rows, render_table
+from repro.service.driver import ServiceResult
+
+REPORT_FORMAT = "repro-serve-report"
+REPORT_VERSION = 1
+
+
+def _json_float(value):
+    if value is None:
+        return None
+    return value if value == value and abs(value) != float("inf") else None
+
+
+def build_report(result: ServiceResult) -> dict:
+    """The JSON-able report document of one service run."""
+    windows = [window.as_dict() for window in result.windows]
+    traffic = [w for w in result.windows if w.packets_sent > 0]
+    worst_p99 = max((w.fct_p99_ns for w in traffic
+                     if w.fct_p99_ns == w.fct_p99_ns
+                     and w.fct_p99_ns != float("inf")), default=None)
+    worst_hit = min((w.hit_ratio for w in traffic), default=None)
+    completed = result.flows_completed
+    availability = (completed / result.flows_started
+                    if result.flows_started else 0.0)
+    return {
+        "format": REPORT_FORMAT,
+        "version": REPORT_VERSION,
+        "config": result.config.to_dict(),
+        "horizon_ns": result.horizon_ns,
+        "windows": windows,
+        "maintenance": [outcome.as_dict() for outcome in result.maintenance],
+        "tenants": {
+            "admitted": result.tenants_admitted,
+            "departed": result.tenants_departed,
+            "retired": result.tenants_retired,
+        },
+        "totals": {
+            "flows_started": result.flows_started,
+            "flows_completed": result.flows_completed,
+            "flows_failed": result.flows_failed,
+            "failure_reasons": dict(result.failure_reasons),
+            "migrations": result.migrations,
+            "gateway_failovers": result.gateway_failovers,
+            "gateway_reinstatements": result.gateway_reinstatements,
+            "peak_retained_records": result.peak_retained_records,
+        },
+        "slo": {
+            "availability": availability,
+            "fct_p50_ns": _json_float(result.fct_p50_ns),
+            "fct_p99_ns": _json_float(result.fct_p99_ns),
+            "worst_window_p99_ns": _json_float(worst_p99),
+            "worst_window_hit_ratio": worst_hit,
+            "violation_count": len(result.violations),
+        },
+        "violations": [
+            {"oracle": v.oracle, "time_ns": v.time_ns, "detail": v.detail}
+            for v in result.violations
+        ],
+        "reproducer_path": result.reproducer_path,
+    }
+
+
+def write_report(path, report: dict) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path) -> dict:
+    """Read a saved report, validating format and version loudly."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != REPORT_FORMAT:
+        raise ValueError(f"{path} is not a serve report "
+                         f"(format {data.get('format')!r})")
+    if data.get("version") != REPORT_VERSION:
+        raise ValueError(f"{path} has report version {data.get('version')}, "
+                         f"this build reads version {REPORT_VERSION}")
+    return data
+
+
+def _us(value) -> float:
+    if value is None:
+        return float("nan")
+    return value / 1_000
+
+
+def _ms(value) -> float:
+    if value is None:
+        return float("nan")
+    return value / 1_000_000
+
+
+def render_report(report: dict) -> str:
+    """The operator view of a report document."""
+    parts = []
+    window_rows = []
+    for window in report["windows"]:
+        window_rows.append([
+            window["index"],
+            _ms(window["start_ns"]),
+            window["flows_started"],
+            window["flows_completed"],
+            window["flows_failed"],
+            _us(window["fct_p50_ns"]),
+            _us(window["fct_p99_ns"]),
+            window["hit_ratio"],
+            window["gateway_arrivals"],
+            window["misdeliveries"],
+            window["retained_records"],
+        ])
+    parts.append(render_table(
+        ["window", "start (ms)", "started", "done", "failed",
+         "p50 (us)", "p99 (us)", "hit ratio", "gw load", "misdeliv",
+         "retained"],
+        window_rows, title="Per-window SLO timeline"))
+
+    maintenance_rows = []
+    for outcome in report["maintenance"]:
+        ttr = outcome["time_to_recover_ns"]
+        maintenance_rows.append([
+            outcome["target"],
+            _ms(outcome["drain_ns"]),
+            _ms(outcome["fail_ns"]),
+            _ms(outcome["recover_ns"]),
+            outcome["baseline_hit_ratio"]
+            if outcome["baseline_hit_ratio"] is not None else "n/a",
+            _ms(ttr) if ttr is not None else "not observed",
+        ])
+    if maintenance_rows:
+        parts.append(render_table(
+            ["maintenance target", "drain (ms)", "fail (ms)", "recover (ms)",
+             "baseline hit", "ttr (ms)"],
+            maintenance_rows, title="Rolling maintenance: time-to-recover"))
+
+    slo = report["slo"]
+    totals = report["totals"]
+    tenants = report["tenants"]
+    summary_rows = [
+        ["simulated horizon (ms)", _ms(report["horizon_ns"])],
+        ["windows", len(report["windows"])],
+        ["tenants admitted/departed/retired",
+         f"{tenants['admitted']}/{tenants['departed']}/{tenants['retired']}"],
+        ["migrations", totals["migrations"]],
+        ["flows started", totals["flows_started"]],
+        ["flows completed", totals["flows_completed"]],
+        ["availability", slo["availability"]],
+        ["fct p50 (us)", _us(slo["fct_p50_ns"])],
+        ["fct p99 (us)", _us(slo["fct_p99_ns"])],
+        ["worst-window p99 (us)", _us(slo["worst_window_p99_ns"])],
+        ["worst-window hit ratio",
+         slo["worst_window_hit_ratio"]
+         if slo["worst_window_hit_ratio"] is not None else "n/a"],
+        ["gateway failovers/reinstatements",
+         f"{totals['gateway_failovers']}/{totals['gateway_reinstatements']}"],
+        ["peak retained flow records", totals["peak_retained_records"]],
+        ["invariant violations", slo["violation_count"]],
+    ]
+    summary_rows.extend(failure_breakdown_rows(
+        totals["flows_failed"], totals["failure_reasons"]))
+    parts.append(render_table(["metric", "value"], summary_rows,
+                              title="Service summary"))
+
+    for violation in report["violations"]:
+        parts.append(f"VIOLATION [{violation['oracle']}] "
+                     f"t={violation['time_ns']}ns {violation['detail']}")
+    if report.get("reproducer_path"):
+        parts.append(f"reproducer: {report['reproducer_path']}")
+    return "\n\n".join(parts)

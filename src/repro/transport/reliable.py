@@ -150,9 +150,13 @@ class ReliableSender:
             return
         if self.record.retransmissions >= self.config.max_retransmits:
             # Give up: the destination (or every gateway on the way to
-            # it) is unreachable.  Terminal state — no more timers.
-            self.record.failed = True
-            self.record.failure_reason = "max-retransmits"
+            # it) is unreachable.  Terminal state — no more timers.  A
+            # record the receiver already completed stays completed:
+            # only the tail ACKs were lost, and a flow must never be
+            # both completed and failed.
+            if not self.record.completed:
+                self.record.failed = True
+                self.record.failure_reason = "max-retransmits"
             self.done = True
             return
         # Retransmission timeout: go back to the hole, collapse cwnd.

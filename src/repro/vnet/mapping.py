@@ -32,6 +32,7 @@ class MappingDatabase:
         self.version = 0
         self.updates = 0
         self._listeners: list[Callable[[int, int, int], None]] = []
+        self._removal_listeners: list[Callable[[int, int], None]] = []
 
     def __len__(self) -> int:
         return len(self._table)
@@ -59,10 +60,13 @@ class MappingDatabase:
             listener(vip, old, pip)
 
     def remove(self, vip: int) -> None:
-        if vip in self._table:
-            del self._table[vip]
+        """Retire a mapping (VM departure); notifies removal listeners."""
+        old = self._table.pop(vip, None)
+        if old is not None:
             self.version += 1
             self.updates += 1
+            for listener in self._removal_listeners:
+                listener(vip, old)
 
     def items(self):
         return self._table.items()
@@ -75,3 +79,12 @@ class MappingDatabase:
         tradeoff, Figure 1).
         """
         self._listeners.append(listener)
+
+    def subscribe_removal(self, listener: Callable[[int, int], None]) -> None:
+        """Register ``listener(vip, old_pip)`` for mapping removals.
+
+        Departures are a distinct event from updates: a removed VIP has
+        no new PIP, and observers (e.g. the cache-coherence oracle)
+        must stop holding its cached entries against the database.
+        """
+        self._removal_listeners.append(listener)

@@ -1,0 +1,282 @@
+"""Always-on service mode: config, maintenance rotation, driver, report.
+
+The end-to-end runs here are short (a few simulated seconds); the
+60-simulated-second acceptance run lives in ``benchmarks/serve_smoke.py``
+and is gated in CI.
+"""
+
+import json
+
+import pytest
+
+from repro.core import SwitchV2P
+from repro.experiments.faults import chaos_spec
+from repro.faults.schedule import FaultSchedule
+from repro.metrics.streaming import WindowStats
+from repro.net.packet import Packet, PacketKind
+from repro.service import (
+    MaintenanceEvent,
+    ServiceConfig,
+    build_maintenance,
+    build_report,
+    load_report,
+    measure_recovery,
+    render_report,
+    replay_reproducer,
+    rotation_targets,
+    run_service,
+    write_report,
+    write_reproducer,
+)
+from repro.sim.engine import SECOND, msec, usec
+from repro.vnet.network import NetworkConfig, VirtualNetwork
+
+from conftest import small_network
+
+
+# ----------------------------------------------------------------------
+# ServiceConfig
+# ----------------------------------------------------------------------
+def test_config_round_trips_through_dict():
+    config = ServiceConfig(duration_ns=3 * SECOND, seed=9, scheme="GwCache",
+                           hop_bound=128)
+    assert ServiceConfig.from_dict(config.to_dict()) == config
+
+
+def test_config_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown ServiceConfig field"):
+        ServiceConfig.from_dict({"duration_ns": SECOND, "typo_field": 1})
+
+
+@pytest.mark.parametrize("overrides", [
+    {"duration_ns": 0},
+    {"window_ns": -1},
+    {"min_vms_per_tenant": 1},
+    {"max_vms_per_tenant": 1, "min_vms_per_tenant": 2},
+    {"initial_tenants": 0},
+    {"max_tenants": 2, "initial_tenants": 5},
+    {"hop_bound": 0},
+])
+def test_config_validation(overrides):
+    with pytest.raises(ValueError):
+        ServiceConfig(**overrides)
+
+
+# ----------------------------------------------------------------------
+# maintenance rotation
+# ----------------------------------------------------------------------
+def test_rotation_interleaves_device_classes():
+    """Gateways must take turns early, not after every switch: a short
+    run still has to exercise drain -> crash -> restart -> reinstate."""
+    targets = rotation_targets(chaos_spec())
+    kinds = [t[0] for t in targets]
+    assert set(kinds[:3]) == {"tor", "spine", "gateway"}
+    assert kinds.count("gateway") == 2
+    # Gateway-rack ToRs are never rotated into maintenance.
+    spec = chaos_spec()
+    gateway_racks = {(pod, spec.gateway_rack) for pod in spec.gateway_pods}
+    for kind, *coords in targets:
+        if kind == "tor":
+            assert tuple(coords) not in gateway_racks
+
+
+def test_build_maintenance_covers_gateways_within_a_minute():
+    config = ServiceConfig(duration_ns=60 * SECOND)
+    schedule, events = build_maintenance(chaos_spec(), config)
+    assert events, "a minute-long run must get maintenance windows"
+    gateway_events = [e for e in events if e.target.startswith("gateway")]
+    assert len(gateway_events) >= 2
+    for event in events:
+        assert event.drain_ns < event.fail_ns < event.recover_ns
+        assert event.recover_ns + config.window_ns <= config.duration_ns
+    # The executable schedule and the descriptors describe the same
+    # windows: every event produced fault entries.
+    assert len(schedule.events) >= len(events) * 2
+
+
+def _window(index, start, end, hit, packets=100):
+    return WindowStats(index=index, start_ns=start, end_ns=end,
+                       flows_started=1, flows_completed=1, flows_failed=0,
+                       packets_sent=packets, hit_ratio=hit)
+
+
+def test_measure_recovery_finds_first_recovered_window():
+    w = SECOND
+    windows = [
+        _window(0, 0, w, 0.90),
+        _window(1, w, 2 * w, 0.92),
+        _window(2, 2 * w, 3 * w, 0.40),   # outage window
+        _window(3, 3 * w, 4 * w, 0.50),   # cold caches
+        _window(4, 4 * w, 5 * w, 0.88),   # recovered (>= 0.9 * baseline)
+    ]
+    event = MaintenanceEvent(target="tor(0, 0)", drain_ns=2 * w,
+                             fail_ns=2 * w + msec(100),
+                             recover_ns=2 * w + msec(300))
+    outcome = measure_recovery(windows, [event])[0]
+    assert outcome.baseline_hit_ratio == pytest.approx(0.91)
+    assert outcome.recovered_window == 4
+    assert outcome.time_to_recover_ns == 5 * w - event.recover_ns
+
+
+def test_measure_recovery_handles_truncated_runs():
+    w = SECOND
+    windows = [_window(0, 0, w, 0.9), _window(1, w, 2 * w, 0.2)]
+    event = MaintenanceEvent(target="spine(0, 0)", drain_ns=w,
+                             fail_ns=w + 1, recover_ns=w + 2)
+    outcome = measure_recovery(windows, [event])[0]
+    assert outcome.baseline_hit_ratio == pytest.approx(0.9)
+    assert outcome.recovered_window is None
+    assert outcome.time_to_recover_ns is None
+
+
+# ----------------------------------------------------------------------
+# the driver, end to end
+# ----------------------------------------------------------------------
+def _short_config(**overrides):
+    defaults = dict(duration_ns=4 * SECOND, maintenance_start_ns=SECOND,
+                    maintenance_period_ns=SECOND)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def test_short_service_run_is_clean():
+    result = run_service(_short_config())
+    assert result.clean
+    assert len(result.windows) >= 4
+    assert result.flows_started > 0
+    assert result.flows_completed > 0
+    assert result.tenants_admitted >= 5
+    assert result.migrations > 0
+    assert result.maintenance, "maintenance rotation must have run"
+    assert result.fct_p50_ns < result.fct_p99_ns
+    # The always-on retirement keeps live state O(window).
+    assert result.peak_retained_records < result.flows_started
+
+
+def test_service_run_is_deterministic():
+    first = run_service(_short_config(seed=5))
+    second = run_service(_short_config(seed=5))
+    assert first.flows_started == second.flows_started
+    assert first.migrations == second.migrations
+    assert [w.as_dict() for w in first.windows] \
+        == [w.as_dict() for w in second.windows]
+
+
+def test_departed_tenants_are_retired_and_vips_released():
+    result = run_service(_short_config(
+        duration_ns=6 * SECOND,
+        tenant_arrival_period_ns=SECOND,
+        tenant_lifetime_ns=2 * SECOND))
+    assert result.clean
+    assert result.tenants_departed > 0
+    assert result.tenants_retired > 0
+
+
+# ----------------------------------------------------------------------
+# reproducer artifacts
+# ----------------------------------------------------------------------
+def _fake_violation():
+    from repro.faults.oracles import OracleViolation
+    return OracleViolation(oracle="misdelivery", time_ns=123,
+                           detail="synthetic")
+
+
+def test_reproducer_artifact_round_trip(tmp_path):
+    config = _short_config(duration_ns=2 * SECOND)
+    schedule, _ = build_maintenance(chaos_spec(), config)
+    path = write_reproducer(tmp_path / "repro.json", config,
+                            _fake_violation(), schedule)
+    payload = json.loads(path.read_text())
+    assert payload["format"] == "repro-serve-reproducer"
+    assert payload["oracle"] == "misdelivery"
+    assert "python -m repro serve --replay" in payload["command"]
+    # The embedded schedule passes loud schema validation and the
+    # config replays to a clean run (the recorded defect is synthetic).
+    result = replay_reproducer(path)
+    assert result.clean
+
+
+def test_replay_rejects_foreign_and_future_artifacts(tmp_path):
+    bad = tmp_path / "other.json"
+    bad.write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(ValueError, match="not a service reproducer"):
+        replay_reproducer(bad)
+    future = tmp_path / "future.json"
+    future.write_text(json.dumps(
+        {"format": "repro-serve-reproducer", "version": 999}))
+    with pytest.raises(ValueError, match="version"):
+        replay_reproducer(future)
+
+
+def test_reproducer_schedule_schema_errors_name_the_entry(tmp_path):
+    config = _short_config(duration_ns=2 * SECOND)
+    path = write_reproducer(tmp_path / "repro.json", config,
+                            _fake_violation(), FaultSchedule())
+    payload = json.loads(path.read_text())
+    payload["schedule"] = {"events": [
+        {"at_ns": 0, "kind": "switch-fail", "target": ["tor", 0]}]}
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match=r"events\[0\]"):
+        replay_reproducer(path)
+
+
+# ----------------------------------------------------------------------
+# SLO reports
+# ----------------------------------------------------------------------
+def test_report_build_save_reload_render(tmp_path):
+    result = run_service(_short_config())
+    report = build_report(result)
+    assert report["format"] == "repro-serve-report"
+    assert report["slo"]["violation_count"] == 0
+    assert report["slo"]["availability"] == pytest.approx(
+        result.flows_completed / result.flows_started)
+    assert len(report["windows"]) == len(result.windows)
+    path = tmp_path / "slo.json"
+    write_report(path, report)
+    reloaded = load_report(path)
+    assert reloaded == json.loads(json.dumps(report))
+    rendered = render_report(reloaded)
+    assert "hit" in rendered
+    assert "time-to-recover" in rendered or "ttr" in rendered
+
+
+def test_load_report_rejects_foreign_documents(tmp_path):
+    path = tmp_path / "not-a-report.json"
+    path.write_text(json.dumps({"format": "nope", "version": 1}))
+    with pytest.raises(ValueError):
+        load_report(path)
+
+
+# ----------------------------------------------------------------------
+# satellite plumbing: detector tuning + misdelivery-episode reset
+# ----------------------------------------------------------------------
+def test_network_config_tunes_failure_detector():
+    network = VirtualNetwork(
+        NetworkConfig(spec=chaos_spec(), seed=0,
+                      gateway_probe_interval_ns=usec(77),
+                      gateway_reinstate_timeout_ns=msec(3)),
+        SwitchV2P(total_cache_slots=64))
+    detector = network.enable_gateway_failover()
+    assert detector.probe_interval_ns == usec(77)
+    assert detector.max_backoff_ns == msec(3)
+
+
+def test_reforward_resets_misdelivery_episode():
+    """Regression: each re-forward of a misdelivered packet must start
+    a fresh misdelivery episode (tag cleared), otherwise only the first
+    bounce triggers a targeted invalidation and a packet chasing a
+    twice-migrated VM can ping-pong between two stale locations forever
+    (each old host's re-forward is served by a cache holding the
+    *other* stale value, which never matches the carried pair)."""
+    scheme = SwitchV2P(total_cache_slots=64)
+    network = small_network(scheme, num_vms=8)
+    host = network.hosts[0]
+    packet = Packet(kind=PacketKind.DATA, flow_id=1, seq=0,
+                    payload_bytes=100, src_vip=0, dst_vip=5,
+                    outer_src=host.pip)
+    packet.misdelivery_tag = True
+    packet.hit_switch = 3
+    scheme.send_misdelivered_via_gateway(host, packet)
+    assert packet.misdelivery_tag is False
+    assert packet.carried_mapping == (5, host.pip)
+    assert not packet.resolved

@@ -1,0 +1,153 @@
+"""Window semantics of the streaming collector (service mode).
+
+Pins down the contract documented in :mod:`repro.metrics.streaming`:
+boundary-spanning flows are counted once (in their completion window),
+empty windows still emit rows, window boundaries are unperturbed by
+fault events landing exactly on them, and memory stays O(window) no
+matter how long the run is.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SwitchV2P
+from repro.faults.schedule import FaultSchedule
+from repro.metrics.sketch import QuantileSketch
+from repro.metrics.streaming import WindowedCollector
+from repro.service import ServiceConfig, run_service
+from repro.sim.engine import SECOND, msec, usec
+from repro.transport.flow import FlowSpec
+from repro.transport.player import TrafficPlayer
+from repro.vnet.network import NetworkConfig, VirtualNetwork
+
+from conftest import tiny_spec
+
+
+def _windowed_network(window_ns: int, seed: int = 0):
+    collector = WindowedCollector(window_ns=window_ns)
+    network = VirtualNetwork(
+        NetworkConfig(spec=tiny_spec(), seed=seed),
+        SwitchV2P(total_cache_slots=256), collector)
+    network.place_vms(8)
+    collector.attach(network)
+    return network, collector
+
+
+def test_boundary_spanning_flow_counted_once_at_completion():
+    """A flow crossing several windows: started where it began,
+    completed (and sketched) only in the window it finished in."""
+    window = usec(5)
+    network, collector = _windowed_network(window)
+    player = TrafficPlayer(network)
+    record = player.add_flows(
+        [FlowSpec(src_vip=0, dst_vip=5, size_bytes=20_000, start_ns=0)])[0]
+    network.run(until=msec(2))
+    collector.detach()
+    collector.flush()
+    assert record.completed
+    assert record.fct_ns > window, "flow must span multiple windows"
+    assert sum(w.flows_started for w in collector.windows) == 1
+    assert sum(w.flows_completed for w in collector.windows) == 1
+    start_window = next(w for w in collector.windows if w.flows_started)
+    done_window = next(w for w in collector.windows if w.flows_completed)
+    assert done_window.index > start_window.index
+    # Windows in between retain the in-flight record, none double-count.
+    for w in collector.windows[start_window.index:done_window.index]:
+        assert w.retained_records >= 1
+    # After retirement the record has left the live table but its FCT
+    # survives in the cumulative sketch.
+    assert record.flow_id not in collector.flows
+    assert collector.fct_sketch.count == 1
+    assert collector.percentile_fct_ns(50) == pytest.approx(
+        record.fct_ns, rel=0.02)
+
+
+def test_empty_windows_still_emit_rows():
+    """Gaps in a timeline are data: no traffic, full set of rows."""
+    window = usec(10)
+    network, collector = _windowed_network(window)
+    network.run(until=5 * window + 1)
+    collector.detach()
+    collector.flush()
+    assert len(collector.windows) >= 5
+    for stats in collector.windows[:5]:
+        assert stats.flows_started == 0
+        assert stats.flows_completed == 0
+        assert stats.packets_sent == 0
+        assert stats.hit_ratio == 0.0
+        row = stats.as_dict()
+        assert row["fct_p50_ns"] is None
+        assert row["fct_p99_ns"] is None
+
+
+def test_window_aligned_fault_event_keeps_boundaries_exact():
+    """A fault firing exactly on a window boundary must neither shift
+    the boundary nor get lost: periodic closes stay at exact multiples
+    of the window length."""
+    window = usec(50)
+    network, collector = _windowed_network(window)
+    schedule = FaultSchedule()
+    schedule.switch_outage("tor", (0, 0), start_ns=2 * window,
+                           duration_ns=window)
+    schedule.apply(network)
+    network.run(until=6 * window + 1)
+    collector.detach()
+    fired = [t for t, _ in schedule.fired]
+    assert 2 * window in fired and 3 * window in fired
+    assert len(collector.windows) >= 6
+    for stats in collector.windows[:6]:
+        assert stats.end_ns % window == 0
+        assert stats.end_ns - stats.start_ns == window
+
+
+def test_retained_records_flat_across_10x_run_length():
+    """The acceptance gauge: peak co-resident FlowRecords is O(window),
+    not O(run) — a 10x longer service run keeps a flat high-water mark
+    while starting ~10x the flows."""
+    def run(seconds: int):
+        return run_service(ServiceConfig(
+            duration_ns=seconds * SECOND, maintenance_start_ns=SECOND,
+            tenant_arrival_period_ns=2 * SECOND,
+            tenant_lifetime_ns=6 * SECOND))
+
+    short, long = run(2), run(20)
+    assert short.clean and long.clean
+    assert long.flows_started > 5 * short.flows_started
+    assert long.peak_retained_records <= 3 * short.peak_retained_records
+    # And the player's transport tables were pruned alongside.
+    assert long.peak_retained_records < long.flows_started / 5
+
+
+def test_quantile_sketch_relative_accuracy():
+    """DDSketch-style guarantee: quantiles within the configured
+    relative error of the exact values."""
+    rng = np.random.default_rng(42)
+    values = rng.lognormal(mean=10.0, sigma=1.5, size=20_000)
+    alpha = 0.01
+    sketch = QuantileSketch(relative_accuracy=alpha)
+    for v in values:
+        sketch.add(float(v))
+    assert sketch.count == len(values)
+    for q in (0.05, 0.50, 0.90, 0.99):
+        exact = float(np.quantile(values, q))
+        got = sketch.quantile(q)
+        assert abs(got - exact) <= 3 * alpha * exact
+    assert sketch.mean() == pytest.approx(float(values.mean()), rel=1e-9)
+
+
+def test_sketch_merge_matches_single_stream():
+    rng = np.random.default_rng(7)
+    a, b = rng.uniform(1, 1000, 500), rng.uniform(1, 1000, 500)
+    merged, single = QuantileSketch(0.01), QuantileSketch(0.01)
+    other = QuantileSketch(0.01)
+    for v in a:
+        merged.add(float(v))
+        single.add(float(v))
+    for v in b:
+        other.add(float(v))
+        single.add(float(v))
+    merged.merge(other)
+    assert merged.count == single.count
+    for q in (0.1, 0.5, 0.9):
+        assert merged.quantile(q) == pytest.approx(single.quantile(q),
+                                                   rel=0.05)
