@@ -1,0 +1,112 @@
+"""CI smoke gate for the hybrid-fidelity engine.
+
+Two hard checks, run as ``PYTHONPATH=src python benchmarks/hybrid_smoke.py``:
+
+1. **Fidelity equivalence** — a same-seed steady workload on the default
+   fat-tree must produce *identical* cache metrics (hit rate, gateway
+   arrivals, misdeliveries, drops, learning packets, per-aggregate
+   lookups/hits, evictions, insertions, packet count) under
+   ``fidelity="packet"`` and ``fidelity="hybrid"``, and the hybrid run
+   must actually have gone fluid.  This is seed-deterministic, so
+   runner noise cannot flake it.
+2. **Scale under budget** — a fat-tree k=16 fabric with 10240 VMs and
+   32 x 10 MB flows must complete under hybrid fidelity inside a loose
+   wall-clock budget (the same workload takes several CI-minutes in
+   pure packet mode; hybrid finishes in seconds locally, and the
+   budget leaves >10x headroom for slow runners).  The run must also
+   satisfy the escalation-accounting invariant.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core import SwitchV2P
+from repro.experiments.runner import build_network, run_flows
+from repro.net.topology import FatTreeSpec
+from repro.transport.flow import FlowSpec
+
+#: Loose wall-clock bound for the k=16 run (locally ~5-10 s).
+BUDGET_S = 120.0
+
+FT16 = FatTreeSpec(pods=16, racks_per_pod=4, servers_per_rack=4,
+                   spines_per_pod=4, num_cores=16,
+                   gateway_pods=tuple(range(0, 16, 2)),
+                   gateways_per_pod=4)
+FT16_VMS = 10_240
+
+
+def _flows(n_pairs: int, size: int) -> list[FlowSpec]:
+    return [FlowSpec(src_vip=2 * i, dst_vip=2 * i + 1, size_bytes=size,
+                     start_ns=i * 1000) for i in range(n_pairs)]
+
+
+def _run(fidelity, spec, num_vms, flows, slots=16384):
+    network = build_network(spec, SwitchV2P(slots), num_vms, seed=7,
+                            fidelity=fidelity)
+    return run_flows(network, list(flows), trace_name="smoke",
+                     keep_network=True)
+
+
+def _cache_metrics(result):
+    collector = result.collector
+    scheme = result.network.scheme
+    lookups, hits = scheme.aggregate_hit_stats()
+    return {
+        "hit_rate": result.hit_rate,
+        "gateway_arrivals": collector.gateway_arrivals,
+        "misdeliveries": collector.misdeliveries,
+        "drops": collector.drops,
+        "learning_packets": collector.learning_packets,
+        "lookups": lookups,
+        "hits": hits,
+        "evictions": sum(c.stats.evictions for c in scheme.caches.values()),
+        "insertions": sum(c.stats.insertions
+                          for c in scheme.caches.values()),
+        "packets_sent": result.packets_sent,
+        "completion": result.completion_rate,
+    }
+
+
+def main() -> int:
+    # 1. fidelity equivalence on the default fabric (deterministic).
+    flows = _flows(4, 1_500_000)
+    packet = _run("packet", FatTreeSpec(), 64, flows)
+    hybrid = _run("hybrid", FatTreeSpec(), 64, flows)
+    assert hybrid.fluid_adoptions > 0, "hybrid run never went fluid"
+    assert hybrid.fluid_packets > 0
+    packet_metrics = _cache_metrics(packet)
+    hybrid_metrics = _cache_metrics(hybrid)
+    mismatch = {k: (v, hybrid_metrics[k])
+                for k, v in packet_metrics.items()
+                if hybrid_metrics[k] != v}
+    assert not mismatch, f"cache metrics diverged: {mismatch}"
+    print(f"equivalence: packet == hybrid on {len(packet_metrics)} "
+          f"cache metrics; hybrid advanced "
+          f"{hybrid.fluid_packets}/{hybrid.packets_sent} packets "
+          f"analytically ({hybrid.fluid_adoptions} adoptions)")
+
+    # 2. k=16 at 10k VMs must finish under the wall-clock budget.
+    start = time.perf_counter()
+    big = _run("hybrid", FT16, FT16_VMS, _flows(32, 10_000_000))
+    elapsed = time.perf_counter() - start
+    assert big.completion_rate == 1.0, big.completion_rate
+    assert big.fluid_adoptions > 0
+    assert sum(big.fluid_escalations_by_reason.values()) \
+        == big.fluid_escalations
+    assert elapsed <= BUDGET_S, \
+        f"k=16 hybrid run took {elapsed:.1f}s (budget {BUDGET_S:.0f}s)"
+    fluid_share = big.fluid_packets / max(big.packets_sent, 1)
+    print(f"scale: k=16, {FT16_VMS} VMs, 32 x 10 MB flows in "
+          f"{elapsed:.1f}s (budget {BUDGET_S:.0f}s); "
+          f"{100 * fluid_share:.1f}% of packets fluid, "
+          f"{big.fluid_escalations} escalation(s): "
+          f"{dict(sorted(big.fluid_escalations_by_reason.items()))}")
+
+    print("hybrid smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

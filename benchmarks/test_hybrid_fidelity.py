@@ -1,0 +1,136 @@
+"""Hybrid-fidelity engine benchmarks: fluid speedup and churn overhead.
+
+Two workloads bracket the engine's envelope:
+
+* **steady-state-heavy** — few long flows with ample cache headroom,
+  the shape the fluid fast path exists for.  Packet and hybrid runs
+  must produce *identical* cache metrics, and hybrid must beat packet
+  by the committed speedup floor (>= 5x).
+* **churn-heavy** — a thrashing cache (constant conflict evictions)
+  keeps escalating flows back to packet level.  Hybrid buys nothing
+  here; what we pin is that it also *costs* almost nothing (bounded
+  adoption-retry overhead) and still completes every flow.
+
+Budgets live in BENCH_sim.json and are advisory unless
+REPRO_BENCH_ENFORCE=1 (shared runners are too noisy for hard gates).
+"""
+
+import json
+import os
+import warnings
+from pathlib import Path
+
+from repro.core import SwitchV2P
+from repro.experiments.runner import build_network, run_flows
+from repro.net.topology import FatTreeSpec
+from repro.perf import timed_call
+from repro.transport.flow import FlowSpec
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+
+def _steady_flows(n_pairs, size):
+    return [FlowSpec(src_vip=2 * i, dst_vip=2 * i + 1, size_bytes=size,
+                     start_ns=i * 1000) for i in range(n_pairs)]
+
+
+def _simulate(fidelity, flows, slots):
+    network = build_network(FatTreeSpec(), SwitchV2P(slots), 64, seed=7,
+                            fidelity=fidelity)
+    return run_flows(network, list(flows), trace_name="steady",
+                     keep_network=True)
+
+
+def _cache_fingerprint(result):
+    collector = result.collector
+    scheme = result.network.scheme
+    lookups, hits = scheme.aggregate_hit_stats()
+    return (result.hit_rate, collector.gateway_arrivals,
+            collector.misdeliveries, collector.drops,
+            collector.learning_packets, lookups, hits,
+            sum(c.stats.evictions for c in scheme.caches.values()),
+            sum(c.stats.insertions for c in scheme.caches.values()),
+            result.packets_sent)
+
+
+def _check_budget(benchmark, name):
+    stats = getattr(benchmark, "stats", None)
+    if stats is None or not BASELINE_PATH.is_file():
+        return
+    entry = json.loads(BASELINE_PATH.read_text())["benchmarks"].get(name)
+    if entry is None:
+        return
+    budget_ms = entry["budget_ms"]
+    min_ms = stats.stats.min * 1000.0
+    if min_ms <= budget_ms:
+        return
+    message = (f"{name}: min {min_ms:.1f} ms exceeds the BENCH_sim.json "
+               f"budget of {budget_ms:.1f} ms "
+               f"(baseline after_ms.min={entry['after_ms']['min']:.1f})")
+    if os.environ.get("REPRO_BENCH_ENFORCE") == "1":
+        raise AssertionError(message)
+    warnings.warn(message, stacklevel=2)
+
+
+def _check_speedup(label, speedup, floor):
+    if speedup >= floor:
+        return
+    message = (f"{label}: observed speedup {speedup:.2f}x is below the "
+               f"{floor:.1f}x floor")
+    if os.environ.get("REPRO_BENCH_ENFORCE") == "1":
+        raise AssertionError(message)
+    warnings.warn(message, stacklevel=2)
+
+
+def test_hybrid_steady_state_speedup(benchmark):
+    """8 x 10 MB warm flows: hybrid must match exactly and win >= 5x."""
+    flows = _steady_flows(8, 10_000_000)
+    packet_result, packet_ns = timed_call(
+        _simulate, "packet", flows, 16384)
+
+    hybrid_result = benchmark.pedantic(
+        _simulate, args=("hybrid", flows, 16384), rounds=3, iterations=1)
+
+    assert hybrid_result.completion_rate == 1.0
+    assert hybrid_result.fluid_adoptions > 0
+    assert _cache_fingerprint(hybrid_result) \
+        == _cache_fingerprint(packet_result)
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:  # absent under --benchmark-disable
+        hybrid_ns = stats.stats.min * 1e9
+        _check_speedup("hybrid fluid fast path (steady state)",
+                       packet_ns / hybrid_ns, 5.0)
+    _check_budget(benchmark, "test_hybrid_steady_state_speedup")
+
+
+def test_hybrid_churn_heavy_overhead(benchmark):
+    """8 x 3 MB flows through a 512-slot thrashing cache.
+
+    Constant conflict evictions fire ``on_mutate`` escalations, so
+    flows barely stay fluid; the tripwire is that hybrid's adoption
+    attempts and probe walks stay cheap — within the loose budget,
+    i.e. roughly packet-mode cost, never a multiple of it.
+    """
+    flows = _steady_flows(8, 3_000_000)
+    packet_result, packet_ns = timed_call(_simulate, "packet", flows, 512)
+
+    hybrid_result = benchmark.pedantic(
+        _simulate, args=("hybrid", flows, 512), rounds=3, iterations=1)
+
+    assert hybrid_result.completion_rate == 1.0
+    assert packet_result.completion_rate == 1.0
+    # Cache metrics legitimately diverge under thrash (documented in
+    # docs/simulator.md); delivery-level accounting must still agree.
+    assert hybrid_result.collector.misdeliveries \
+        == packet_result.collector.misdeliveries
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        hybrid_ns = stats.stats.min * 1e9
+        slowdown = hybrid_ns / packet_ns
+        if slowdown > 1.5:
+            message = (f"hybrid churn-heavy overhead: {slowdown:.2f}x "
+                       "packet-mode wall clock (tripwire: 1.5x)")
+            if os.environ.get("REPRO_BENCH_ENFORCE") == "1":
+                raise AssertionError(message)
+            warnings.warn(message, stacklevel=2)
+    _check_budget(benchmark, "test_hybrid_churn_heavy_overhead")

@@ -3,11 +3,13 @@
 Rule series:
 
 * ``D1xx`` — determinism (:mod:`repro.analysis.rules.determinism`);
+  D110 (fluid-path mutation discipline) lives in its own module,
+  :mod:`repro.analysis.rules.fluid`;
 * ``T2xx`` — integer simulation time (:mod:`repro.analysis.rules.timing`);
 * ``R3xx`` — resource/freelist/memo invariants
   (:mod:`repro.analysis.rules.resources`).
 """
 
-from repro.analysis.rules import determinism, resources, timing
+from repro.analysis.rules import determinism, fluid, resources, timing
 
-__all__ = ["determinism", "resources", "timing"]
+__all__ = ["determinism", "fluid", "resources", "timing"]

@@ -1,0 +1,133 @@
+"""D11x rules: fluid-path code must not bypass escalation hooks.
+
+The hybrid-fidelity engine (:mod:`repro.sim.fluid`) is only exact
+because every mutation of simulator state it performs is funneled
+through a small set of audited code paths — probe walks, round
+commits, escalations, adoptions, re-injections, and the one-time hook
+installation — where the corresponding bookkeeping (delta recording,
+cache ``on_mutate`` observation, transport restoration) happens.  A
+per-packet counter poked from anywhere else in fluid-path code would
+be replayed or skipped silently, corrupting the packet-mode
+equivalence the engine guarantees.
+
+Modules opt in by declaring ``FLUID_PATH_MODULE = True`` at module
+level; the rule is inert everywhere else.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, rule
+from repro.analysis.rules.common import call_name
+
+#: Function-name prefixes (after stripping leading underscores) whose
+#: bodies are the audited mutation paths; everything reachable from
+#: them — nested closures included — may touch simulator state.
+_AUDITED_PREFIXES = ("walk", "commit", "escalate", "adopt", "reinject",
+                     "install")
+
+#: Attribute roots a non-audited function may still assign through:
+#: its own object and the fluid bookkeeping records, which are not
+#: simulator state.
+_LOCAL_ROOTS = frozenset({"self", "cls", "flow", "ctx"})
+
+#: Method names that mutate cache contents; calling one outside an
+#: audited path bypasses the ``on_mutate`` escalation contract.
+_CACHE_MUTATORS = frozenset({"insert", "invalidate", "clear"})
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_marked(tree: ast.Module) -> bool:
+    """Does the module declare ``FLUID_PATH_MODULE = True`` at top level?"""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            if any(isinstance(target, ast.Name)
+                   and target.id == "FLUID_PATH_MODULE"
+                   for target in node.targets):
+                value = node.value
+                return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _is_audited(name: str) -> bool:
+    return name.lstrip("_").startswith(_AUDITED_PREFIXES)
+
+
+def _store_root(node: ast.expr) -> str | None:
+    """The root ``Name`` of an attribute/subscript assignment target."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@rule
+class FluidPathMutationRule(Rule):
+    """D110: fluid-path state mutation outside the audited helpers."""
+
+    rule_id = "D110"
+    summary = ("simulator-state mutation in FLUID_PATH_MODULE code "
+               "outside walk/commit/escalate/adopt/reinject/install "
+               "paths; bypasses the escalation/invalidation hooks")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not _is_marked(module.tree):
+            return
+        yield from self._scan_body(module, module.tree.body)
+
+    def _scan_body(self, module: ModuleContext,
+                   body: list[ast.stmt]) -> Iterator[Finding]:
+        """Scan statements of one non-audited scope, recursing into
+        class bodies and non-audited nested functions; audited
+        functions (and everything they enclose) are skipped wholesale.
+        """
+        for stmt in body:
+            if isinstance(stmt, _FUNCTION_NODES):
+                if not _is_audited(stmt.name):
+                    yield from self._scan_body(module, stmt.body)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._scan_body(module, stmt.body)
+                continue
+            yield from self._scan_statement(module, stmt)
+
+    def _scan_statement(self, module: ModuleContext,
+                        stmt: ast.stmt) -> Iterator[Finding]:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                        continue
+                    root = _store_root(target)
+                    if root is None or root not in _LOCAL_ROOTS:
+                        yield self.finding(
+                            module, target.lineno, target.col_offset,
+                            f"assignment through {root or 'an expression'!s} "
+                            "mutates simulator state outside an audited "
+                            "fluid path; move it into a walk/commit/"
+                            "escalate/adopt/reinject helper so the "
+                            "escalation hooks observe it")
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if (isinstance(node.func, ast.Attribute)
+                        and name in _CACHE_MUTATORS):
+                    yield self.finding(
+                        module, node.lineno, node.col_offset,
+                        f".{name}() call outside an audited fluid path; "
+                        "cache mutations must flow through walk/commit/"
+                        "escalate paths where on_mutate escalation is "
+                        "accounted for")
+                elif isinstance(node.func, ast.Name) \
+                        and node.func.id == "setattr":
+                    yield self.finding(
+                        module, node.lineno, node.col_offset,
+                        "setattr() outside an audited fluid path writes "
+                        "simulator state the escalation hooks cannot see")

@@ -35,6 +35,15 @@ class TranslationScheme:
 
     name = "abstract"
 
+    #: Whether the hybrid-fidelity fluid fast path may adopt flows under
+    #: this scheme.  Requires that every piece of per-packet state the
+    #: scheme mutates is observable by the fluid scheduler (cache
+    #: ``on_mutate`` observers + the dirty counters it snapshots), so
+    #: replayed packets provably repeat the probe's effects.  Schemes
+    #: with unobservable state keep the default False and hybrid mode
+    #: silently degrades to pure packet simulation.
+    fluid_compatible = False
+
     def __init__(self) -> None:
         self.network: VirtualNetwork | None = None
 

@@ -37,12 +37,18 @@ class CachingScheme(TranslationScheme):
             paper's sizing convention (§5 "In-switch memory size").
     """
 
+    fluid_compatible = True
+
     def __init__(self, total_cache_slots: int) -> None:
         super().__init__()
         if total_cache_slots < 0:
             raise ValueError(f"negative cache budget: {total_cache_slots}")
         self.total_cache_slots = total_cache_slots
         self.caches: dict[int, DirectMappedCache] = {}
+        #: ``switch_id -> zero-arg callback`` factory installed by the
+        #: fluid scheduler; every cache (including fault-reset rebuilds)
+        #: gets its observer attached from it.
+        self.cache_observer = None
 
     # ------------------------------------------------------------------
     # cache construction
@@ -61,6 +67,21 @@ class CachingScheme(TranslationScheme):
                                        salt=switch_id * 0x9E3779B1)
             for switch_id in ids
         }
+        if self.cache_observer is not None:
+            self.set_cache_observer(self.cache_observer)
+
+    def set_cache_observer(self, factory) -> None:
+        """Attach mutation observers to every cache (hybrid fidelity).
+
+        ``factory(switch_id)`` returns the zero-arg callback stored in
+        each cache's ``on_mutate`` slot.  Caches without the slot
+        (alternative geometries) are skipped; the fluid scheduler
+        separately refuses adoption when any cache lacks it.
+        """
+        self.cache_observer = factory
+        for switch_id, cache in self.caches.items():
+            if hasattr(cache, "on_mutate"):
+                cache.on_mutate = factory(switch_id)
 
     def make_cache(self, num_slots: int, salt: int) -> DirectMappedCache:
         """Cache constructor; subclasses may swap the geometry."""
@@ -89,8 +110,10 @@ class CachingScheme(TranslationScheme):
         cache = self.caches.get(switch.switch_id)
         if cache is None:
             return
-        self.caches[switch.switch_id] = self.make_cache(
-            cache.num_slots, salt=cache.salt)
+        fresh = self.make_cache(cache.num_slots, salt=cache.salt)
+        if self.cache_observer is not None and hasattr(fresh, "on_mutate"):
+            fresh.on_mutate = self.cache_observer(switch.switch_id)
+        self.caches[switch.switch_id] = fresh
 
     # ------------------------------------------------------------------
     # data-plane building blocks

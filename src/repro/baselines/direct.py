@@ -24,6 +24,11 @@ class Direct(TranslationScheme):
 
     name = "Direct"
 
+    #: No in-network state at all — every per-packet effect is a pure
+    #: function of the mapping database, and database changes reach the
+    #: fluid scheduler through the network's migrate/retire hooks.
+    fluid_compatible = True
+
     def __init__(self) -> None:
         super().__init__()
         #: Updates the control plane would have pushed to hypervisors

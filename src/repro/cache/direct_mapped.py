@@ -70,7 +70,8 @@ class DirectMappedCache:
             conflict on the same VIPs.
     """
 
-    __slots__ = ("num_slots", "salt", "_keys", "_values", "_abits", "stats")
+    __slots__ = ("num_slots", "salt", "_keys", "_values", "_abits", "stats",
+                 "on_mutate")
 
     def __init__(self, num_slots: int, salt: int = 0) -> None:
         if num_slots < 0:
@@ -81,6 +82,13 @@ class DirectMappedCache:
         self._values = [0] * num_slots
         self._abits = [0] * num_slots
         self.stats = CacheStats()
+        #: Zero-arg observer fired on every *state* change — insert of
+        #: a new key, eviction, invalidation, conflict access-bit clear
+        #: — but not on idempotent refreshes (hit, value refresh,
+        #: rejection).  The hybrid-fidelity scheduler uses it to
+        #: escalate fluid flows whose path state just changed; None
+        #: (pure-packet mode) costs one predictable branch per op.
+        self.on_mutate = None
 
     def _slot(self, vip: int) -> int:
         return (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_slots
@@ -105,7 +113,11 @@ class DirectMappedCache:
             return self._values[slot]
         if key != _EMPTY:
             # The line was consulted and did not help: age it.
-            self._abits[slot] = 0
+            if self._abits[slot]:
+                self._abits[slot] = 0
+                cb = self.on_mutate
+                if cb is not None:
+                    cb()
         return None
 
     def insert(self, vip: int, pip: int, only_if_clear: bool = False) -> InsertResult:
@@ -135,11 +147,17 @@ class DirectMappedCache:
             self._abits[slot] = 0
             stats.insertions += 1
             stats.evictions += 1
+            cb = self.on_mutate
+            if cb is not None:
+                cb()
             return InsertResult(True, evicted)
         keys[slot] = vip
         self._values[slot] = pip
         self._abits[slot] = 0
         stats.insertions += 1
+        cb = self.on_mutate
+        if cb is not None:
+            cb()
         return _ADMITTED
 
     def invalidate(self, vip: int, stale_pip: int | None = None) -> bool:
@@ -160,6 +178,9 @@ class DirectMappedCache:
         self._keys[slot] = _EMPTY
         self._abits[slot] = 0
         self.stats.invalidations += 1
+        cb = self.on_mutate
+        if cb is not None:
+            cb()
         return True
 
     # ------------------------------------------------------------------

@@ -119,10 +119,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     spec = ft16_spec() if args.trace == "alibaba" else ft8_spec()
     result = run_experiment(spec, args.scheme, flows, num_vms,
                             args.cache_ratio, scale.seed,
-                            trace_name=args.trace)
+                            trace_name=args.trace, fidelity=args.fidelity)
     rows = [
         ["scheme", result.scheme],
         ["trace", result.trace],
+        ["fidelity", result.fidelity],
         ["cache ratio", result.cache_ratio],
         ["flows completed", f"{result.completion_rate:.1%}"],
         ["hit rate", f"{result.hit_rate:.3f}"],
@@ -132,6 +133,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         ["gateway packets", result.gateway_arrivals],
         ["drops", result.drops],
     ]
+    if result.fidelity == "hybrid":
+        rows.append(["fluid packets",
+                     f"{result.fluid_packets} "
+                     f"({result.fluid_adoptions} adoptions, "
+                     f"{result.fluid_escalations} escalations)"])
     rows.extend(failure_breakdown_rows(result.failed_flows,
                                        result.failure_reasons))
     print(render_table(["metric", "value"], rows))
@@ -267,6 +273,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         overrides["num_vms"] = args.vms
     if args.cache_ratio is not None:
         overrides["cache_ratio"] = args.cache_ratio
+    if args.fidelity is not None:
+        overrides["fidelity"] = args.fidelity
     if overrides:
         params = replace(params, **overrides)
     schemes = tuple(args.schemes) if args.schemes else CHAOS_FUZZ_SCHEMES
@@ -341,6 +349,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         overrides["probe_interval_ns"] = usec(args.probe_interval_us)
     if args.reinstate_timeout_us is not None:
         overrides["reinstate_timeout_ns"] = usec(args.reinstate_timeout_us)
+    if args.fidelity is not None:
+        overrides["fidelity"] = args.fidelity
     if overrides:
         config = replace(config, **overrides)
 
@@ -389,7 +399,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     spec = ft16_spec() if args.trace == "alibaba" else ft8_spec()
     profile, _ = profile_experiment(
         spec, args.scheme, flows, num_vms, args.cache_ratio, scale.seed,
-        trace_name=args.trace, with_cprofile=args.cprofile, top=args.top)
+        trace_name=args.trace, with_cprofile=args.cprofile, top=args.top,
+        fidelity=args.fidelity)
     print(profile.render())
     if args.json:
         with open(args.json, "w") as fh:
@@ -487,6 +498,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--vms", type=int, default=None)
     run_parser.add_argument("--flows", type=int, default=None)
     run_parser.add_argument("--seed", type=int, default=None)
+    run_parser.add_argument("--fidelity", choices=("packet", "hybrid"),
+                            default="packet",
+                            help="simulation fidelity: per-packet (exact) or "
+                                 "hybrid fluid fast path (see docs/simulator.md)")
     run_parser.set_defaults(func=cmd_run)
 
     repro_parser = subparsers.add_parser(
@@ -544,6 +559,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--vms", type=int, default=None)
     chaos_parser.add_argument("--flows", type=int, default=None)
     chaos_parser.add_argument("--cache-ratio", type=float, default=None)
+    chaos_parser.add_argument("--fidelity", choices=("packet", "hybrid"),
+                              default=None,
+                              help="simulation fidelity for the fuzz trials")
     chaos_parser.add_argument("--bug", default=None, metavar="NAME",
                               help="inject a deliberate bug (harness "
                                    "self-test): skip-cache-flush, "
@@ -581,6 +599,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="translation scheme (default SwitchV2P)")
     serve_parser.add_argument("--seed", type=int, default=None)
     serve_parser.add_argument("--cache-ratio", type=float, default=None)
+    serve_parser.add_argument("--fidelity", choices=("packet", "hybrid"),
+                              default=None,
+                              help="simulation fidelity for the service run")
     serve_parser.add_argument("--window-ms", type=float, default=None,
                               help="metrics window length in milliseconds "
                                    "(default 1000)")
@@ -622,6 +643,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--vms", type=int, default=None)
     profile_parser.add_argument("--flows", type=int, default=None)
     profile_parser.add_argument("--seed", type=int, default=None)
+    profile_parser.add_argument("--fidelity", choices=("packet", "hybrid"),
+                                default="packet",
+                                help="simulation fidelity; hybrid reports the "
+                                     "fluid/packet split and escalation counts")
     profile_parser.add_argument("--cprofile", action="store_true",
                                 help="include a cProfile function breakdown")
     profile_parser.add_argument("--top", type=int, default=25,

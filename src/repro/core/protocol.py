@@ -130,6 +130,17 @@ class SwitchV2P(CachingScheme):
         self.spillovers_reinserted = 0
         self.promotions_sent = 0
         self.promotions_admitted = 0
+        #: Learning-RNG consumption counter.  The hybrid-fidelity probe
+        #: walk snapshots it: an analytic packet that skipped a draw its
+        #: real counterpart would have made desynchronizes the stream,
+        #: so draws are either replayed exactly (below) or escalate.
+        self.rng_draws = 0
+        #: Hybrid-fidelity hook: when set, called as ``(switch, packet)``
+        #: immediately before every learning-RNG draw.  The fluid probe
+        #: walk installs it to capture draw sites so commits can replay
+        #: the draws via :meth:`replay_learning_draw`; always None in
+        #: pure-packet mode (one predicted-None branch per draw).
+        self.learning_draw_observer = None
 
     def make_cache(self, num_slots: int, salt: int):
         if self.cache_ways == 1:
@@ -349,6 +360,10 @@ class SwitchV2P(CachingScheme):
     def _maybe_send_learning_packet(self, switch: Switch, packet: Packet) -> None:
         if not self.config.enable_learning_packets:
             return
+        obs = self.learning_draw_observer
+        if obs is not None:
+            obs(switch, packet)
+        self.rng_draws += 1
         if self._learn_rng.random() >= self.config.p_learn:
             return
         sender_pip = packet.outer_src
@@ -378,6 +393,17 @@ class SwitchV2P(CachingScheme):
         self.learning_packets_sent += 1
         self.network.collector.learning_packets += 1
         switch.forward(learning)
+
+    def replay_learning_draw(self, switch: Switch, template) -> None:
+        """Repeat one learning-RNG draw for an analytic packet.
+
+        ``template`` carries the only packet fields the draw path reads
+        (``outer_src``, ``dst_vip``, ``outer_dst``) — identical for every
+        packet of a warm flow, which is what makes replay exact.  A draw
+        that triggers emits the real learning traffic (or performs the
+        real ToR install) through the normal code paths.
+        """
+        self._maybe_send_learning_packet(switch, template)
 
     def _on_learning_packet(self, switch: Switch, packet: Packet) -> bool:
         """ToRs absorb learning packets addressed to their rack."""

@@ -81,6 +81,9 @@ class ChaosFuzzParams:
     #: contains gateway events).
     probe_interval_ns: int = usec(200)
     miss_threshold: int = 3
+    #: Simulation fidelity the trials run under; hybrid trials exercise
+    #: the fluid fast path against the same invariant oracles.
+    fidelity: str = "packet"
     fuzz: FuzzConfig = FuzzConfig()
 
     def horizon_ns(self, schedule: FaultSchedule) -> int:
@@ -215,7 +218,9 @@ def run_one_trial(scheme_name: str, events, params: ChaosFuzzParams,
     spec = chaos_spec()
     schedule = _schedule_from(events)
     scheme = make_scheme(scheme_name, params.num_vms, params.cache_ratio)
-    network = VirtualNetwork(NetworkConfig(spec=spec, seed=trial_seed), scheme)
+    network = VirtualNetwork(
+        NetworkConfig(spec=spec, seed=trial_seed, fidelity=params.fidelity),
+        scheme)
     _place_tenants(network, spec, params.num_vms)
     suite = OracleSuite(network, hop_bound=params.hop_bound)
     if any(event.kind in _GATEWAY_KINDS for event in schedule.events):

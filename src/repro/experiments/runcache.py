@@ -53,7 +53,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
 #: ordering, float arithmetic, RNG consumption, new RunResult fields).
 #: Old entries then miss and are rebuilt instead of serving stale data.
 #: 2: RunResult gained failed_flows / failure_reasons.
-SCHEMA_VERSION = 2
+#: 3: hybrid-fidelity engine — RunResult gained fidelity + fluid_*
+#: fields and run keys carry the fidelity knob.
+SCHEMA_VERSION = 3
 
 _ENV_FLAG = "REPRO_RUNCACHE"
 _ENV_DIR = "REPRO_RUNCACHE_DIR"
@@ -158,7 +160,8 @@ def _trace_spec_digest(trace: TraceSpec) -> str:
 def run_key(spec, scheme_name: str, num_vms: int, cache_ratio: float,
             seed: int, *, transport=None, horizon_ns: int | None = None,
             trace_name: str = "", scheme_kwargs=None,
-            flows=None, trace: TraceSpec | None = None) -> str:
+            flows=None, trace: TraceSpec | None = None,
+            fidelity: str = "packet") -> str:
     """The content address of one experiment run.
 
     Exactly one of ``flows`` (a materialized list) or ``trace`` (a
@@ -181,6 +184,7 @@ def run_key(spec, scheme_name: str, num_vms: int, cache_ratio: float,
         "transport": _encode(transport),
         "horizon_ns": None if horizon_ns is None else int(horizon_ns),
         "trace_name": trace_name,
+        "fidelity": fidelity,
         "flows": (_trace_spec_digest(trace) if trace is not None
                   else flows_digest(tuple(flows))),
     }
@@ -304,7 +308,7 @@ def _encode_result(result, key: str) -> dict:
         value = getattr(result, field.name)
         if field.name == "pod_bytes":
             payload[field.name] = [int(b) for b in value]
-        elif field.name == "failure_reasons":
+        elif field.name in ("failure_reasons", "fluid_escalations_by_reason"):
             payload[field.name] = {str(k): int(v) for k, v in value.items()}
         else:
             payload[field.name] = _scalar(value)

@@ -125,17 +125,26 @@ class RunResult:
     #: and why (``failure_reason`` -> count).
     failed_flows: int = 0
     failure_reasons: dict[str, int] = field(default_factory=dict)
+    #: Simulation fidelity the run used and, for hybrid runs, the fluid
+    #: scheduler's bookkeeping (all zero in pure-packet mode).
+    fidelity: str = "packet"
+    fluid_adoptions: int = 0
+    fluid_escalations: int = 0
+    fluid_rounds: int = 0
+    fluid_packets: int = 0
+    fluid_escalations_by_reason: dict[str, int] = field(default_factory=dict)
     collector: Collector | None = None
     network: VirtualNetwork | None = None
 
 
 def build_network(spec: FatTreeSpec, scheme, num_vms: int, seed: int = 0,
-                  gateway_processing_ns: int | None = None) -> VirtualNetwork:
+                  gateway_processing_ns: int | None = None,
+                  fidelity: str = "packet") -> VirtualNetwork:
     """Create a network with ``num_vms`` VMs placed round-robin."""
     kwargs = {}
     if gateway_processing_ns is not None:
         kwargs["gateway_processing_ns"] = gateway_processing_ns
-    config = NetworkConfig(spec=spec, seed=seed, **kwargs)
+    config = NetworkConfig(spec=spec, seed=seed, fidelity=fidelity, **kwargs)
     network = VirtualNetwork(config, scheme)
     network.place_vms(num_vms)
     return network
@@ -170,6 +179,13 @@ def run_flows(network: VirtualNetwork, flows: Sequence[FlowSpec],
             horizon_ns = last_start + msec(200)
     with perf.phase("run"):
         network.run(until=horizon_ns)
+    fluid = network.fluid
+    if fluid is not None and perf is not _NULL_TIMER:
+        # Fold the scheduler's internal phase clock into the caller's
+        # timer; the "run" phase above already includes this time, so
+        # profile readers see "fluid" as the in-run share, not extra.
+        for name, ns in fluid.perf.phases_ns.items():
+            perf.add(name, ns)
     collector = network.collector
     failed = collector.failed_flows()
     failure_reasons: dict[str, int] = {}
@@ -199,6 +215,14 @@ def run_flows(network: VirtualNetwork, flows: Sequence[FlowSpec],
         pod_bytes=network.pod_bytes(),
         failed_flows=len(failed),
         failure_reasons=failure_reasons,
+        fidelity=network.config.fidelity,
+        fluid_adoptions=fluid.adoptions if fluid is not None else 0,
+        fluid_escalations=fluid.escalations if fluid is not None else 0,
+        fluid_rounds=fluid.rounds if fluid is not None else 0,
+        fluid_packets=fluid.fluid_packets if fluid is not None else 0,
+        fluid_escalations_by_reason=(
+            dict(sorted(fluid.escalations_by_reason.items()))
+            if fluid is not None else {}),
         collector=collector if keep_network else None,
         network=network if keep_network else None,
     )
@@ -212,7 +236,8 @@ def run_experiment(spec: FatTreeSpec, scheme_name: str, flows: Sequence[FlowSpec
                    trace_name: str = "",
                    scheme_kwargs: dict | None = None,
                    perf=None,
-                   cache="auto") -> RunResult:
+                   cache="auto",
+                   fidelity: str = "packet") -> RunResult:
     """One-call experiment: build scheme + network, play flows, summarize.
 
     Results are memoized in the content-addressed run cache
@@ -232,14 +257,15 @@ def run_experiment(spec: FatTreeSpec, scheme_name: str, flows: Sequence[FlowSpec
             key = run_key(spec, scheme_name, num_vms, cache_ratio, seed,
                           transport=transport, horizon_ns=horizon_ns,
                           trace_name=trace_name, scheme_kwargs=scheme_kwargs,
-                          flows=flows)
+                          flows=flows, fidelity=fidelity)
             hit = store.get(key)
         if hit is not None:
             return hit
     with perf.phase("build"):
         scheme = make_scheme(scheme_name, num_vms, cache_ratio,
                              **(scheme_kwargs or {}))
-        network = build_network(spec, scheme, num_vms, seed)
+        network = build_network(spec, scheme, num_vms, seed,
+                                fidelity=fidelity)
     result = run_flows(network, flows, transport, horizon_ns, keep_network,
                        trace_name, cache_ratio, perf=perf)
     if store is not None:

@@ -94,6 +94,9 @@ class Fabric:
         #: links).  While zero, forwarding skips the deeper down-path
         #: liveness checks, keeping the fault-free hot path cheap.
         self.fault_count = 0
+        #: Zero-arg observer fired on every fault transition (hybrid
+        #: fidelity: path validity may have changed for any fluid flow).
+        self.on_fault = None
         self._build()
 
     @property
@@ -114,6 +117,9 @@ class Fabric:
             memo = switch._ecmp_memo
             if memo:
                 memo.clear()
+        cb = self.on_fault
+        if cb is not None:
+            cb()
 
     def set_link_state(self, link: Link, up: bool) -> None:
         """Take a link down / bring it up, with fault accounting."""

@@ -96,6 +96,16 @@ class RunProfile:
     phases_ns: dict[str, int] = field(default_factory=dict)
     #: Packet-pool effectiveness (recycled / (recycled + allocated)).
     pool_recycle_rate: float = 0.0
+    #: Simulation fidelity ("packet" or "hybrid") and, for hybrid runs,
+    #: the fluid scheduler's bookkeeping: how many flows were adopted,
+    #: how many packets were advanced analytically rather than
+    #: simulated, and why adopted flows fell back to packet level.
+    fidelity: str = "packet"
+    fluid_adoptions: int = 0
+    fluid_escalations: int = 0
+    fluid_rounds: int = 0
+    fluid_packets: int = 0
+    fluid_escalations_by_reason: dict[str, int] = field(default_factory=dict)
     profile_text: str = ""
 
     @property
@@ -106,8 +116,14 @@ class RunProfile:
     def packets_per_sec(self) -> float:
         return self.packets / (self.wall_ns / 1e9) if self.wall_ns else 0.0
 
+    @property
+    def fluid_fraction(self) -> float:
+        """Share of data-plane packets advanced analytically."""
+        total = self.packets
+        return self.fluid_packets / total if total else 0.0
+
     def as_dict(self) -> dict:
-        return {
+        data = {
             "trace": self.trace,
             "scheme": self.scheme,
             "wall_ms": self.wall_ns / 1e6,
@@ -116,9 +132,21 @@ class RunProfile:
             "events_per_sec": self.events_per_sec,
             "packets_per_sec": self.packets_per_sec,
             "pool_recycle_rate": self.pool_recycle_rate,
+            "fidelity": self.fidelity,
             "phases_ms": {name: ns / 1e6
                           for name, ns in sorted(self.phases_ns.items())},
         }
+        if self.fidelity == "hybrid":
+            data["fluid"] = {
+                "adoptions": self.fluid_adoptions,
+                "escalations": self.fluid_escalations,
+                "rounds": self.fluid_rounds,
+                "fluid_packets": self.fluid_packets,
+                "fluid_fraction": self.fluid_fraction,
+                "escalations_by_reason": dict(
+                    sorted(self.fluid_escalations_by_reason.items())),
+            }
+        return data
 
     def render(self) -> str:
         lines = [
@@ -132,6 +160,16 @@ class RunProfile:
         ]
         for name, ns in sorted(self.phases_ns.items()):
             lines.append(f"phase {name:<10} {ns / 1e6:12.2f} ms")
+        if self.fidelity == "hybrid":
+            lines.append(f"fidelity         {'hybrid':>12}")
+            lines.append(f"fluid adoptions  {self.fluid_adoptions:12d}"
+                         f"  (escalations {self.fluid_escalations},"
+                         f" rounds {self.fluid_rounds})")
+            lines.append(f"fluid packets    {self.fluid_packets:12d}"
+                         f"  ({self.fluid_fraction:.1%} of all packets)")
+            for reason, count in sorted(
+                    self.fluid_escalations_by_reason.items()):
+                lines.append(f"  escalation {reason:<22} {count:8d}")
         if self.profile_text:
             lines.append("")
             lines.append(self.profile_text)
@@ -142,7 +180,8 @@ def profile_experiment(spec, scheme_name: str, flows, num_vms: int,
                        cache_ratio: float, seed: int = 0,
                        trace_name: str = "",
                        with_cprofile: bool = False,
-                       top: int = 25) -> tuple[RunProfile, object]:
+                       top: int = 25,
+                       fidelity: str = "packet") -> tuple[RunProfile, object]:
     """Run one experiment under the phase timers (optionally cProfile).
 
     Returns:
@@ -159,7 +198,7 @@ def profile_experiment(spec, scheme_name: str, flows, num_vms: int,
         profiler.enable()
     result = run_experiment(spec, scheme_name, flows, num_vms, cache_ratio,
                             seed, keep_network=True, trace_name=trace_name,
-                            perf=timer)
+                            perf=timer, fidelity=fidelity)
     if profiler is not None:
         profiler.disable()
     wall_ns = time.perf_counter_ns() - start
@@ -181,6 +220,12 @@ def profile_experiment(spec, scheme_name: str, flows, num_vms: int,
         packets=result.packets_sent,
         phases_ns=dict(timer.phases_ns),
         pool_recycle_rate=pool.recycled / served if served else 0.0,
+        fidelity=result.fidelity,
+        fluid_adoptions=result.fluid_adoptions,
+        fluid_escalations=result.fluid_escalations,
+        fluid_rounds=result.fluid_rounds,
+        fluid_packets=result.fluid_packets,
+        fluid_escalations_by_reason=dict(result.fluid_escalations_by_reason),
         profile_text=profile_text,
     )
     return profile, result

@@ -32,6 +32,10 @@ class ServiceConfig:
     #: Metrics window length (streaming SLO granularity).
     window_ns: int = SECOND
     cache_ratio: float = 16.0
+    #: Simulation fidelity (see :class:`repro.vnet.network.NetworkConfig`):
+    #: "packet" is exact, "hybrid" lets steady-state flows advance
+    #: analytically; the oracle suite runs under either.
+    fidelity: str = "packet"
     #: Cache-budget sizing: the VIP address space the scheme's budget
     #: is expressed against (≈ the expected peak of concurrent VMs;
     #: VIPs themselves are never reused, so this is *not* a VIP cap).
@@ -95,6 +99,9 @@ class ServiceConfig:
             raise ValueError("invalid tenant-count bounds")
         if self.hop_bound < 1:
             raise ValueError(f"hop_bound must be positive, got {self.hop_bound}")
+        if self.fidelity not in ("packet", "hybrid"):
+            raise ValueError(
+                f"fidelity must be 'packet' or 'hybrid', got {self.fidelity!r}")
 
     def drain_grace_ns(self) -> int:
         """Quiet time after ``duration_ns`` for in-flight flows to end.

@@ -150,7 +150,8 @@ class ServiceDriver:
         self.network = VirtualNetwork(
             NetworkConfig(spec=spec, seed=config.seed,
                           gateway_probe_interval_ns=config.probe_interval_ns,
-                          gateway_reinstate_timeout_ns=config.reinstate_timeout_ns),
+                          gateway_reinstate_timeout_ns=config.reinstate_timeout_ns,
+                          fidelity=config.fidelity),
             scheme, self.collector)
         self.collector.attach(self.network)
         gateway_racks = {(pod, spec.gateway_rack) for pod in spec.gateway_pods}

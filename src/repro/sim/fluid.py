@@ -1,0 +1,965 @@
+"""Hybrid-fidelity fluid fast path: analytic advance of warm flows.
+
+Once a flow's mapping is resolved end-to-end — every on-path cache
+entry warm, no pending misdelivery tags — its packets are perfectly
+predictable: each one takes the same route, refreshes the same cache
+entries idempotently, and contributes the same per-packet byte/latency
+deltas.  The :class:`FluidScheduler` exploits this by *walking* one
+real probe packet per round through the actual data plane (real links,
+real switch handler, real cache code), recording every counter effect
+the walk applied, and then — if and only if the walk was provably
+side-effect-free beyond idempotent refreshes — replaying those deltas
+``round_size - 1`` times with a single timer event instead of
+simulating each packet.
+
+Exactness contract (see docs/simulator.md "Hybrid fidelity"):
+
+* every per-round probe is a *real* packet: cache lookups, access-bit
+  refreshes, learning-RNG draws, spillover pickups all execute in the
+  production code paths;
+* a round is replayed analytically only when the probe's walk was
+  CLEAN: no cache insertion/eviction/invalidation, no scheme control
+  traffic (learning/invalidation/promotion/spillover), no misdelivery
+  tag, and delivery at the expected destination host;
+* learning-RNG draws are the one stateful effect that *is* replayed
+  rather than escalated: the probe records every draw site through
+  ``SwitchV2P.learning_draw_observer``, and each analytic packet
+  repeats the real draw at commit time (``replay_learning_draw``), so
+  the shared RNG stream advances exactly as in packet mode — a
+  replayed draw that triggers emits real learning traffic and can
+  itself escalate flows through the cache observer;
+* any cache mutation anywhere on an adopted flow's path — from its own
+  probe or from *other* traffic — escalates the flow back to packet
+  level before the mutation's effects could be misattributed
+  (:meth:`FluidScheduler.escalate_flow` and the ``on_mutate`` cache
+  observer installed via ``CachingScheme.set_cache_observer``);
+* VM migration/retirement, gateway failover/commission, and fabric
+  fault transitions escalate via hooks in ``vnet.network`` and
+  ``Fabric.note_fault``.
+
+Approximations (documented, bounded): fluid packets do not advance
+link ``_busy_until`` (no queueing contribution, no tail drops), random
+link loss applied mid-round is only observed at the next probe (at
+most one round of blindness), and mid-round escalation rounds the
+analytically-delivered count to the nearest whole packet.
+
+Everything in this module that mutates simulator state (packets,
+links, switches, caches, transports, collector counters) lives in
+functions named ``_walk*`` / ``_commit*`` / ``_escalate*`` /
+``_adopt*`` / ``_reinject*`` — the repro-lint D110 rule enforces this
+for any module that declares ``FLUID_PATH_MODULE = True``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any
+
+from repro.net.addresses import UNRESOLVED
+from repro.net.node import Switch
+from repro.net.packet import PacketKind
+from repro.perf import PhaseTimer
+from repro.vnet.hypervisor import Host
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.link import Link
+    from repro.net.packet import Packet
+    from repro.vnet.network import VirtualNetwork
+
+#: Marks this module as fluid-path code for the D110 lint rule.
+FLUID_PATH_MODULE = True
+
+_DATA = PacketKind.DATA
+_ACK = PacketKind.ACK
+
+# Walk results for a single packet.
+_DELIVERED = 0
+_CONSUMED = 1
+_DIVERTED = 2
+
+# Round-probe outcomes.
+_ST_CLEAN = 0
+_ST_MUTATED = 1
+_ST_DATA_DIVERTED = 2
+_ST_DATA_CONSUMED = 3
+_ST_ACK_DIVERTED = 4
+_ST_ACK_CONSUMED = 5
+
+_RELIABLE = 0
+_UDP = 1
+
+#: Forwarding-loop guard, mirroring the oracle hop bound.
+_HOP_CAP = 32
+
+#: Collector counters a clean walk may touch; diffed and replayed.
+_COLLECTOR_INTS = (
+    "gateway_arrivals",
+    "learning_packets",
+    "invalidation_packets",
+    "spillover_inserts",
+    "promotions",
+    "deliveries",
+    "delivered_hops",
+    "reorder_events",
+    "packet_latency_sum_ns",
+    "packet_latency_count",
+    "delivered_payload_bytes",
+    "gateway_unavailable_drops",
+)
+
+#: Scheme counters whose movement marks a walk as stateful (control
+#: traffic was emitted or an RNG draw happened): never replayed.
+_SCHEME_DIRTY = (
+    "learning_packets_sent",
+    "invalidation_packets_sent",
+    "spillovers_reinserted",
+    "promotions_sent",
+    "promotions_admitted",
+    "rng_draws",
+)
+
+#: Cache-stat movements that are idempotent refreshes (replayable)...
+_CACHE_REPLICABLE = ("lookups", "hits", "rejections")
+#: ...versus real state changes (escalate, never replay).
+_CACHE_MUTATING = ("insertions", "evictions", "invalidations")
+
+
+class _WalkContext:
+    """Bookkeeping for one probe walk (data packet + optional ACK)."""
+
+    __slots__ = (
+        "deltas",
+        "counter_deltas",
+        "switches",
+        "bottleneck_ns",
+        "collector_before",
+        "hits_before",
+        "first_hits_before",
+        "scheme_before",
+        "cache_before",
+        "mutated",
+        "draw_sites",
+    )
+
+    def __init__(self) -> None:
+        #: ``(obj, attr, amount)`` integer-counter effects this walk
+        #: applied; replaying a round applies each ``times`` more.
+        self.deltas: list[tuple[Any, str, int]] = []
+        #: Same for ``collections.Counter`` entries: ``(counter, key, amount)``.
+        self.counter_deltas: list[tuple[Any, Any, int]] = []
+        self.switches: set[int] = set()
+        self.bottleneck_ns = 0
+        self.collector_before: tuple[int, ...] = ()
+        self.hits_before: dict[Any, int] = {}
+        self.first_hits_before: dict[Any, int] = {}
+        self.scheme_before: tuple[int, ...] = ()
+        #: cache stats object -> 6-tuple snapshot taken before the
+        #: first handler call at that switch.
+        self.cache_before: dict[Any, tuple[int, ...]] = {}
+        self.mutated = False
+        #: ``(switch, template)`` learning-RNG draw sites the probe hit,
+        #: in draw order; commits replay each site per analytic packet.
+        self.draw_sites: list[tuple[Any, Any]] = []
+
+
+class _DrawTemplate:
+    """The packet fields a learning-RNG draw site reads, frozen.
+
+    Every packet of a warm flow presents identical values at a given
+    draw site, so one capture stands in for the whole round's replays
+    (see ``SwitchV2P.replay_learning_draw``).
+    """
+
+    __slots__ = ("outer_src", "dst_vip", "outer_dst")
+
+    def __init__(self, outer_src: int, dst_vip: int, outer_dst: int) -> None:
+        self.outer_src = outer_src
+        self.dst_vip = dst_vip
+        self.outer_dst = outer_dst
+
+
+class _FluidFlow:
+    """Per-flow fluid state while the scheduler owns the flow."""
+
+    __slots__ = (
+        "flow_id",
+        "kind",
+        "sender",
+        "receiver",
+        "record",
+        "src_vip",
+        "dst_vip",
+        "payload",
+        "base",
+        "span",
+        "window",
+        "sent",
+        "round_size",
+        "interval",
+        "t0",
+        "timer",
+        "deltas",
+        "counter_deltas",
+        "switch_ids",
+        "draw_sites",
+    )
+
+    def __init__(self, flow_id: int, kind: int, sender: Any, receiver: Any,
+                 record: Any, src_vip: int, dst_vip: int, payload: int,
+                 base: int, span: int, window: int) -> None:
+        self.flow_id = flow_id
+        self.kind = kind
+        self.sender = sender
+        self.receiver = receiver
+        self.record = record
+        self.src_vip = src_vip
+        self.dst_vip = dst_vip
+        self.payload = payload
+        #: First sequence number owned by the fluid scheduler.
+        self.base = base
+        #: Number of packets to advance analytically; the tail
+        #: (``total - base - span``) always runs at packet level so
+        #: completion, FCT, and the final partial payload stay exact.
+        self.span = span
+        self.window = window
+        #: Packets accounted so far (probes + analytic replays).
+        self.sent = 0
+        self.round_size = 0
+        self.interval = 1
+        self.t0 = 0
+        self.timer = None
+        self.deltas: list[tuple[Any, str, int]] = []
+        self.counter_deltas: list[tuple[Any, Any, int]] = []
+        self.switch_ids: set[int] = set()
+        self.draw_sites: list[tuple[Any, Any]] = []
+
+
+class FluidScheduler:
+    """Advances warm flows analytically between cache-relevant events.
+
+    Constructed by :class:`~repro.vnet.network.VirtualNetwork` when
+    ``NetworkConfig.fidelity == "hybrid"``; ``network.fluid`` is None
+    in pure-packet mode and nothing in this module runs.
+    """
+
+    #: Minimum analytically-advanceable packets beyond the window for a
+    #: flow to be worth adopting.
+    min_span = 32
+    #: Adoption attempts per flow before giving up (flows whose path
+    #: crosses a gateway ToR draw learning RNG per packet and can
+    #: never walk clean; this caps the retry cost).
+    max_attempts = 8
+
+    def __init__(self, network: VirtualNetwork) -> None:
+        self.network = network
+        self.engine = network.engine
+        self.collector = network.collector
+        self.scheme = network.scheme
+        #: Swapped for the caller's shared timer by the runner so the
+        #: fluid phase shows up in ``python -m repro profile``.
+        self.perf = PhaseTimer()
+        # Escalation bookkeeping (surfaced via RunResult and profile).
+        self.adoptions = 0
+        self.escalations = 0
+        self.escalations_by_reason: dict[str, int] = {}
+        self.rounds = 0
+        #: Packets advanced analytically (never individually simulated).
+        self.fluid_packets = 0
+        self.adoption_rejects = 0
+        self._flows: dict[int, _FluidFlow] = {}
+        self._by_switch: dict[int, set[int]] = {}
+        self._by_vip: dict[int, set[int]] = {}
+        self._walking = False
+        self._walking_ctx: _WalkContext | None = None
+        self._deferred: list[int] = []
+        self._ready: bool | None = None
+        self._phase_depth = 0
+        self._install_hooks()
+
+    @contextmanager
+    def _fluid_phase(self):
+        """Reentrant "fluid" phase timing (escalations nest in commits)."""
+        if self._phase_depth:
+            self._phase_depth += 1
+            try:
+                yield
+            finally:
+                self._phase_depth -= 1
+            return
+        self._phase_depth = 1
+        try:
+            with self.perf.phase("fluid"):
+                yield
+        finally:
+            self._phase_depth = 0
+
+    # ------------------------------------------------------------------
+    # readiness + hook installation
+    # ------------------------------------------------------------------
+    def _install_hooks(self) -> None:
+        fabric = self.network.fabric
+        fabric.on_fault = self._on_fabric_fault
+        attach = getattr(self.scheme, "set_cache_observer", None)
+        if attach is not None:
+            attach(self._observer_for)
+
+    def ready(self) -> bool:
+        """Can this scheme's flows be adopted at all?
+
+        Requires the scheme to declare ``fluid_compatible`` and — for
+        caching schemes — every cache to expose an ``on_mutate`` slot
+        (set-associative caches do not yet; adoption is disabled
+        wholesale rather than risking unobserved mutations).
+        """
+        if self._ready is None:
+            scheme = self.scheme
+            ok = bool(getattr(scheme, "fluid_compatible", False))
+            caches = getattr(scheme, "caches", None)
+            if ok and caches is not None:
+                ok = all(hasattr(cache, "on_mutate")
+                         for cache in caches.values())
+            self._ready = ok
+        return self._ready
+
+    def _observer_for(self, switch_id: int):
+        def on_mutate() -> None:
+            self._on_cache_mutation(switch_id)
+        return on_mutate
+
+    def _on_cache_mutation(self, switch_id: int) -> None:
+        if self._walking:
+            # A probe's own walk mutated a cache: mark the walk dirty
+            # and defer escalating co-located flows until the walk
+            # finishes (escalation re-enters the transports, which
+            # must not interleave with walk bookkeeping).
+            ctx = self._walking_ctx
+            if ctx is not None:
+                ctx.mutated = True
+            self._deferred.append(switch_id)
+            return
+        self.escalate_switch(switch_id, "cache-mutation")
+
+    def _on_fabric_fault(self) -> None:
+        self.escalate_all("fault")
+
+    # ------------------------------------------------------------------
+    # escalation entry points (network/fault hooks)
+    # ------------------------------------------------------------------
+    def escalate_switch(self, switch_id: int, reason: str) -> None:
+        flow_ids = self._by_switch.get(switch_id)
+        if not flow_ids:
+            return
+        for flow_id in list(flow_ids):
+            flow = self._flows.get(flow_id)
+            if flow is not None:
+                self._escalate(flow, reason)
+
+    def escalate_vip(self, vip: int, reason: str = "vm-migration") -> None:
+        flow_ids = self._by_vip.get(vip)
+        if not flow_ids:
+            return
+        for flow_id in list(flow_ids):
+            flow = self._flows.get(flow_id)
+            if flow is not None:
+                self._escalate(flow, reason)
+
+    def escalate_all(self, reason: str) -> None:
+        for flow in list(self._flows.values()):
+            self._escalate(flow, reason)
+
+    def escalate_flow(self, flow_id: int, reason: str) -> None:
+        flow = self._flows.get(flow_id)
+        if flow is not None:
+            self._escalate(flow, reason)
+
+    def _process_deferred(self) -> None:
+        while self._deferred:
+            self.escalate_switch(self._deferred.pop(), "cache-mutation")
+
+    # ------------------------------------------------------------------
+    # adoption
+    # ------------------------------------------------------------------
+    def adopt_reliable(self, sender: Any) -> None:
+        """Take over a drained, max-cwnd reliable flow.
+
+        Called by ``ReliableSender.on_ack`` once the fluid-wait drain
+        completes (``snd_una == snd_next`` and every sent packet has
+        been acknowledged exactly once).  Either the flow is adopted
+        (round timer armed, sender dormant) or the sender is restored
+        and resumed before this returns — the caller does nothing
+        either way.
+        """
+        with self._fluid_phase():
+            self._adopt_reliable(sender)
+
+    def _adopt_reliable(self, sender: Any) -> None:
+        record = sender.record
+        receiver = sender.fluid_receiver
+        window = int(sender.config.max_cwnd)
+        base = sender.snd_next
+        span = sender.total_packets - base - window
+        if (not self.ready() or receiver is None
+                or span < self.min_span
+                or receiver.rcv_next != base):
+            self._escalate_resume_reliable(sender, base, 0)
+            return
+        flow = _FluidFlow(
+            record.flow_id, _RELIABLE, sender, receiver, record,
+            record.src_vip, record.dst_vip, sender.config.mss_bytes,
+            base, span, window,
+        )
+        sender._fluid_active = True
+        if self._begin_round(flow, adopting=True):
+            self.adoptions += 1
+        else:
+            self.adoption_rejects += 1
+
+    def adopt_udp(self, sender: Any) -> bool:
+        """Take over a paced UDP flow from the top of ``_send_next``.
+
+        Returns True when the fluid path handled this tick's send
+        (either by adopting the flow or by walking the probe and
+        rescheduling the sender); False when the flow is not eligible
+        and the sender should transmit normally.
+        """
+        if not self.ready():
+            return False
+        if sender._fluid_attempts >= self.max_attempts:
+            return False
+        if sender.next_seq < sender._fluid_retry_seq:
+            return False
+        receiver = sender.fluid_receiver
+        if receiver is None:
+            return False
+        record = sender.record
+        base = sender.next_seq
+        # Reserve the final (possibly partial) packet for packet level.
+        span = sender.total_packets - base - 1
+        if span < self.min_span:
+            return False
+        with self._fluid_phase():
+            flow = _FluidFlow(
+                record.flow_id, _UDP, sender, receiver, record,
+                record.src_vip, record.dst_vip, sender.mss_bytes,
+                base, span, 128,
+            )
+            if self._begin_round(flow, adopting=True):
+                self.adoptions += 1
+            else:
+                self.adoption_rejects += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # rounds
+    # ------------------------------------------------------------------
+    def _begin_round(self, flow: _FluidFlow, adopting: bool = False) -> bool:
+        """Walk one probe and, if clean, arm an analytic round.
+
+        Returns True when a round was armed; False when the probe was
+        dirty and the flow was handed back to packet level (the
+        transport is already restored and running on return).
+        """
+        status, ctx, rtt = self._walk_round(flow)
+        if status == _ST_CLEAN:
+            flow.deltas = ctx.deltas
+            flow.counter_deltas = ctx.counter_deltas
+            flow.draw_sites = ctx.draw_sites
+            if adopting:
+                self._register(flow, ctx.switches)
+            elif not ctx.switches <= flow.switch_ids:
+                self._register_switches(flow, ctx.switches)
+            n = min(flow.window, flow.span - flow.sent)
+            if flow.kind == _RELIABLE:
+                interval = max(1, rtt // flow.window, ctx.bottleneck_ns)
+            else:
+                interval = flow.sender.gap_ns
+            flow.round_size = n
+            flow.interval = interval
+            flow.t0 = self.engine._now
+            flow.timer = self.engine.schedule_timer(
+                n * interval, self._commit, flow)
+            self.rounds += 1
+            self._process_deferred()
+            return True
+        # Dirty probe: hand the flow back.  The probe packet is real
+        # and already accounted (walked to completion, re-injected into
+        # the live simulation, or consumed with drop accounting).
+        if status == _ST_MUTATED:
+            # Data (and ACK, for reliable) fully walked: the probe
+            # behaved exactly like a packet-mode packet.
+            flow.sent += 1
+            inflight = 0
+            reason = "probe-mutated"
+        elif status == _ST_DATA_DIVERTED:
+            inflight = 1
+            reason = "probe-diverted"
+        elif status == _ST_DATA_CONSUMED:
+            inflight = 1
+            reason = "probe-consumed"
+        elif status == _ST_ACK_DIVERTED:
+            inflight = 1
+            reason = "ack-diverted"
+        else:
+            inflight = 1
+            reason = "ack-consumed"
+        if flow.kind == _UDP and status != _ST_MUTATED:
+            # UDP senders track emissions, not deliveries: a diverted
+            # or consumed probe was still emitted.
+            flow.sent += 1
+            inflight = 0
+        # The probe replaced the send that was due now; the next real
+        # UDP send paces one gap later.
+        resume_at = self.engine._now + (flow.sender.gap_ns
+                                        if flow.kind == _UDP else 0)
+        self._escalate_finish(flow, reason, inflight,
+                              registered=not adopting,
+                              udp_resume_at=resume_at)
+        self._process_deferred()
+        return False
+
+    def _commit(self, flow: _FluidFlow) -> None:
+        """Round timer fired: replay the probe's deltas for the round."""
+        with self._fluid_phase():
+            flow.timer = None
+            n = flow.round_size
+            self._commit_deltas(flow, n - 1)
+            flow.sent += n
+            if flow.draw_sites:
+                self._commit_draws(flow, n - 1)
+                if flow.flow_id not in self._flows:
+                    # A replayed draw triggered a real cache insert and
+                    # the mutation observer escalated this very flow;
+                    # the transport is already restored at base + sent.
+                    return
+            if flow.sent >= flow.span:
+                # Tail handoff: the next send is due exactly now.
+                self._escalate_finish(flow, "tail", 0, registered=True,
+                                      udp_resume_at=self.engine._now)
+            else:
+                self._begin_round(flow)
+
+    def _commit_deltas(self, flow: _FluidFlow, times: int) -> None:
+        """Apply the recorded per-packet deltas ``times`` more times.
+
+        Every delta was produced by a verified-idempotent walk, so
+        replication is exact: ``times`` analytic packets would each
+        have applied precisely these counter movements.
+        """
+        if times <= 0:
+            return
+        for obj, attr, amount in flow.deltas:
+            setattr(obj, attr, getattr(obj, attr) + amount * times)
+        for counter, key, amount in flow.counter_deltas:
+            counter[key] += amount * times
+        self.fluid_packets += times
+
+    def _commit_draws(self, flow: _FluidFlow, times: int) -> None:
+        """Repeat the probe's learning-RNG draws per analytic packet.
+
+        Each analytic packet must consume exactly the draws its real
+        counterpart would have (same sites, same order) or the shared
+        learning RNG — and every later draw in the run — diverges from
+        packet mode.  The draws run through the real scheme entry
+        point, so a draw that triggers emits real learning traffic or
+        performs a real ToR install, whose effects (including cache
+        mutations that escalate flows via ``on_mutate``) land through
+        the normal code paths at commit time — at most one round later
+        than the packet-mode instant.
+        """
+        if times <= 0:
+            return
+        replay = self.scheme.replay_learning_draw
+        sites = flow.draw_sites
+        for _ in range(times):
+            for switch, template in sites:
+                replay(switch, template)
+
+    # ------------------------------------------------------------------
+    # escalation core
+    # ------------------------------------------------------------------
+    def _escalate(self, flow: _FluidFlow, reason: str) -> None:
+        """External escalation: stop mid-round and restore the transport."""
+        with self._fluid_phase():
+            resume_at = self.engine._now
+            timer = flow.timer
+            partial = 1
+            if timer is not None:
+                self.engine.cancel_timer(timer)
+                flow.timer = None
+                # The probe (packet 1 of the round) is always through;
+                # credit analytic packets for the elapsed fraction.
+                elapsed = self.engine._now - flow.t0
+                partial = 1 + elapsed // flow.interval
+                n = flow.round_size
+                if partial > n:
+                    partial = n
+                elif partial < 1:
+                    partial = 1
+                self._commit_deltas(flow, partial - 1)
+                flow.sent += partial
+                # The next packet is analytically due one interval
+                # after the last credited one (strictly in the future
+                # by the floor-division above).
+                resume_at = flow.t0 + partial * flow.interval
+            self._escalate_finish(flow, reason, 0, registered=True,
+                                  udp_resume_at=resume_at)
+            # Credited packets' RNG draws replay only after the flow is
+            # unregistered: a triggered draw may escalate other flows
+            # through the cache observer but can no longer re-enter
+            # this one.  The resumed transport's own packets draw later
+            # (at switch-arrival events), preserving packet-mode order.
+            if partial > 1 and flow.draw_sites:
+                self._commit_draws(flow, partial - 1)
+
+    def _escalate_finish(self, flow: _FluidFlow, reason: str,
+                         inflight: int, registered: bool,
+                         udp_resume_at: int = 0) -> None:
+        """Unregister + hand the transport back to packet level."""
+        if registered:
+            self._unregister(flow)
+        self.escalations += 1
+        by = self.escalations_by_reason
+        by[reason] = by.get(reason, 0) + 1
+        sender = flow.sender
+        if reason != "tail":
+            sender._fluid_attempts += 1
+            sender._fluid_retry_seq = (flow.base + flow.sent
+                                       + 2 * flow.window)
+        if flow.kind == _RELIABLE:
+            self._escalate_resume_reliable(
+                sender, flow.base + flow.sent, inflight)
+        else:
+            self._escalate_resume_udp(flow, udp_resume_at)
+
+    def _escalate_resume_reliable(self, sender: Any, pos: int,
+                                  inflight: int) -> None:
+        """Point the sender at ``pos`` and let ack-clocking resume.
+
+        ``inflight`` is 1 when the probe at ``pos`` is still alive in
+        the real simulation (diverted data or ACK): the sender must
+        treat it as outstanding so the eventual ACK — or a retransmit
+        timeout — drives recovery through the normal transport paths.
+        """
+        sender._fluid_active = False
+        sender._fluid_wait = False
+        if sender.done:
+            return
+        sender.snd_una = pos
+        sender.snd_next = pos + inflight
+        sender.acks_received = pos
+        sender.dup_acks = 0
+        sender.rto_ns = sender.config.initial_rto_ns
+        sender._send_window()
+        sender._arm_timer()
+
+    def _escalate_resume_udp(self, flow: _FluidFlow, resume_at: int) -> None:
+        sender = flow.sender
+        sender.next_seq = flow.base + flow.sent
+        if sender.next_seq >= sender.total_packets:
+            return
+        engine = self.engine
+        if resume_at < engine._now:
+            resume_at = engine._now
+        engine.schedule(resume_at, sender._send_next)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _register(self, flow: _FluidFlow, switches: set[int]) -> None:
+        self._flows[flow.flow_id] = flow
+        self._register_switches(flow, switches)
+        self._by_vip.setdefault(flow.src_vip, set()).add(flow.flow_id)
+        self._by_vip.setdefault(flow.dst_vip, set()).add(flow.flow_id)
+
+    def _register_switches(self, flow: _FluidFlow,
+                           switches: set[int]) -> None:
+        for switch_id in switches:
+            if switch_id not in flow.switch_ids:
+                flow.switch_ids.add(switch_id)
+                self._by_switch.setdefault(switch_id, set()).add(flow.flow_id)
+
+    def _unregister(self, flow: _FluidFlow) -> None:
+        self._flows.pop(flow.flow_id, None)
+        for switch_id in flow.switch_ids:
+            ids = self._by_switch.get(switch_id)
+            if ids is not None:
+                ids.discard(flow.flow_id)
+        for vip in (flow.src_vip, flow.dst_vip):
+            ids = self._by_vip.get(vip)
+            if ids is not None:
+                ids.discard(flow.flow_id)
+
+    # ------------------------------------------------------------------
+    # the walk
+    # ------------------------------------------------------------------
+    def _walk_round(self, flow: _FluidFlow):
+        """Walk one data probe (and, for reliable flows, its ACK).
+
+        Returns ``(status, ctx, rtt_ns)``.  All effects the walk
+        applies are real — on a CLEAN outcome they are exactly the
+        effects one packet-mode packet (pair) would have applied, and
+        ``ctx.deltas`` replays them for the rest of the round.
+        """
+        ctx = self._walk_open(flow)
+        self._walking = True
+        self._walking_ctx = ctx
+        scheme = self.scheme
+        observes_draws = hasattr(scheme, "learning_draw_observer")
+        if observes_draws:
+            scheme.learning_draw_observer = self._walk_record_draw
+        rtt = 0
+        try:
+            seq = flow.base + flow.sent
+            sender = flow.sender
+            src_host = sender.host
+            data = src_host.new_packet(_DATA, flow.flow_id, seq,
+                                       flow.payload, flow.src_vip,
+                                       flow.dst_vip)
+            result, d_data, dst_host = self._walk_packet(ctx, src_host, data)
+            if result != _DELIVERED:
+                status = (_ST_DATA_DIVERTED if result == _DIVERTED
+                          else _ST_DATA_CONSUMED)
+                return self._walk_close(flow, ctx, status, 0)
+            # Delivered at the destination host: apply the receiver
+            # bookkeeping the endpoint would have, *without* emitting a
+            # real ACK (reliable ACKs are walked below; ``_max_seen``
+            # and reorder accounting are deliberately left untouched so
+            # straggler packets still in flight compare against
+            # pre-adoption state).
+            record = flow.record
+            record.bytes_received += flow.payload
+            ctx.deltas.append((record, "bytes_received", flow.payload))
+            rtt = d_data
+            if flow.kind == _RELIABLE:
+                receiver = flow.receiver
+                receiver.rcv_next += 1
+                ctx.deltas.append((receiver, "rcv_next", 1))
+                ack = dst_host.new_packet(_ACK, flow.flow_id,
+                                          receiver.rcv_next, 0,
+                                          flow.dst_vip, flow.src_vip)
+                result, d_ack, _ = self._walk_packet(ctx, dst_host, ack)
+                if result != _DELIVERED:
+                    status = (_ST_ACK_DIVERTED if result == _DIVERTED
+                              else _ST_ACK_CONSUMED)
+                    return self._walk_close(flow, ctx, status, rtt)
+                rtt += d_ack
+            return self._walk_close(flow, ctx, _ST_CLEAN, rtt)
+        finally:
+            if observes_draws:
+                scheme.learning_draw_observer = None
+            self._walking = False
+            self._walking_ctx = None
+
+    def _walk_record_draw(self, switch: Any, packet: Any) -> None:
+        """Draw observer: capture a learning-RNG draw site mid-walk."""
+        ctx = self._walking_ctx
+        if ctx is not None:
+            ctx.draw_sites.append(
+                (switch, _DrawTemplate(packet.outer_src, packet.dst_vip,
+                                       packet.outer_dst)))
+
+    def _walk_packet(self, ctx: _WalkContext, origin: Host, packet: Packet):
+        """Advance one real packet from ``origin`` to delivery, inline.
+
+        Mirrors ``Host.send`` → ``Link.transmit`` → ``Switch.receive``
+        hop by hop, applying the same counter effects by hand (each
+        recorded in ``ctx.deltas``) and calling the real scheme hooks.
+        The link/destination checks run *before* a link's effects are
+        applied, so a packet handed back to the live simulation
+        (``_DIVERTED``) is never double-counted: the real
+        ``Link.transmit`` performs its own accounting on re-injection.
+
+        Returns ``(result, elapsed_ns, delivery_host_or_None)``.
+        """
+        engine = self.engine
+        deltas = ctx.deltas
+        packet.outer_src = origin.pip
+        packet.created_at = engine._now
+        handler = origin.handler
+        if handler is not None:
+            handler.on_host_send(origin, packet)
+        origin.packets_sent += 1
+        deltas.append((origin, "packets_sent", 1))
+        if packet.outer_dst == UNRESOLVED:
+            origin.unroutable_drops += 1
+            ctx.mutated = True
+            return _CONSUMED, 0, None
+        link = origin.uplink
+        if link is None:
+            ctx.mutated = True
+            return _CONSUMED, 0, None
+        node: Any = origin
+        elapsed = 0
+        hops = 0
+        while True:
+            if not link.up or link._loss_rng is not None:
+                # Down or lossy link: give the packet back to the real
+                # data plane at the time it would have reached here.
+                self._reinject_transmit(elapsed, node, link, packet)
+                return _DIVERTED, elapsed, None
+            dst = link.dst
+            is_switch = isinstance(dst, Switch)
+            if not is_switch and not (isinstance(dst, Host)
+                                      and packet.dst_vip in dst.vms):
+                # Gateway, or a host that no longer holds the VM: the
+                # real simulation handles translation/misdelivery.
+                self._reinject_transmit(elapsed, node, link, packet)
+                return _DIVERTED, elapsed, None
+            size = packet._wire_bytes
+            ser = link.serialization_ns(size)
+            lstats = link.stats
+            lstats.packets += 1
+            lstats.bytes += size
+            deltas.append((lstats, "packets", 1))
+            deltas.append((lstats, "bytes", size))
+            elapsed += ser + link.propagation_ns
+            if ser > ctx.bottleneck_ns:
+                ctx.bottleneck_ns = ser
+            if not is_switch:
+                # Final host: deliver through the real observer chain
+                # (collector counters, oracle probes) with the packet
+                # back-dated so its measured latency equals ``elapsed``.
+                packet.created_at = engine._now - elapsed
+                if dst.on_deliver is not None:
+                    dst.on_deliver(packet)
+                if dst.pool is not None:
+                    dst.pool.release(packet)
+                return _DELIVERED, elapsed, dst
+            switch = dst
+            if switch._failed:
+                switch.stats.drops += 1
+                ctx.mutated = True
+                return _CONSUMED, elapsed, None
+            packet.hops += 1
+            sstats = switch.stats
+            sstats.packets += 1
+            sstats.bytes += size
+            deltas.append((sstats, "packets", 1))
+            deltas.append((sstats, "bytes", size))
+            ctx.switches.add(switch.switch_id)
+            self._walk_note_cache(ctx, switch)
+            if not switch.handler.on_switch(switch, packet, link):
+                ctx.mutated = True
+                return _CONSUMED, elapsed, None
+            if packet._misdelivery_tag:
+                self._reinject_forward(elapsed, switch, packet)
+                return _DIVERTED, elapsed, None
+            hops += 1
+            if hops > _HOP_CAP:
+                self._reinject_forward(elapsed, switch, packet)
+                return _DIVERTED, elapsed, None
+            egress = switch.next_hop(packet)
+            if egress is None:
+                sstats.drops += 1
+                ctx.mutated = True
+                return _CONSUMED, elapsed, None
+            node = switch
+            link = egress
+
+    def _walk_note_cache(self, ctx: _WalkContext, switch: Switch) -> None:
+        """Snapshot a switch's cache stats before its handler runs."""
+        cache_of = getattr(self.scheme, "cache_of", None)
+        if cache_of is None:
+            return
+        cache = cache_of(switch)
+        if cache is None:
+            return
+        stats = cache.stats
+        if stats not in ctx.cache_before:
+            ctx.cache_before[stats] = tuple(
+                getattr(stats, name)
+                for name in _CACHE_REPLICABLE + _CACHE_MUTATING)
+
+    def _walk_open(self, flow: _FluidFlow) -> _WalkContext:
+        ctx = _WalkContext()
+        collector = self.collector
+        ctx.collector_before = tuple(
+            getattr(collector, name) for name in _COLLECTOR_INTS)
+        ctx.hits_before = dict(collector.hits_by_layer)
+        ctx.first_hits_before = dict(collector.first_packet_hits_by_layer)
+        scheme = self.scheme
+        ctx.scheme_before = tuple(
+            getattr(scheme, name, 0) for name in _SCHEME_DIRTY)
+        return ctx
+
+    def _walk_close(self, flow: _FluidFlow, ctx: _WalkContext,
+                    status: int, rtt: int):
+        """Diff the opaque-call snapshots into deltas; detect mutation."""
+        collector = self.collector
+        deltas = ctx.deltas
+        for name, before in zip(_COLLECTOR_INTS, ctx.collector_before):
+            after = getattr(collector, name)
+            if after != before:
+                deltas.append((collector, name, after - before))
+        self._walk_diff_counter(ctx, collector.hits_by_layer,
+                                ctx.hits_before)
+        self._walk_diff_counter(ctx, collector.first_packet_hits_by_layer,
+                                ctx.first_hits_before)
+        scheme = self.scheme
+        for name, before in zip(_SCHEME_DIRTY, ctx.scheme_before):
+            after = getattr(scheme, name, 0)
+            if after == before:
+                continue
+            if name == "rng_draws" and after - before == len(ctx.draw_sites):
+                # Replayable: every draw's site was captured by the
+                # observer, and _commit_draws repeats the real draw per
+                # analytic packet, keeping the RNG stream exact.  Draws
+                # that *triggered* moved learning_packets_sent (or a
+                # cache insert fired on_mutate) and stay mutating.
+                continue
+            ctx.mutated = True
+        replicable = len(_CACHE_REPLICABLE)
+        names = _CACHE_REPLICABLE + _CACHE_MUTATING
+        for stats, before in ctx.cache_before.items():
+            for i, name in enumerate(names):
+                diff = getattr(stats, name) - before[i]
+                if diff:
+                    if i < replicable:
+                        deltas.append((stats, name, diff))
+                    else:
+                        ctx.mutated = True
+        if status == _ST_CLEAN and ctx.mutated:
+            status = _ST_MUTATED
+        return status, ctx, rtt
+
+    def _walk_diff_counter(self, ctx: _WalkContext, counter: Any,
+                           before: dict[Any, int]) -> None:
+        if len(counter) == len(before) and not any(
+                counter[key] != val for key, val in before.items()):
+            return
+        for key, after in counter.items():
+            diff = after - before.get(key, 0)
+            if diff:
+                ctx.counter_deltas.append((counter, key, diff))
+
+    # ------------------------------------------------------------------
+    # re-injection (diverted probes rejoin the live simulation)
+    # ------------------------------------------------------------------
+    def _reinject_transmit(self, elapsed: int, node: Any, link: Link,
+                           packet: Packet) -> None:
+        self.engine.schedule_after(elapsed, self._reinject_transmit_now,
+                                   node, link, packet)
+
+    def _reinject_transmit_now(self, node: Any, link: Link,
+                               packet: Packet) -> None:
+        if not link.transmit(packet) and isinstance(node, Switch):
+            node.stats.drops += 1
+
+    def _reinject_forward(self, elapsed: int, switch: Switch,
+                          packet: Packet) -> None:
+        self.engine.schedule_after(elapsed, switch.forward, packet)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def stats_dict(self) -> dict[str, Any]:
+        return {
+            "adoptions": self.adoptions,
+            "adoption_rejects": self.adoption_rejects,
+            "escalations": self.escalations,
+            "escalations_by_reason": dict(
+                sorted(self.escalations_by_reason.items())),
+            "rounds": self.rounds,
+            "fluid_packets": self.fluid_packets,
+            "active_flows": len(self._flows),
+        }

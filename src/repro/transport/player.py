@@ -115,6 +115,10 @@ class TrafficPlayer:
                                         sender.total_packets, on_complete)
             src_demux.senders[record.flow_id] = sender
         dst_demux.receivers[record.flow_id] = receiver
+        fluid = self.network.fluid
+        if fluid is not None:
+            sender.fluid = fluid
+            sender.fluid_receiver = receiver
         sender.start()
 
     def _make_response_starter(self, request: FlowSpec):

@@ -71,6 +71,20 @@ class ReliableSender:
         self.rto_ns = config.initial_rto_ns
         self._timer = None
         self.done = False
+        #: Total ACK packets received (not cumulative progress) — the
+        #: hybrid-fidelity drain below needs to know when every sent
+        #: packet has been acknowledged *individually*, which a
+        #: cumulative ACK cannot tell.
+        self.acks_received = 0
+        #: Hybrid-fidelity hooks, wired by the traffic player when the
+        #: network runs with ``fidelity="hybrid"``; all None/False in
+        #: pure-packet mode, where every branch below short-circuits.
+        self.fluid = None
+        self.fluid_receiver = None
+        self._fluid_active = False
+        self._fluid_wait = False
+        self._fluid_attempts = 0
+        self._fluid_retry_seq = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -97,7 +111,13 @@ class ReliableSender:
 
     # ------------------------------------------------------------------
     def on_ack(self, cumulative_seq: int) -> None:
+        self.acks_received += 1
         if self.done:
+            return
+        if self._fluid_active:
+            # A stale ACK (a duplicate delivery from a pre-adoption
+            # retransmission) arriving while the fluid scheduler owns
+            # this flow: the scheduler's analytic state supersedes it.
             return
         config = self.config
         if cumulative_seq > self.snd_una:
@@ -115,10 +135,44 @@ class ReliableSender:
                 self.engine.cancel_timer(self._timer)
                 self._timer = None
                 return
+            if self._fluid_wait:
+                if (self.snd_una == self.snd_next
+                        and self.acks_received == self.snd_next):
+                    # Pipe fully drained: every sent packet delivered
+                    # and acknowledged exactly once.  Hand the flow to
+                    # the fluid scheduler, which either adopts it or
+                    # restores + resumes us before returning.
+                    self._fluid_wait = False
+                    self.engine.cancel_timer(self._timer)
+                    self._timer = None
+                    self.fluid.adopt_reliable(self)
+                # Still draining: skip the window refill so the pipe
+                # empties; the armed RTO aborts a stalled wait.
+                return
+            fluid = self.fluid
+            if (fluid is not None
+                    and self.record.retransmissions == 0
+                    and self.cwnd >= config.max_cwnd
+                    and self.snd_una >= self._fluid_retry_seq
+                    and self._fluid_attempts < fluid.max_attempts
+                    and self.total_packets - self.snd_next
+                        >= config.max_cwnd + fluid.min_span):
+                # Steady state with a long analytically-advanceable
+                # run ahead: stop refilling and drain toward adoption.
+                self._fluid_wait = True
+                return
             self._send_window()
             self._arm_timer()
             return
         # Duplicate cumulative ACK.
+        if self._fluid_wait:
+            # Reordering or loss showed up mid-drain: abort the wait
+            # and resume normal windowed sending before dup handling.
+            self._fluid_wait = False
+            self._fluid_attempts += 1
+            self._fluid_retry_seq = self.snd_una + 2 * int(self.cwnd)
+            self._send_window()
+            self._arm_timer()
         self.dup_acks += 1
         if self.dup_acks >= config.dupack_threshold:
             self.dup_acks = 0
@@ -146,6 +200,16 @@ class ReliableSender:
             return
         if self.snd_una > una_at_arm:
             # Progress since arming; re-arm fresh.
+            self._arm_timer()
+            return
+        if self._fluid_wait:
+            # The pre-adoption drain stalled (a tail ACK was lost):
+            # abort the wait and resume windowed sending.  If data was
+            # lost too, the next timeout takes the retransmit path.
+            self._fluid_wait = False
+            self._fluid_attempts += 1
+            self._fluid_retry_seq = self.snd_una + 2 * int(self.cwnd)
+            self._send_window()
             self._arm_timer()
             return
         if self.record.retransmissions >= self.config.max_retransmits:

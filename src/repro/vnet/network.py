@@ -44,6 +44,17 @@ class NetworkConfig:
     #: values in :mod:`repro.vnet.failover`.
     gateway_probe_interval_ns: int = usec(200)
     gateway_reinstate_timeout_ns: int = msec(2)
+    #: Simulation fidelity: ``"packet"`` simulates every packet
+    #: discretely (bit-identical to historical behaviour); ``"hybrid"``
+    #: lets the fluid scheduler advance warm steady-state flows
+    #: analytically, escalating back to packet level on cache-relevant
+    #: events (see :mod:`repro.sim.fluid`).
+    fidelity: str = "packet"
+
+    def __post_init__(self) -> None:
+        if self.fidelity not in ("packet", "hybrid"):
+            raise ValueError(
+                f"fidelity must be 'packet' or 'hybrid', got {self.fidelity!r}")
 
 
 class VirtualNetwork:
@@ -85,6 +96,12 @@ class VirtualNetwork:
         self._build_hosts()
         self._build_gateways()
         self._wire_scheme()
+        #: Hybrid-fidelity fluid scheduler; None in pure-packet mode so
+        #: every hot-path hook reduces to one attribute test.
+        self.fluid = None
+        if config.fidelity == "hybrid":
+            from repro.sim.fluid import FluidScheduler
+            self.fluid = FluidScheduler(self)
 
     # ------------------------------------------------------------------
     # construction
@@ -178,6 +195,8 @@ class VirtualNetwork:
         old_host = self.host_of(vip)
         if old_host is target:
             return
+        if self.fluid is not None:
+            self.fluid.escalate_vip(vip, "vm-migration")
         endpoint = old_host.remove_vm(vip)
         old_host.follow_me[vip] = target.pip
         target.add_vm(vip)
@@ -199,6 +218,8 @@ class VirtualNetwork:
         pip = self.database.get(vip)
         if pip is None:
             return
+        if self.fluid is not None:
+            self.fluid.escalate_vip(vip, "vm-retirement")
         host = self.host_by_pip.get(pip)
         if host is not None:
             host.remove_vm(vip)
@@ -219,6 +240,8 @@ class VirtualNetwork:
         if gateway in self.live_gateways:
             self.live_gateways.remove(gateway)
             self._gateway_memo.clear()
+            if self.fluid is not None:
+                self.fluid.escalate_all("gateway-change")
         if not self.gateways:
             raise ValueError("cannot decommission the last gateway")
 
@@ -246,6 +269,8 @@ class VirtualNetwork:
         self.gateways.append(gateway)
         self.live_gateways.append(gateway)
         self._gateway_memo.clear()
+        if self.fluid is not None:
+            self.fluid.escalate_all("gateway-change")
         if self.failure_detector is not None:
             self.failure_detector.watch(gateway)
         return gateway
@@ -277,12 +302,16 @@ class VirtualNetwork:
             self.live_gateways.remove(gateway)
             self._gateway_memo.clear()
             self.gateway_failovers += 1
+            if self.fluid is not None:
+                self.fluid.escalate_all("gateway-change")
 
     def mark_gateway_up(self, gateway: Gateway) -> None:
         """Reinstate a recovered gateway into the pool."""
         if gateway in self.gateways and gateway not in self.live_gateways:
             self.live_gateways.append(gateway)
             self._gateway_memo.clear()
+            if self.fluid is not None:
+                self.fluid.escalate_all("gateway-change")
 
     # ------------------------------------------------------------------
     # gateway selection

@@ -1,0 +1,14 @@
+"""Fixture: D110 — fluid-path mutations outside audited helpers."""
+
+FLUID_PATH_MODULE = True
+
+
+class Scheduler:
+    def refresh_counters(self, switch, cache, record):
+        switch.stats.packets += 1
+        cache.insert(record.dst_vip, record.outer_dst)
+        setattr(record, "bytes_received", 0)
+
+    def _commit_round(self, flow, switch):
+        # Audited: commits may replay state directly.
+        switch.stats.packets += flow.round_size

@@ -36,11 +36,21 @@ from repro.traces.spec import TraceSpec
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_hadoop_run.json"
 
 
+#: Fields excluded from snapshot comparison: live simulation objects,
+#: plus the hybrid-fidelity bookkeeping (always packet/zero in these
+#: pure-packet determinism runs; covered by tests/test_hybrid_fidelity).
+_NON_SNAPSHOT_FIELDS = (
+    "collector", "network", "fidelity", "fluid_adoptions",
+    "fluid_escalations", "fluid_rounds", "fluid_packets",
+    "fluid_escalations_by_reason",
+)
+
+
 def _result_dict(result: RunResult) -> dict:
     """Every scalar field of a RunResult (drops the live objects)."""
     return {f.name: getattr(result, f.name)
             for f in dataclasses.fields(result)
-            if f.name not in ("collector", "network")}
+            if f.name not in _NON_SNAPSHOT_FIELDS}
 
 
 def _hadoop_flows(num_vms: int, num_flows: int, seed: int):

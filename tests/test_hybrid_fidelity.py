@@ -1,0 +1,174 @@
+"""Fidelity-equivalence guards for the hybrid (fluid fast path) engine.
+
+The hybrid engine's contract (docs/simulator.md "Hybrid fidelity"): for
+a same-seed run, every cache metric — hits, misses (gateway arrivals),
+evictions, insertions, invalidations, misdeliveries — matches packet
+mode *exactly*, and FCT percentiles land within a small tolerance.
+These tests pin the contract on steady workloads (where flows actually
+adopt), check every escalation trigger fires, and run the chaos and
+service oracle suites under hybrid fidelity.
+
+The pure-packet golden snapshot in tests/test_determinism.py is the
+other half of the bargain: fidelity="packet" must stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SwitchV2P
+from repro.experiments.chaosfuzz import ChaosFuzzParams, run_chaos_fuzz
+from repro.experiments.runner import build_network, run_flows
+from repro.net.topology import FatTreeSpec
+from repro.service.config import ServiceConfig
+from repro.service.driver import run_service
+from repro.sim.engine import SECOND, usec
+from repro.transport.flow import FlowSpec
+
+
+def _steady_flows(n_pairs=4, size=1_500_000, transport="tcp"):
+    """Long same-pair flows: the steady-state-heavy shape that adopts."""
+    return [FlowSpec(src_vip=2 * i, dst_vip=2 * i + 1, size_bytes=size,
+                     start_ns=i * 1000, transport=transport)
+            for i in range(n_pairs)]
+
+
+def _run(fidelity, flows, slots=16384, seed=7):
+    network = build_network(FatTreeSpec(), SwitchV2P(slots), 64, seed=seed,
+                            fidelity=fidelity)
+    return run_flows(network, list(flows), trace_name="steady",
+                     keep_network=True)
+
+
+def _cache_metrics(result):
+    """Every cache-observable metric of a finished run, exactly."""
+    collector = result.collector
+    scheme = result.network.scheme
+    lookups, hits = scheme.aggregate_hit_stats()
+    per_cache = sorted(
+        (switch_id, cache.stats.lookups, cache.stats.hits,
+         cache.stats.insertions, cache.stats.evictions,
+         cache.stats.invalidations, cache.stats.rejections)
+        for switch_id, cache in scheme.caches.items())
+    return {
+        "hit_rate": result.hit_rate,
+        "gateway_arrivals": collector.gateway_arrivals,
+        "misdeliveries": collector.misdeliveries,
+        "drops": collector.drops,
+        "learning_packets": collector.learning_packets,
+        "invalidation_packets": collector.invalidation_packets,
+        "spillover_inserts": collector.spillover_inserts,
+        "promotions": collector.promotions,
+        "hits_by_layer": dict(collector.hits_by_layer),
+        "lookups": lookups,
+        "hits": hits,
+        "per_cache": per_cache,
+        "packets_sent": result.packets_sent,
+        "completion": result.completion_rate,
+    }
+
+
+@pytest.fixture(scope="module")
+def tcp_pair():
+    flows = _steady_flows()
+    return _run("packet", flows), _run("hybrid", flows)
+
+
+# ----------------------------------------------------------------------
+# exactness on cache metrics
+# ----------------------------------------------------------------------
+def test_same_seed_cache_metrics_exact(tcp_pair):
+    packet, hybrid = tcp_pair
+    assert hybrid.fluid_adoptions > 0, "hybrid run never went fluid"
+    assert hybrid.fluid_packets > 0
+    assert _cache_metrics(packet) == _cache_metrics(hybrid)
+
+
+def test_udp_same_seed_cache_metrics_exact():
+    # Long enough that the adopt-retry after the cold-start divert
+    # (~2 windows of packets) still leaves a fluid-worthy span.
+    flows = _steady_flows(n_pairs=2, size=1_500_000, transport="udp")
+    packet = _run("packet", flows)
+    hybrid = _run("hybrid", flows)
+    assert hybrid.fluid_adoptions > 0
+    assert _cache_metrics(packet) == _cache_metrics(hybrid)
+
+
+def test_fct_percentiles_within_tolerance(tcp_pair):
+    packet, hybrid = tcp_pair
+    assert hybrid.p50_fct_ns == pytest.approx(packet.p50_fct_ns, rel=0.05)
+    assert hybrid.p99_fct_ns == pytest.approx(packet.p99_fct_ns, rel=0.05)
+    assert hybrid.avg_fct_ns == pytest.approx(packet.avg_fct_ns, rel=0.05)
+
+
+def test_hybrid_surfaces_fluid_bookkeeping(tcp_pair):
+    _, hybrid = tcp_pair
+    assert hybrid.fidelity == "hybrid"
+    assert hybrid.fluid_rounds > 0
+    # Every adoption ends in exactly one escalation (at worst the tail
+    # handoff), so the reason histogram accounts for all of them.
+    assert sum(hybrid.fluid_escalations_by_reason.values()) \
+        == hybrid.fluid_escalations
+    assert hybrid.fluid_escalations >= hybrid.fluid_adoptions
+
+
+def test_packet_mode_reports_no_fluid_state(tcp_pair):
+    packet, _ = tcp_pair
+    assert packet.fidelity == "packet"
+    assert packet.fluid_adoptions == 0
+    assert packet.fluid_packets == 0
+    assert packet.fluid_escalations_by_reason == {}
+
+
+# ----------------------------------------------------------------------
+# escalation triggers
+# ----------------------------------------------------------------------
+def test_vm_migration_escalates_adopted_flow():
+    flows = _steady_flows(n_pairs=1, size=3_000_000)
+    network = build_network(FatTreeSpec(), SwitchV2P(16384), 64, seed=7,
+                            fidelity="hybrid")
+    dst_vip = flows[0].dst_vip
+
+    def migrate():
+        current = network.host_of(dst_vip)
+        target = next(h for h in network.hosts if h is not current)
+        network.migrate(dst_vip, target)
+
+    # The 3 MB flow completes around t=310 us; 200 us lands mid-flow,
+    # after warmup/drain adoption (~150 us) but well before the tail.
+    network.engine.schedule(usec(200), migrate)
+    result = run_flows(network, list(flows), trace_name="steady",
+                       keep_network=True)
+    assert result.completion_rate == 1.0
+    assert result.fluid_escalations_by_reason.get("vm-migration", 0) >= 1
+
+
+def test_conflict_churn_escalates_and_completes():
+    """A thrash-heavy cache keeps escalating but never breaks delivery.
+
+    512 slots across the fabric conflict constantly, so cache metrics
+    legitimately diverge from packet mode here (see docs/simulator.md);
+    what hybrid still owes us is completion and bounded escalation.
+    """
+    flows = _steady_flows(n_pairs=4, size=1_000_000)
+    result = _run("hybrid", flows, slots=512)
+    assert result.completion_rate == 1.0
+    reasons = result.fluid_escalations_by_reason
+    assert sum(reasons.values()) == result.fluid_escalations
+
+
+# ----------------------------------------------------------------------
+# oracle suites under hybrid fidelity
+# ----------------------------------------------------------------------
+def test_chaos_oracles_clean_under_hybrid():
+    result = run_chaos_fuzz(
+        trials=2, seed=11, schemes=("SwitchV2P",),
+        params=ChaosFuzzParams(fidelity="hybrid"), shrink=False)
+    assert result.clean, [v for o in result.failures for v in o.violations]
+
+
+def test_service_oracles_clean_under_hybrid():
+    result = run_service(ServiceConfig(
+        duration_ns=2 * SECOND, maintenance_start_ns=SECOND,
+        maintenance_period_ns=SECOND, fidelity="hybrid"))
+    assert result.clean, result.violations

@@ -49,6 +49,7 @@ CASES = [
     ("D102", "bad_d102.py", 3, "good_d102.py"),
     ("D103", "bad_d103.py", 3, "good_d103.py"),
     ("D104", "bad_d104.py", 3, "good_d104.py"),
+    ("D110", "bad_d110.py", 3, "good_d110.py"),
     ("T201", "bad_t201.py", 3, "good_t201.py"),
     ("T202", "bad_t202.py", 3, "good_t202.py"),
     ("R301", "bad_r301.py", 1, "good_r301.py"),
@@ -101,6 +102,27 @@ def test_r301_respects_returning_branch():
 def test_t202_exempts_rates():
     findings = _lint_fixture("T202", "good_t202.py")
     assert findings == []  # *_per_ns names are rates, not durations
+
+
+def test_d110_inert_without_marker():
+    # Identical mutation, but the module never declares
+    # FLUID_PATH_MODULE = True: not fluid-path code, not D110's business.
+    source = "def refresh(switch):\n    switch.stats.packets += 1\n"
+    findings = lint_source(source, Path("x.py"), LintConfig(),
+                           module_name="repro.fixtures.nomark",
+                           rules=[get_rule("D110")])
+    assert findings == []
+
+
+def test_d110_flags_the_repo_fluid_module_if_discipline_breaks():
+    # The real fluid scheduler must currently be clean under D110 —
+    # this is the rule's whole point.
+    path = REPO_ROOT / "src" / "repro" / "sim" / "fluid.py"
+    findings = lint_source(path.read_text(encoding="utf-8"), path,
+                           LintConfig(), module_name="repro.sim.fluid",
+                           rules=[get_rule("D110")])
+    assert [f for f in findings if not f.suppressed] == [], \
+        [f.message for f in findings]
 
 
 # ----------------------------------------------------------------------
