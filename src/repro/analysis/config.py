@@ -37,6 +37,73 @@ class MemoPairing:
     require: tuple[str, ...]
 
 
+@dataclass(frozen=True)
+class RuncacheCoverage:
+    """One runcache key-coverage contract (rule W403).
+
+    Attributes:
+        dataclass_name: qualified name of a dataclass whose fields feed
+            experiment runs (``module.Class``).
+        key_function: qualified name of the function deriving the
+            run-cache key from that dataclass; every field name must be
+            read somewhere in its body.
+        exempt: field names audited as deliberately unkeyed (each must
+            be justified in docs/linting.md); an exemption naming a
+            field that *is* consumed is itself reported as stale.
+    """
+
+    dataclass_name: str
+    key_function: str
+    exempt: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CallPair:
+    """One must-pair call discipline checked along call paths (W404).
+
+    A function that (directly) calls ``open`` must also reach ``close``
+    — in its own body or transitively through its callees; failing
+    that, the obligation propagates to its callers.  Names are fnmatch
+    patterns matched against the resolved dotted call target.
+    """
+
+    open: str
+    close: str
+
+
+#: The repository's own key-coverage contracts (see docs/linting.md#w403).
+DEFAULT_RUNCACHE_COVERAGE: tuple[RuncacheCoverage, ...] = (
+    # Every ExperimentJob field must reach job_key: a job knob missing
+    # from the key would serve stale cache hits for changed runs.
+    RuncacheCoverage("repro.experiments.parallel.ExperimentJob",
+                     "repro.experiments.runcache.job_key"),
+    # NetworkConfig fields must be covered by run_key or be audited as
+    # unreachable from run_experiment (the only cached entry point).
+    RuncacheCoverage(
+        "repro.vnet.network.NetworkConfig",
+        "repro.experiments.runcache.run_key",
+        exempt=("gateway_processing_ns", "gateway_service_ns",
+                "host_forward_delay_ns", "gateway_probe_interval_ns",
+                "gateway_reinstate_timeout_ns")),
+)
+
+#: Dataclasses hashed wholesale by runcache._encode (field iteration):
+#: coverage is automatic *provided* every knob is a real dataclass
+#: field — W403 checks they stay frozen and fully annotated.
+DEFAULT_ENCODED_DATACLASSES: tuple[str, ...] = (
+    "repro.net.topology.FatTreeSpec",
+    "repro.core.config.SwitchV2PConfig",
+    "repro.transport.reliable.TransportConfig",
+    "repro.traces.spec.TraceSpec",
+)
+
+#: Call disciplines checked along call paths by W404.
+DEFAULT_CALL_PAIRS: tuple[CallPair, ...] = (
+    # The engine pauses automatic GC for the event loop; every pause
+    # must be matched by a resume on all paths out of the caller.
+    CallPair("gc.disable", "gc.enable"),
+)
+
 #: The repository's own memo invariants (see docs/linting.md#r303).
 DEFAULT_MEMO_PAIRINGS: tuple[MemoPairing, ...] = (
     # Switch fail/recover must flush scheme SRAM state and keep the
@@ -91,6 +158,49 @@ class LintConfig:
     #: Method names that return a packet to the freelist.
     release_methods: tuple[str, ...] = ("release",)
     memo_pairings: tuple[MemoPairing, ...] = DEFAULT_MEMO_PAIRINGS
+
+    # ------------------------------------------------------------------
+    # whole-program flow analysis (W401-W404; repro.analysis.flow)
+    # ------------------------------------------------------------------
+    #: Data-plane entry points (fnmatch on qualified function names);
+    #: W402 checks every function reachable from them.
+    flow_entry_points: tuple[str, ...] = (
+        "repro.net.node.Switch.receive",
+        "repro.vnet.hypervisor.Host.receive",
+        "repro.vnet.gateway.Gateway.receive",
+    )
+    #: Attribute names holding cache/mapping/gateway state; mutating
+    #: them on a data-plane path requires an escalation notification.
+    state_attrs: tuple[str, ...] = ("_keys", "_values", "_abits", "_sets",
+                                    "_table", "live_gateways")
+    #: Call-name patterns that count as escalation/observer notification.
+    notify_calls: tuple[str, ...] = ("escalate_*", "on_mutate",
+                                     "note_mutation")
+    #: Attributes whose stored callables are notification hooks; calling
+    #: a local aliased from one (``cb = self.on_mutate; cb()``) counts.
+    notify_attrs: tuple[str, ...] = ("on_mutate", "_listeners",
+                                     "_removal_listeners",
+                                     "learning_draw_observer")
+    #: Qualified-name patterns exempt from W402 (audited in
+    #: docs/linting.md#w402; keep this list empty if you can).
+    escalation_exempt: tuple[str, ...] = ()
+    #: Container-method names treated as mutating their receiver.
+    mutating_methods: tuple[str, ...] = (
+        "pop", "popitem", "clear", "update", "setdefault", "append",
+        "extend", "remove", "insert", "add", "discard", "move_to_end")
+    #: Call patterns granting seed provenance: an RNG constructed from
+    #: one of these is properly derived from the experiment seed.
+    rng_seed_sources: tuple[str, ...] = ("*derive_seed", "*.stream",
+                                         "repro.sim.randomness.*")
+    #: Modules allowed to construct RNGs from raw material (the stream
+    #: factory itself).
+    rng_provenance_allow: tuple[str, ...] = ("repro.sim.randomness",)
+    #: W403 key-coverage contracts and wholesale-encoded dataclasses.
+    runcache_coverage: tuple[RuncacheCoverage, ...] = \
+        DEFAULT_RUNCACHE_COVERAGE
+    encoded_dataclasses: tuple[str, ...] = DEFAULT_ENCODED_DATACLASSES
+    #: W404 open/close call pairs checked along call paths.
+    flow_call_pairs: tuple[CallPair, ...] = DEFAULT_CALL_PAIRS
 
 
 def _load_toml(path: Path) -> dict | None:
@@ -154,6 +264,15 @@ def load_config(pyproject: Path | None = None) -> LintConfig:
         "rng-factories": "rng_factories",
         "acquire-methods": "acquire_methods",
         "release-methods": "release_methods",
+        "flow-entry-points": "flow_entry_points",
+        "state-attrs": "state_attrs",
+        "notify-calls": "notify_calls",
+        "notify-attrs": "notify_attrs",
+        "escalation-exempt": "escalation_exempt",
+        "mutating-methods": "mutating_methods",
+        "rng-seed-sources": "rng_seed_sources",
+        "rng-provenance-allow": "rng_provenance_allow",
+        "encoded-dataclasses": "encoded_dataclasses",
     }
     overrides: dict[str, object] = {}
     for key, value in section.items():
@@ -167,6 +286,18 @@ def load_config(pyproject: Path | None = None) -> LintConfig:
                     mutators=_tuple(entry["mutators"]),
                     require=_tuple(entry["require"]),
                 )
+                for entry in value)
+        elif key == "runcache-coverage":
+            overrides["runcache_coverage"] = tuple(
+                RuncacheCoverage(
+                    dataclass_name=str(entry["dataclass"]),
+                    key_function=str(entry["key-function"]),
+                    exempt=_tuple(entry.get("exempt", ())),
+                )
+                for entry in value)
+        elif key == "flow-call-pairs":
+            overrides["flow_call_pairs"] = tuple(
+                CallPair(open=str(entry["open"]), close=str(entry["close"]))
                 for entry in value)
         else:
             raise ValueError(

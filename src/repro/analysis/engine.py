@@ -1,14 +1,29 @@
-"""The lint engine: collect files, run rules, apply suppressions."""
+"""The lint engine: collect files, run rules, apply suppressions.
+
+Two rule kinds share one run: per-module rules (each sees a single
+:class:`~repro.analysis.context.ModuleContext`) and project rules (the
+W4xx series — they see a :class:`~repro.analysis.flow.project.ProjectContext`
+spanning every collected module, plus the call graph and dataflow
+summaries).  The project pass is the expensive part, so its findings
+are cached under a key over every source hash and the configuration
+(:mod:`repro.analysis.flow.cache`); per-module linting is cheap enough
+to always run.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Iterable
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.analysis.config import LintConfig
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
-from repro.analysis.registry import Rule, selected_rules
+from repro.analysis.flow import cache as flow_cache
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.dataflow import summarize_project
+from repro.analysis.flow.project import ProjectContext
+from repro.analysis.registry import ProjectRule, Rule, selected_rules
 
 #: Directories never descended into when collecting files.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
@@ -58,6 +73,39 @@ def collect_files(paths: tuple[str, ...] | list[str],
     return files
 
 
+def _split_rules(rules: list[Rule]) -> tuple[list[Rule], list[ProjectRule]]:
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    return module_rules, project_rules
+
+
+def _mark_suppressed(finding: Finding,
+                     module: ModuleContext | None) -> Finding:
+    if module is not None and module.suppressions.is_suppressed(
+            finding.rule_id, finding.line):
+        return replace(finding, suppressed=True)
+    return finding
+
+
+def _module_findings(module: ModuleContext,
+                     rules: Iterable[Rule]) -> list[Finding]:
+    return [_mark_suppressed(finding, module)
+            for rule in rules for finding in rule.check(module)]
+
+
+def run_project_rules(modules: list[ModuleContext],
+                      rules: Iterable[ProjectRule],
+                      config: LintConfig) -> list[Finding]:
+    """One whole-program pass: symbol table, call graph, summaries."""
+    project = ProjectContext.build(modules, config)
+    graph = CallGraph(project)
+    summaries = summarize_project(project, graph)
+    return [_mark_suppressed(finding,
+                             project.by_path.get(finding.path))
+            for rule in rules
+            for finding in rule.check_project(project, graph, summaries)]
+
+
 def lint_source(source: str, path: Path, config: LintConfig,
                 module_name: str | None = None,
                 rules: list[Rule] | None = None) -> list[Finding]:
@@ -65,7 +113,9 @@ def lint_source(source: str, path: Path, config: LintConfig,
 
     ``module_name`` overrides the path-derived dotted name — tests use
     this to exercise package-scoped rules (D101, T202, R303) against
-    fixture files living outside the simulated package.
+    fixture files living outside the simulated package.  Project rules
+    run over a single-module project, which is how the W-rule fixtures
+    stay self-contained.
     """
     if rules is None:
         rules = selected_rules(config.select, config.ignore)
@@ -76,34 +126,70 @@ def lint_source(source: str, path: Path, config: LintConfig,
         return [Finding(rule_id="E999", path=str(path),
                         line=exc.lineno or 1, col=(exc.offset or 1) - 1,
                         message=f"syntax error: {exc.msg}")]
-    findings = []
-    for rule in rules:
-        for finding in rule.check(module):
-            if module.suppressions.is_suppressed(finding.rule_id,
-                                                 finding.line):
-                finding = Finding(rule_id=finding.rule_id,
-                                  path=finding.path, line=finding.line,
-                                  col=finding.col, message=finding.message,
-                                  suppressed=True)
-            findings.append(finding)
+    module_rules, project_rules = _split_rules(rules)
+    findings = _module_findings(module, module_rules)
+    if project_rules:
+        findings.extend(run_project_rules([module], project_rules, config))
     findings.sort(key=Finding.sort_key)
     return findings
 
 
 def lint_paths(paths: tuple[str, ...] | list[str] | None,
                config: LintConfig,
-               root: Path | None = None) -> LintResult:
-    """Lint files/directories (default: the configured paths)."""
+               root: Path | None = None, *,
+               use_flow_cache: bool = True,
+               restrict_to: Iterable[str] | None = None) -> LintResult:
+    """Lint files/directories (default: the configured paths).
+
+    ``restrict_to`` keeps only findings in the given display paths (the
+    CLI's ``--changed`` mode); the whole-program pass still sees every
+    collected module — cross-module contracts cannot be checked on a
+    partial project — but per-module attribution is filtered.
+    """
     if not paths:
         paths = config.paths
     rules = selected_rules(config.select, config.ignore)
+    module_rules, project_rules = _split_rules(rules)
     result = LintResult()
     base = root or Path.cwd()
+    modules: list[ModuleContext] = []
     for path in collect_files(paths, root=root):
         source = path.read_text(encoding="utf-8")
         display = path.relative_to(base) if path.is_relative_to(base) else path
-        result.extend(lint_source(source, Path(display), config,
-                                  rules=rules))
+        try:
+            module = ModuleContext.from_source(source, Path(display), config)
+        except SyntaxError as exc:
+            result.extend([Finding(
+                rule_id="E999", path=str(display), line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}")])
+            result.files_checked += 1
+            continue
+        modules.append(module)
+        result.extend(_module_findings(module, module_rules))
         result.files_checked += 1
+    if project_rules:
+        result.extend(_project_findings(modules, project_rules, config,
+                                        base, use_flow_cache))
+    if restrict_to is not None:
+        allowed = {str(p) for p in restrict_to}
+        result.findings = [f for f in result.findings if f.path in allowed]
     result.findings.sort(key=Finding.sort_key)
     return result
+
+
+def _project_findings(modules: list[ModuleContext],
+                      project_rules: list[ProjectRule],
+                      config: LintConfig, base: Path,
+                      use_flow_cache: bool) -> list[Finding]:
+    if not (use_flow_cache and flow_cache.cache_enabled()):
+        return run_project_rules(modules, project_rules, config)
+    key = flow_cache.cache_key(
+        config, [(str(m.path), m.source) for m in modules],
+        [rule.rule_id for rule in project_rules])
+    cached = flow_cache.load(key, root=base)
+    if cached is not None:
+        return cached
+    findings = run_project_rules(modules, project_rules, config)
+    flow_cache.store(key, findings, root=base)
+    return findings

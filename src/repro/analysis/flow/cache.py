@@ -1,0 +1,105 @@
+"""File-hash-keyed result cache for the whole-program pass.
+
+The project pass re-parses every module and runs a summary fixpoint; on
+an unchanged tree that work is pure waste, so its findings are cached
+under a key derived from (engine version, configuration, the sorted
+``(display path, source sha256)`` pairs of every collected module, and
+the selected project-rule ids).  Any source edit, config change, or
+rule-set change produces a different key — stale hits are impossible by
+construction, so entries never need invalidating, only garbage
+collection (``prune`` keeps the newest few).
+
+Location: ``$REPRO_LINT_CACHE_DIR`` when set, else
+``.lint-cache/flow`` next to the pyproject root the engine was pointed
+at.  ``REPRO_LINT_CACHE=0`` (or the CLI's ``--no-flow-cache``) disables
+reads and writes entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+
+#: Bump to invalidate every cached result (rule/summary logic changed).
+CACHE_VERSION = 1
+
+#: Newest entries kept by :func:`prune`.
+_KEEP = 8
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_LINT_CACHE", "1") != "0"
+
+
+def cache_dir(root: Path | None = None) -> Path:
+    override = os.environ.get("REPRO_LINT_CACHE_DIR")
+    if override:
+        return Path(override)
+    return (root or Path.cwd()) / ".lint-cache" / "flow"
+
+
+def cache_key(config: LintConfig,
+              sources: list[tuple[str, str]],
+              rule_ids: list[str]) -> str:
+    """Digest over everything that can change the project findings.
+
+    ``sources`` is a list of ``(display path, source text)`` pairs; the
+    config is keyed by its repr (a frozen dataclass of tuples, so the
+    repr is deterministic and covers every knob).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"v{CACHE_VERSION}\n".encode())
+    hasher.update(repr(config).encode())
+    hasher.update("\n".join(sorted(rule_ids)).encode())
+    for path, source in sorted(sources):
+        digest = hashlib.sha256(source.encode()).hexdigest()
+        hasher.update(f"\n{path}\x00{digest}".encode())
+    return hasher.hexdigest()
+
+
+def load(key: str, root: Path | None = None) -> list[Finding] | None:
+    """Cached findings for ``key``, or None on miss/corruption."""
+    path = cache_dir(root) / f"{key}.json"
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return [Finding(rule_id=str(entry["rule"]),
+                        path=str(entry["path"]),
+                        line=int(entry["line"]),
+                        col=int(entry["col"]),
+                        message=str(entry["message"]),
+                        suppressed=bool(entry["suppressed"]))
+                for entry in payload["findings"]]
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def store(key: str, findings: list[Finding],
+          root: Path | None = None) -> None:
+    """Persist findings; failures are silent (cache is best-effort)."""
+    directory = cache_dir(root)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = {"version": CACHE_VERSION,
+                   "findings": [f.as_dict() for f in findings]}
+        tmp = directory / f"{key}.json.tmp"
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(directory / f"{key}.json")
+        prune(directory)
+    except OSError:
+        pass
+
+
+def prune(directory: Path, keep: int = _KEEP) -> None:
+    """Drop all but the ``keep`` most recently written entries."""
+    try:
+        entries = sorted(directory.glob("*.json"),
+                         key=lambda p: p.stat().st_mtime, reverse=True)
+        for stale in entries[keep:]:
+            stale.unlink(missing_ok=True)
+    except OSError:
+        pass

@@ -17,6 +17,9 @@ from repro.analysis.findings import Finding
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.context import ModuleContext
+    from repro.analysis.flow.callgraph import CallGraph
+    from repro.analysis.flow.dataflow import FunctionSummary
+    from repro.analysis.flow.project import ProjectContext
 
 
 class Rule:
@@ -34,6 +37,33 @@ class Rule:
 
     def finding(self, module: ModuleContext, line: int, col: int,
                 message: str) -> Finding:
+        return Finding(rule_id=self.rule_id, path=str(module.path),
+                       line=line, col=col, message=message)
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules (the W4xx series).
+
+    Project rules run once per lint invocation over a
+    :class:`~repro.analysis.flow.project.ProjectContext` spanning every
+    collected module, with the call graph and per-function dataflow
+    summaries already built.  ``check`` (the per-module hook) is a
+    no-op; the engine routes project rules through ``check_project``
+    and applies suppressions by mapping each finding's path back to its
+    module.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectContext, graph: CallGraph,
+                      summaries: dict[str, FunctionSummary],
+                      ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(self, project: ProjectContext, module_name: str,
+                        line: int, col: int, message: str) -> Finding:
+        module = project.modules[module_name]
         return Finding(rule_id=self.rule_id, path=str(module.path),
                        line=line, col=col, message=message)
 

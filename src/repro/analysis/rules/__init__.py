@@ -7,9 +7,13 @@ Rule series:
   :mod:`repro.analysis.rules.fluid`;
 * ``T2xx`` — integer simulation time (:mod:`repro.analysis.rules.timing`);
 * ``R3xx`` — resource/freelist/memo invariants
-  (:mod:`repro.analysis.rules.resources`).
+  (:mod:`repro.analysis.rules.resources`);
+* ``W4xx`` — whole-program flow rules
+  (:mod:`repro.analysis.rules.flow_rules`): RNG provenance, escalation
+  completeness, run-cache key coverage, call-path pairing discipline.
 """
 
-from repro.analysis.rules import determinism, fluid, resources, timing
+from repro.analysis.rules import (determinism, fluid, flow_rules, resources,
+                                  timing)
 
-__all__ = ["determinism", "fluid", "resources", "timing"]
+__all__ = ["determinism", "fluid", "flow_rules", "resources", "timing"]

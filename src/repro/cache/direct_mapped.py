@@ -11,6 +11,7 @@ only exposes the primitive operations.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from typing import NamedTuple
 
 _EMPTY = -1
@@ -88,7 +89,7 @@ class DirectMappedCache:
         #: rejection).  The hybrid-fidelity scheduler uses it to
         #: escalate fluid flows whose path state just changed; None
         #: (pure-packet mode) costs one predictable branch per op.
-        self.on_mutate = None
+        self.on_mutate: Callable[[], None] | None = None
 
     def _slot(self, vip: int) -> int:
         return (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_slots

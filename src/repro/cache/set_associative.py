@@ -17,11 +17,21 @@ interface, including access-bit semantics generalized per entry:
   "conflict miss clears the line's bit";
 * conservative admission (``only_if_clear``) refuses to evict when
   every entry in the set has its access bit set.
+
+Like the direct-mapped cache, the class carries the ``on_mutate``
+observer slot the hybrid-fidelity engine keys on: the zero-argument
+hook fires on every observable state change (new entry, eviction,
+invalidation, conflict aging) and stays silent on idempotent refreshes
+(hit, value overwrite).  Without it, fluid flows adopted over a
+set-associative fabric would replay against stale cache state — and
+:meth:`repro.sim.fluid.FluidEngine.scheme_compatible` would refuse the
+geometry outright.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Callable
 
 from repro.cache.direct_mapped import CacheStats, InsertResult
 
@@ -39,7 +49,8 @@ class SetAssociativeCache:
         salt: per-switch hash salt.
     """
 
-    __slots__ = ("num_slots", "ways", "num_sets", "salt", "_sets", "stats")
+    __slots__ = ("num_slots", "ways", "num_sets", "salt", "_sets", "stats",
+                 "on_mutate")
 
     def __init__(self, num_slots: int, ways: int = 2, salt: int = 0) -> None:
         if num_slots < 0:
@@ -55,6 +66,9 @@ class SetAssociativeCache:
             OrderedDict() for _ in range(self.num_sets)
         ]
         self.stats = CacheStats()
+        #: zero-argument observer fired on observable state changes
+        #: (see the module docstring); the hybrid engine installs it.
+        self.on_mutate: Callable[[], None] | None = None
 
     def _set_of(self, vip: int) -> OrderedDict[int, list[int]]:
         index = (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_sets
@@ -75,7 +89,11 @@ class SetAssociativeCache:
         if len(entries) >= self.ways:
             # Age the LRU entry under conflict pressure.
             oldest = next(iter(entries))
-            entries[oldest][1] = 0
+            if entries[oldest][1]:
+                entries[oldest][1] = 0
+                cb = self.on_mutate
+                if cb is not None:
+                    cb()
         return None
 
     def insert(self, vip: int, pip: int, only_if_clear: bool = False) -> InsertResult:
@@ -90,6 +108,9 @@ class SetAssociativeCache:
         if len(entries) < self.ways:
             entries[vip] = [pip, 0]
             self.stats.insertions += 1
+            cb = self.on_mutate
+            if cb is not None:
+                cb()
             return InsertResult(True, None)
         victim = self._pick_victim(entries, only_if_clear)
         if victim is None:
@@ -100,6 +121,9 @@ class SetAssociativeCache:
         entries[vip] = [pip, 0]
         self.stats.insertions += 1
         self.stats.evictions += 1
+        cb = self.on_mutate
+        if cb is not None:
+            cb()
         return InsertResult(True, evicted)
 
     def _pick_victim(self, entries: OrderedDict[int, list[int]],
@@ -122,6 +146,9 @@ class SetAssociativeCache:
             return False
         del entries[vip]
         self.stats.invalidations += 1
+        cb = self.on_mutate
+        if cb is not None:
+            cb()
         return True
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.metrics.reporting import render_table
 from repro.metrics.resilience import ResilienceProbe, ResilienceSummary
 from repro.net.topology import FatTreeSpec
 from repro.sim.engine import msec, usec
+from repro.sim.randomness import derive_seed
 from repro.transport.flow import FlowSpec
 from repro.transport.player import TrafficPlayer
 from repro.transport.reliable import TransportConfig
@@ -112,7 +113,10 @@ def chaos_schedule(params: ChaosParams,
 
 def chaos_flows(params: ChaosParams) -> list[FlowSpec]:
     """Short TCP flows between random VM pairs, arrivals over the span."""
-    rng = np.random.default_rng(params.seed)
+    # The raw experiment seed is never used directly: deriving a named
+    # stream keeps this draw independent of any other consumer of the
+    # same root seed (W401 provenance discipline).
+    rng = np.random.default_rng(derive_seed(params.seed, "chaos-flows"))
     flows = []
     for _ in range(params.num_flows):
         src = int(rng.integers(0, params.num_vms))

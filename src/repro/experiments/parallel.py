@@ -80,6 +80,9 @@ class ExperimentJob:
     trace_name: str = ""
     scheme_kwargs: tuple = ()
     trace: TraceSpec | None = None
+    #: Simulation fidelity ("packet" or "hybrid"); part of the run-cache
+    #: key — hybrid and packet runs of the same point must not collide.
+    fidelity: str = "packet"
 
     def __post_init__(self) -> None:
         if isinstance(self.scheme_kwargs, dict):
@@ -119,7 +122,8 @@ def _execute_job(job: ExperimentJob) -> tuple[RunResult, int]:
         job.spec, job.scheme_name, job.resolve_flows(), job.num_vms,
         job.cache_ratio, job.seed, job.transport, job.horizon_ns,
         keep_network=False, trace_name=job.trace_name,
-        scheme_kwargs=job.scheme_kwargs_dict() or None, cache=None)
+        scheme_kwargs=job.scheme_kwargs_dict() or None, cache=None,
+        fidelity=job.fidelity)
 
 
 def _run_chunk(items: list[tuple[int, ExperimentJob]]

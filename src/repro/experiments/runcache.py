@@ -197,7 +197,7 @@ def job_key(job) -> str:
                    job.seed, transport=job.transport,
                    horizon_ns=job.horizon_ns, trace_name=job.trace_name,
                    scheme_kwargs=job.scheme_kwargs, flows=job.flows,
-                   trace=job.trace)
+                   trace=job.trace, fidelity=job.fidelity)
 
 
 # ----------------------------------------------------------------------

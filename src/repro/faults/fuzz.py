@@ -220,7 +220,7 @@ def generate_schedule(spec: FatTreeSpec, num_vms: int,
     return schedule
 
 
-def _pick_weighted(rng, kinds: list[str], weights: list[float],
+def _pick_weighted(rng: np.random.Generator, kinds: list[str], weights: list[float],
                    total: float) -> str:
     """One weighted draw without building numpy object arrays."""
     roll = float(rng.random()) * total

@@ -44,7 +44,9 @@ horizon so one schedule produces one deterministic verdict.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 from typing import TYPE_CHECKING
 
 from repro.net.addresses import format_pip
@@ -102,7 +104,8 @@ class OracleSuite:
     def __init__(self, network: VirtualNetwork,
                  hop_bound: int = DEFAULT_HOP_BOUND,
                  max_violations: int = 50,
-                 on_violation=None) -> None:
+                 on_violation: Callable[[OracleViolation], None] | None = None,
+                 ) -> None:
         self.network = network
         self.hop_bound = hop_bound
         self.max_violations = max_violations
@@ -145,7 +148,9 @@ class OracleSuite:
             host.on_misdeliver = self._make_misdeliver_probe(
                 host, host.on_misdeliver)
 
-    def _make_deliver_probe(self, host: Host, inner):
+    def _make_deliver_probe(self, host: Host,
+                            inner: Callable[[Packet], None] | None,
+                            ) -> Callable[[Packet], None]:
         db_get = self.network.database.get
         engine = self.network.engine
 
@@ -170,7 +175,9 @@ class OracleSuite:
                 inner(packet)
         return probe
 
-    def _make_misdeliver_probe(self, host: Host, inner):
+    def _make_misdeliver_probe(self, host: Host,
+                               inner: Callable[[Packet], None] | None,
+                               ) -> Callable[[Packet], None]:
         engine = self.network.engine
 
         def probe(packet: Packet) -> None:
@@ -280,7 +287,7 @@ class OracleSuite:
                 f"in_flight={in_flight}): {sent - accounted} vanished "
                 "without a recorded reason")
 
-    def _all_links(self):
+    def _all_links(self) -> Any:
         from repro.vnet.validation import _all_links
         return _all_links(self.network)
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from enum import Enum
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.link import Link
@@ -105,16 +105,18 @@ class FaultSchedule:
         self.events.append(event)
         return self
 
-    def fail_switch(self, at_ns: int, layer: str, where) -> FaultSchedule:
+    def fail_switch(self, at_ns: int, layer: str,
+                    where: Any) -> FaultSchedule:
         """Fail the switch at ``where`` (see :meth:`_find_switch`)."""
         return self.add(FaultEvent(at_ns, FaultKind.SWITCH_FAIL,
                                    _switch_locator(layer, where)))
 
-    def recover_switch(self, at_ns: int, layer: str, where) -> FaultSchedule:
+    def recover_switch(self, at_ns: int, layer: str,
+                       where: Any) -> FaultSchedule:
         return self.add(FaultEvent(at_ns, FaultKind.SWITCH_RECOVER,
                                    _switch_locator(layer, where)))
 
-    def switch_outage(self, layer: str, where, start_ns: int,
+    def switch_outage(self, layer: str, where: Any, start_ns: int,
                       duration_ns: int) -> FaultSchedule:
         """Fail at ``start_ns`` and recover ``duration_ns`` later."""
         self.fail_switch(start_ns, layer, where)
@@ -350,7 +352,7 @@ _GW_KINDS = frozenset((FaultKind.GATEWAY_CRASH, FaultKind.GATEWAY_RESTART,
                        FaultKind.GATEWAY_DRAIN))
 
 
-def _event_from_dict(entry, index: int) -> FaultEvent:
+def _event_from_dict(entry: Any, index: int) -> FaultEvent:
     """One serialized event back into a validated :class:`FaultEvent`."""
     where = f"events[{index}]"
     if not isinstance(entry, dict):
@@ -378,7 +380,7 @@ def _event_from_dict(entry, index: int) -> FaultEvent:
                       loss_rate=loss_rate)
 
 
-def _is_switch_locator(value) -> bool:
+def _is_switch_locator(value: Any) -> bool:
     if not isinstance(value, tuple) or not value:
         return False
     if value[0] == "core":
@@ -388,7 +390,7 @@ def _is_switch_locator(value) -> bool:
     return False
 
 
-def _validate_locator(kind: FaultKind, target, where: str) -> None:
+def _validate_locator(kind: FaultKind, target: Any, where: str) -> None:
     """Reject a target whose shape cannot address ``kind``'s object."""
     if kind in _SWITCH_KINDS:
         if not _is_switch_locator(target):
@@ -420,21 +422,21 @@ def _validate_locator(kind: FaultKind, target, where: str) -> None:
                 f"{kind.value}; expected ('vm', vip, pod, rack, host_index)")
 
 
-def _listify(value):
+def _listify(value: Any) -> Any:
     """Recursively turn locator tuples into JSON-friendly lists."""
     if isinstance(value, tuple):
         return [_listify(item) for item in value]
     return value
 
 
-def _tuplify(value):
+def _tuplify(value: Any) -> Any:
     """Inverse of :func:`_listify`: nested lists back into tuples."""
     if isinstance(value, list):
         return tuple(_tuplify(item) for item in value)
     return value
 
 
-def _switch_locator(layer: str, where) -> tuple:
+def _switch_locator(layer: str, where: Any) -> tuple:
     """Normalize ``where`` into a locator tuple for ``layer``."""
     if layer not in ("tor", "spine", "core"):
         raise ValueError(f"unknown switch layer {layer!r}")

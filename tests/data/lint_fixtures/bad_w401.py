@@ -1,0 +1,22 @@
+"""W401: unseeded RNGs, constructed in a helper and passed onward."""
+import random
+
+import numpy as np
+
+
+def make_rng():
+    # Construction without derived-seed provenance (finding 1).
+    return np.random.default_rng()
+
+
+def arrivals(count):
+    rng = make_rng()
+    # A second raw construction (finding 2).
+    jitter = random.Random()
+    draws = [jitter.random() for _ in range(count)]
+    # The helper-made RNG flows into another call (finding 3).
+    return draw_gaps(rng, count) + draws
+
+
+def draw_gaps(rng, count):
+    return [rng.integers(0, 10) for _ in range(count)]

@@ -1,0 +1,33 @@
+"""W403: job fields that never reach the key, plus encoding hazards."""
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Job:
+    spec: str
+    seed: int = 0
+    # Never consumed by job_key (finding 1).
+    horizon_ns: int = 0
+    # Never consumed either (finding 2).
+    fidelity: str = "packet"
+
+
+def job_key(job):
+    payload = {"spec": job.spec, "seed": job.seed}
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Encoded:
+    alpha: int = 1
+    # Unannotated: dataclasses.fields never sees it, so wholesale
+    # encoding silently drops the knob (finding 4).
+    beta = 2
+
+
+@dataclass
+class NotFrozen:
+    # Hashed wholesale but mutable (finding 5).
+    gamma: int = 3

@@ -1,0 +1,29 @@
+"""W404: unpaired opens and a memo mutator with no invalidation path."""
+import gc
+
+
+def run_loop(events):
+    # Never re-enabled, and no caller does it either (finding 1).
+    gc.disable()
+    for event in events:
+        event()
+
+
+def orphan_pause():
+    # The only caller never closes the pair (finding 2).
+    gc.disable()
+    return 1
+
+
+def caller():
+    return orphan_pause()
+
+
+class Fabric:
+    def __init__(self):
+        self._memo = {}
+
+    def fail_switch(self, node):
+        # Mutator never references note_fault anywhere on its call
+        # path (finding 3, with the fixture memo pairing).
+        self._links = node

@@ -1,0 +1,38 @@
+"""W404-clean: pairs closed in finally, by callers, and via callees."""
+import gc
+
+
+def run_loop(events):
+    gc.disable()
+    try:
+        for event in events:
+            event()
+    finally:
+        gc.enable()
+
+
+def pause_only():
+    # Does not close the pair itself — but every caller does.
+    gc.disable()
+
+
+def caller(events):
+    pause_only()
+    run_loop(events)
+    gc.enable()
+
+
+class Fabric:
+    def __init__(self):
+        self._memo = {}
+
+    def fail_switch(self, node):
+        # The invalidation lives in a transitive callee: the
+        # call-path-aware W404 accepts what body-local matching cannot.
+        self._mark(node)
+
+    def _mark(self, node):
+        self.note_fault(node)
+
+    def note_fault(self, node):
+        self._memo.clear()

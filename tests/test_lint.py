@@ -16,7 +16,8 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import LintConfig, lint_source
-from repro.analysis.config import MemoPairing, load_config
+from repro.analysis.config import (MemoPairing, RuncacheCoverage,
+                                   load_config)
 from repro.analysis.engine import collect_files, lint_paths
 from repro.analysis.registry import all_rules, get_rule, selected_rules
 
@@ -55,12 +56,47 @@ CASES = [
     ("R301", "bad_r301.py", 1, "good_r301.py"),
     ("R302", "bad_r302.py", 3, "good_r302.py"),
     ("R303", "bad_r303.py", 1, "good_r303.py"),
+    ("W401", "bad_w401.py", 3, "good_w401.py"),
+    ("W402", "bad_w402.py", 2, "good_w402.py"),
+    ("W403", "bad_w403.py", 5, "good_w403.py"),
+    ("W404", "bad_w404.py", 3, "good_w404.py"),
 ]
+
+#: W404 pairing aimed at the fixture Fabric classes: the invalidation
+#: may live anywhere on the mutator's call path.
+_FLOW_PAIRING = MemoPairing(
+    module="repro.fixtures.*w404",
+    cls="Fabric",
+    mutators=("fail_.*",),
+    require=("note_fault",),
+)
 
 
 def _case_config(rule_id: str) -> LintConfig:
     if rule_id == "R303":
         return LintConfig(memo_pairings=(_FIXTURE_PAIRING,))
+    if rule_id == "W402":
+        return LintConfig(
+            flow_entry_points=("repro.fixtures.*.Switch.receive",))
+    if rule_id == "W403":
+        # Contracts for both fixture modules; the one whose module is
+        # not in the (single-file) project is skipped.
+        return LintConfig(
+            runcache_coverage=(
+                RuncacheCoverage("repro.fixtures.bad_w403.Job",
+                                 "repro.fixtures.bad_w403.job_key",
+                                 exempt=("missing_knob",)),
+                RuncacheCoverage("repro.fixtures.good_w403.Job",
+                                 "repro.fixtures.good_w403.job_key",
+                                 exempt=("debug_label",)),
+            ),
+            encoded_dataclasses=(
+                "repro.fixtures.bad_w403.Encoded",
+                "repro.fixtures.bad_w403.NotFrozen",
+                "repro.fixtures.good_w403.Encoded",
+            ))
+    if rule_id == "W404":
+        return LintConfig(memo_pairings=(_FLOW_PAIRING,))
     return LintConfig()
 
 
@@ -180,7 +216,8 @@ def test_unknown_rule_id_rejected():
 def test_rule_catalogue_is_complete():
     ids = {rule.rule_id for rule in all_rules()}
     assert {"D101", "D102", "D103", "D104",
-            "T201", "T202", "R301", "R302", "R303"} <= ids
+            "T201", "T202", "R301", "R302", "R303",
+            "W401", "W402", "W403", "W404"} <= ids
 
 
 def test_collect_files_skips_pycache(tmp_path):
@@ -220,6 +257,9 @@ def test_lint_paths_over_fixture_dir():
 def _run_cli(*argv: str, cwd: Path = REPO_ROOT):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    # Tests must not leave .lint-cache droppings in the repo, and each
+    # assertion wants a genuinely fresh whole-program pass.
+    env["REPRO_LINT_CACHE"] = "0"
     return subprocess.run(
         [sys.executable, "-m", "repro", "lint", *argv],
         cwd=cwd, env=env, capture_output=True, text=True, check=False)
