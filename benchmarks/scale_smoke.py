@@ -1,0 +1,98 @@
+"""CI smoke gate for hybrid-engine scale (fat-tree k=32 class).
+
+Run as ``PYTHONPATH=src python benchmarks/scale_smoke.py``.  One hard
+check: a 1280-switch fabric (32 pods x 16 racks x 16 servers) carrying
+a trimmed VM population must build and run a 64-flow hybrid workload
+to completion inside a hard wall-clock budget, with the scale
+machinery demonstrably engaged:
+
+* escalation accounting stays consistent (per-reason counts sum to the
+  total) and the warmup ledger classified cold-start escalations;
+* memoized clean-path probe rounds were actually skipped;
+* peak RSS stays under a hard cap (this script runs in a fresh CI
+  process, so the high-water mark is its own).
+
+The VM count is trimmed relative to the committed 100k-VM benchmark
+(``benchmarks/test_scale_hybrid.py``) to keep the job well inside its
+budget on slow shared runners; topology scale — where the compact
+state matters — is NOT trimmed.  Locally the run takes ~4 s; the
+budget leaves >10x headroom.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import SwitchV2P
+from repro.experiments.runner import build_network, run_flows
+from repro.net.topology import FatTreeSpec
+from repro.perf import peak_rss_kb
+from repro.sim.engine import msec
+from repro.transport.flow import FlowSpec
+
+#: Hard wall-clock bound for build + run (locally ~4 s).
+BUDGET_S = 180.0
+#: Hard resident-memory cap (locally ~80 MB peak).
+RSS_BUDGET_MB = 768.0
+
+FT32 = FatTreeSpec(pods=32, racks_per_pod=16, servers_per_rack=16,
+                   spines_per_pod=16, num_cores=256,
+                   gateway_pods=tuple(range(0, 32, 2)),
+                   gateways_per_pod=4)
+NUM_VMS = 25_000
+NUM_FLOWS = 64
+
+
+def _flows() -> list[FlowSpec]:
+    rng = np.random.default_rng(7)
+    flows = []
+    for _ in range(NUM_FLOWS):
+        src, dst = rng.choice(NUM_VMS, size=2, replace=False)
+        flows.append(FlowSpec(src_vip=int(src), dst_vip=int(dst),
+                              size_bytes=2_000_000,
+                              start_ns=int(rng.integers(0, msec(5)))))
+    return flows
+
+
+def main() -> int:
+    start = time.perf_counter()
+    network = build_network(FT32, SwitchV2P(16384), NUM_VMS, seed=7,
+                            fidelity="hybrid")
+    built = time.perf_counter()
+    assert len(network.fabric.switches) == 1280
+    result = run_flows(network, _flows(), horizon_ns=msec(2000),
+                       keep_network=True, trace_name="scale-smoke")
+    elapsed = time.perf_counter() - start
+
+    assert result.completion_rate == 1.0, result.completion_rate
+    assert result.fluid_adoptions > 0, "no flow ever went fluid"
+    assert sum(result.fluid_escalations_by_reason.values()) \
+        == result.fluid_escalations
+    stats = network.fluid.stats_dict()
+    assert stats["probe_skips"] > 0, "clean-path memoization never engaged"
+    assert stats["warm_pairs"] > 0, "warmup ledger never saturated"
+
+    rss_mb = peak_rss_kb() / 1024
+    assert elapsed <= BUDGET_S, \
+        f"k=32 scale smoke took {elapsed:.1f}s (budget {BUDGET_S:.0f}s)"
+    assert rss_mb <= RSS_BUDGET_MB, \
+        f"peak RSS {rss_mb:.0f} MB (budget {RSS_BUDGET_MB:.0f} MB)"
+
+    fluid_share = result.fluid_packets / max(result.packets_sent, 1)
+    print(f"scale: k=32 ({len(network.fabric.switches)} switches), "
+          f"{NUM_VMS} VMs, {NUM_FLOWS} x 2 MB flows in {elapsed:.1f}s "
+          f"(build {built - start:.2f}s, budget {BUDGET_S:.0f}s), "
+          f"peak RSS {rss_mb:.0f} MB; {100 * fluid_share:.1f}% of packets "
+          f"fluid, {stats['probe_skips']} probe rounds skipped, "
+          f"{stats['warm_pairs']} warm pairs, "
+          f"{result.fluid_escalations} escalation(s): "
+          f"{dict(sorted(result.fluid_escalations_by_reason.items()))}")
+    print("scale smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,15 +73,17 @@ class CachingScheme(TranslationScheme):
     def set_cache_observer(self, factory) -> None:
         """Attach mutation observers to every cache (hybrid fidelity).
 
-        ``factory(switch_id)`` returns the zero-arg callback stored in
-        each cache's ``on_mutate`` slot.  Caches without the slot
-        (alternative geometries) are skipped; the fluid scheduler
-        separately refuses adoption when any cache lacks it.
+        ``factory(switch_id)`` returns the zero-arg callback handed to
+        each cache's ``attach_observer`` (which swaps the instance to
+        its observed subclass).  Caches without the method (alternative
+        geometries) are skipped; the fluid scheduler separately refuses
+        adoption when any cache lacks it.
         """
         self.cache_observer = factory
         for switch_id, cache in self.caches.items():
-            if hasattr(cache, "on_mutate"):
-                cache.on_mutate = factory(switch_id)
+            attach = getattr(cache, "attach_observer", None)
+            if attach is not None:
+                attach(factory(switch_id))
 
     def make_cache(self, num_slots: int, salt: int) -> DirectMappedCache:
         """Cache constructor; subclasses may swap the geometry."""
@@ -111,8 +113,10 @@ class CachingScheme(TranslationScheme):
         if cache is None:
             return
         fresh = self.make_cache(cache.num_slots, salt=cache.salt)
-        if self.cache_observer is not None and hasattr(fresh, "on_mutate"):
-            fresh.on_mutate = self.cache_observer(switch.switch_id)
+        if self.cache_observer is not None:
+            attach = getattr(fresh, "attach_observer", None)
+            if attach is not None:
+                attach(self.cache_observer(switch.switch_id))
         self.caches[switch.switch_id] = fresh
 
     # ------------------------------------------------------------------

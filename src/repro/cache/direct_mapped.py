@@ -86,10 +86,22 @@ class DirectMappedCache:
         #: Zero-arg observer fired on every *state* change — insert of
         #: a new key, eviction, invalidation, conflict access-bit clear
         #: — but not on idempotent refreshes (hit, value refresh,
-        #: rejection).  The hybrid-fidelity scheduler uses it to
-        #: escalate fluid flows whose path state just changed; None
-        #: (pure-packet mode) costs one predictable branch per op.
+        #: rejection).  Installed via :meth:`attach_observer`, which
+        #: swaps the instance to the observed subclass; this base class
+        #: never fires it, so pure-packet runs pay zero dispatch cost.
         self.on_mutate: Callable[[], None] | None = None
+
+    def attach_observer(self, cb: Callable[[], None]) -> None:
+        """Install ``cb`` as the mutation observer (hybrid fidelity).
+
+        Swaps the instance to :class:`_ObservedDirectMappedCache`,
+        whose data-plane overrides fire the callback on every state
+        change.  The unobserved base class carries no observer
+        branches at all — observation costs nothing until a scheduler
+        actually asks for it.
+        """
+        self.on_mutate = cb
+        self.__class__ = _ObservedDirectMappedCache
 
     def _slot(self, vip: int) -> int:
         return (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_slots
@@ -99,7 +111,9 @@ class DirectMappedCache:
     # ------------------------------------------------------------------
     # ``lookup``/``insert`` inline the ``_slot`` hash: both run on every
     # switch hop of every packet, so the method-call overhead is one of
-    # the simulator's largest single line items.
+    # the simulator's largest single line items.  The observed subclass
+    # below duplicates these bodies with the notification added; keep
+    # the two in sync when changing cache semantics.
     def lookup(self, vip: int) -> int | None:
         """Look up ``vip``; maintains the access bit (hit=set, miss=clear)."""
         stats = self.stats
@@ -114,11 +128,9 @@ class DirectMappedCache:
             return self._values[slot]
         if key != _EMPTY:
             # The line was consulted and did not help: age it.
-            if self._abits[slot]:
-                self._abits[slot] = 0
-                cb = self.on_mutate
-                if cb is not None:
-                    cb()
+            abits = self._abits
+            if abits[slot]:
+                abits[slot] = 0
         return None
 
     def insert(self, vip: int, pip: int, only_if_clear: bool = False) -> InsertResult:
@@ -133,32 +145,27 @@ class DirectMappedCache:
             return _REJECTED
         slot = (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_slots
         keys = self._keys
+        values = self._values
         key = keys[slot]
         if key == vip:
-            self._values[slot] = pip
+            values[slot] = pip
             return _ADMITTED
         stats = self.stats
         if key != _EMPTY:
             if only_if_clear and self._abits[slot] == 1:
                 stats.rejections += 1
                 return _REJECTED
-            evicted = (key, self._values[slot])
+            evicted = (key, values[slot])
             keys[slot] = vip
-            self._values[slot] = pip
+            values[slot] = pip
             self._abits[slot] = 0
             stats.insertions += 1
             stats.evictions += 1
-            cb = self.on_mutate
-            if cb is not None:
-                cb()
             return InsertResult(True, evicted)
         keys[slot] = vip
-        self._values[slot] = pip
+        values[slot] = pip
         self._abits[slot] = 0
         stats.insertions += 1
-        cb = self.on_mutate
-        if cb is not None:
-            cb()
         return _ADMITTED
 
     def invalidate(self, vip: int, stale_pip: int | None = None) -> bool:
@@ -179,9 +186,6 @@ class DirectMappedCache:
         self._keys[slot] = _EMPTY
         self._abits[slot] = 0
         self.stats.invalidations += 1
-        cb = self.on_mutate
-        if cb is not None:
-            cb()
         return True
 
     # ------------------------------------------------------------------
@@ -222,3 +226,94 @@ class DirectMappedCache:
 
     def __len__(self) -> int:
         return self.occupancy()
+
+
+class _ObservedDirectMappedCache(DirectMappedCache):
+    """A direct-mapped cache with mutation observation wired in.
+
+    Instances are never constructed directly: :meth:`attach_observer`
+    swaps a live cache's ``__class__`` here (the empty ``__slots__``
+    keeps the layouts identical), so only runs that installed an
+    observer — hybrid fidelity — pay the callback branches.  The
+    method bodies mirror the base class exactly, plus the ``on_mutate``
+    firing on each observable state change; the W402 whole-program
+    lint holds these overrides (not the base class) to the escalation
+    contract.
+    """
+
+    __slots__ = ()
+
+    def lookup(self, vip: int) -> int | None:
+        """Observed :meth:`DirectMappedCache.lookup`."""
+        stats = self.stats
+        stats.lookups += 1
+        if self.num_slots == 0:
+            return None
+        slot = (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_slots
+        key = self._keys[slot]
+        if key == vip:
+            self._abits[slot] = 1
+            stats.hits += 1
+            return self._values[slot]
+        if key != _EMPTY:
+            # The line was consulted and did not help: age it.
+            abits = self._abits
+            if abits[slot]:
+                abits[slot] = 0
+                cb = self.on_mutate
+                if cb is not None:
+                    cb()
+        return None
+
+    def insert(self, vip: int, pip: int, only_if_clear: bool = False) -> InsertResult:
+        """Observed :meth:`DirectMappedCache.insert`."""
+        if self.num_slots == 0:
+            self.stats.rejections += 1
+            return _REJECTED
+        slot = (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_slots
+        keys = self._keys
+        values = self._values
+        key = keys[slot]
+        if key == vip:
+            values[slot] = pip
+            return _ADMITTED
+        stats = self.stats
+        if key != _EMPTY:
+            if only_if_clear and self._abits[slot] == 1:
+                stats.rejections += 1
+                return _REJECTED
+            evicted = (key, values[slot])
+            keys[slot] = vip
+            values[slot] = pip
+            self._abits[slot] = 0
+            stats.insertions += 1
+            stats.evictions += 1
+            cb = self.on_mutate
+            if cb is not None:
+                cb()
+            return InsertResult(True, evicted)
+        keys[slot] = vip
+        values[slot] = pip
+        self._abits[slot] = 0
+        stats.insertions += 1
+        cb = self.on_mutate
+        if cb is not None:
+            cb()
+        return _ADMITTED
+
+    def invalidate(self, vip: int, stale_pip: int | None = None) -> bool:
+        """Observed :meth:`DirectMappedCache.invalidate`."""
+        if self.num_slots == 0:
+            return False
+        slot = (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_slots
+        if self._keys[slot] != vip:
+            return False
+        if stale_pip is not None and self._values[slot] != stale_pip:
+            return False
+        self._keys[slot] = _EMPTY
+        self._abits[slot] = 0
+        self.stats.invalidations += 1
+        cb = self.on_mutate
+        if cb is not None:
+            cb()
+        return True

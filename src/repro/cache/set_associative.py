@@ -18,8 +18,9 @@ interface, including access-bit semantics generalized per entry:
 * conservative admission (``only_if_clear``) refuses to evict when
   every entry in the set has its access bit set.
 
-Like the direct-mapped cache, the class carries the ``on_mutate``
-observer slot the hybrid-fidelity engine keys on: the zero-argument
+Like the direct-mapped cache, the class supports the mutation
+observation the hybrid-fidelity engine keys on: ``attach_observer``
+swaps a live instance to the observed subclass, whose zero-argument
 hook fires on every observable state change (new entry, eviction,
 invalidation, conflict aging) and stays silent on idempotent refreshes
 (hit, value overwrite).  Without it, fluid flows adopted over a
@@ -67,14 +68,26 @@ class SetAssociativeCache:
         ]
         self.stats = CacheStats()
         #: zero-argument observer fired on observable state changes
-        #: (see the module docstring); the hybrid engine installs it.
+        #: (see the module docstring); installed via
+        #: :meth:`attach_observer`, never fired by this base class.
         self.on_mutate: Callable[[], None] | None = None
+
+    def attach_observer(self, cb: Callable[[], None]) -> None:
+        """Install ``cb`` as the mutation observer (hybrid fidelity).
+
+        Swaps the instance to :class:`_ObservedSetAssociativeCache`;
+        the unobserved base class carries no observer branches.
+        """
+        self.on_mutate = cb
+        self.__class__ = _ObservedSetAssociativeCache
 
     def _set_of(self, vip: int) -> OrderedDict[int, list[int]]:
         index = (((vip ^ self.salt) * _MIX) & 0xFFFFFFFF) % self.num_sets
         return self._sets[index]
 
     # ------------------------------------------------------------------
+    # The observed subclass below duplicates these bodies with the
+    # notification added; keep the two in sync.
     def lookup(self, vip: int) -> int | None:
         self.stats.lookups += 1
         if self.num_sets == 0:
@@ -91,9 +104,6 @@ class SetAssociativeCache:
             oldest = next(iter(entries))
             if entries[oldest][1]:
                 entries[oldest][1] = 0
-                cb = self.on_mutate
-                if cb is not None:
-                    cb()
         return None
 
     def insert(self, vip: int, pip: int, only_if_clear: bool = False) -> InsertResult:
@@ -108,9 +118,6 @@ class SetAssociativeCache:
         if len(entries) < self.ways:
             entries[vip] = [pip, 0]
             self.stats.insertions += 1
-            cb = self.on_mutate
-            if cb is not None:
-                cb()
             return InsertResult(True, None)
         victim = self._pick_victim(entries, only_if_clear)
         if victim is None:
@@ -121,9 +128,6 @@ class SetAssociativeCache:
         entries[vip] = [pip, 0]
         self.stats.insertions += 1
         self.stats.evictions += 1
-        cb = self.on_mutate
-        if cb is not None:
-            cb()
         return InsertResult(True, evicted)
 
     def _pick_victim(self, entries: OrderedDict[int, list[int]],
@@ -146,9 +150,6 @@ class SetAssociativeCache:
             return False
         del entries[vip]
         self.stats.invalidations += 1
-        cb = self.on_mutate
-        if cb is not None:
-            cb()
         return True
 
     # ------------------------------------------------------------------
@@ -180,3 +181,86 @@ class SetAssociativeCache:
 
     def __len__(self) -> int:
         return self.occupancy()
+
+
+class _ObservedSetAssociativeCache(SetAssociativeCache):
+    """A set-associative cache with mutation observation wired in.
+
+    Never constructed directly: :meth:`attach_observer` swaps a live
+    cache's ``__class__`` here (empty ``__slots__`` keeps the layouts
+    identical).  The bodies mirror the base class plus the
+    ``on_mutate`` firing; W402 holds these overrides to the
+    escalation contract.
+    """
+
+    __slots__ = ()
+
+    def lookup(self, vip: int) -> int | None:
+        """Observed :meth:`SetAssociativeCache.lookup`."""
+        self.stats.lookups += 1
+        if self.num_sets == 0:
+            return None
+        entries = self._set_of(vip)
+        entry = entries.get(vip)
+        if entry is not None:
+            entry[1] = 1
+            entries.move_to_end(vip)
+            self.stats.hits += 1
+            return entry[0]
+        if len(entries) >= self.ways:
+            # Age the LRU entry under conflict pressure.
+            oldest = next(iter(entries))
+            if entries[oldest][1]:
+                entries[oldest][1] = 0
+                cb = self.on_mutate
+                if cb is not None:
+                    cb()
+        return None
+
+    def insert(self, vip: int, pip: int, only_if_clear: bool = False) -> InsertResult:
+        """Observed :meth:`SetAssociativeCache.insert`."""
+        if self.num_sets == 0:
+            self.stats.rejections += 1
+            return InsertResult(False, None)
+        entries = self._set_of(vip)
+        if vip in entries:
+            entries[vip][0] = pip
+            entries.move_to_end(vip)
+            return InsertResult(True, None)
+        if len(entries) < self.ways:
+            entries[vip] = [pip, 0]
+            self.stats.insertions += 1
+            cb = self.on_mutate
+            if cb is not None:
+                cb()
+            return InsertResult(True, None)
+        victim = self._pick_victim(entries, only_if_clear)
+        if victim is None:
+            self.stats.rejections += 1
+            return InsertResult(False, None)
+        evicted = (victim, entries[victim][0])
+        del entries[victim]
+        entries[vip] = [pip, 0]
+        self.stats.insertions += 1
+        self.stats.evictions += 1
+        cb = self.on_mutate
+        if cb is not None:
+            cb()
+        return InsertResult(True, evicted)
+
+    def invalidate(self, vip: int, stale_pip: int | None = None) -> bool:
+        """Observed :meth:`SetAssociativeCache.invalidate`."""
+        if self.num_sets == 0:
+            return False
+        entries = self._set_of(vip)
+        entry = entries.get(vip)
+        if entry is None:
+            return False
+        if stale_pip is not None and entry[0] != stale_pip:
+            return False
+        del entries[vip]
+        self.stats.invalidations += 1
+        cb = self.on_mutate
+        if cb is not None:
+            cb()
+        return True

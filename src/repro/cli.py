@@ -399,8 +399,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     spec = ft16_spec() if args.trace == "alibaba" else ft8_spec()
     profile, _ = profile_experiment(
         spec, args.scheme, flows, num_vms, args.cache_ratio, scale.seed,
-        trace_name=args.trace, with_cprofile=args.cprofile, top=args.top,
-        fidelity=args.fidelity)
+        trace_name=args.trace, with_cprofile=args.cprofile,
+        with_memory=args.memory, top=args.top, fidelity=args.fidelity)
     print(profile.render())
     if args.json:
         with open(args.json, "w") as fh:
@@ -649,6 +649,10 @@ def build_parser() -> argparse.ArgumentParser:
                                      "fluid/packet split and escalation counts")
     profile_parser.add_argument("--cprofile", action="store_true",
                                 help="include a cProfile function breakdown")
+    profile_parser.add_argument("--memory", action="store_true",
+                                help="snapshot tracemalloc + peak RSS per "
+                                     "phase (build / warmup / steady); "
+                                     "slows the run")
     profile_parser.add_argument("--top", type=int, default=25,
                                 help="cProfile rows to show")
     profile_parser.add_argument("--json", default=None,

@@ -156,7 +156,8 @@ def run_flows(network: VirtualNetwork, flows: Sequence[FlowSpec],
               keep_network: bool = False,
               trace_name: str = "",
               cache_ratio: float = 0.0,
-              perf=None) -> RunResult:
+              perf=None,
+              warmup_split_ns: int | None = None) -> RunResult:
     """Play ``flows`` on ``network`` and summarize the metrics.
 
     Args:
@@ -168,6 +169,12 @@ def run_flows(network: VirtualNetwork, flows: Sequence[FlowSpec],
         perf: optional :class:`repro.perf.PhaseTimer`; when given, the
             setup and event-loop phases are timed (wall clock only —
             the simulation itself is unaffected).
+        warmup_split_ns: when given (memory profiling), run the event
+            loop in two timed phases — ``run-warmup`` up to this
+            simulated time and ``run-steady`` for the remainder —
+            instead of one ``run`` phase.  Running the engine in two
+            chunks is event-for-event identical to one call, so the
+            simulation result is unchanged.
     """
     if perf is None:
         perf = _NULL_TIMER
@@ -177,8 +184,14 @@ def run_flows(network: VirtualNetwork, flows: Sequence[FlowSpec],
         if horizon_ns is None:
             last_start = max((flow.start_ns for flow in flows), default=0)
             horizon_ns = last_start + msec(200)
-    with perf.phase("run"):
-        network.run(until=horizon_ns)
+    if warmup_split_ns is not None and warmup_split_ns < horizon_ns:
+        with perf.phase("run-warmup"):
+            network.run(until=warmup_split_ns)
+        with perf.phase("run-steady"):
+            network.run(until=horizon_ns)
+    else:
+        with perf.phase("run"):
+            network.run(until=horizon_ns)
     fluid = network.fluid
     if fluid is not None and perf is not _NULL_TIMER:
         # Fold the scheduler's internal phase clock into the caller's
@@ -237,7 +250,8 @@ def run_experiment(spec: FatTreeSpec, scheme_name: str, flows: Sequence[FlowSpec
                    scheme_kwargs: dict | None = None,
                    perf=None,
                    cache="auto",
-                   fidelity: str = "packet") -> RunResult:
+                   fidelity: str = "packet",
+                   warmup_split_ns: int | None = None) -> RunResult:
     """One-call experiment: build scheme + network, play flows, summarize.
 
     Results are memoized in the content-addressed run cache
@@ -267,7 +281,8 @@ def run_experiment(spec: FatTreeSpec, scheme_name: str, flows: Sequence[FlowSpec
         network = build_network(spec, scheme, num_vms, seed,
                                 fidelity=fidelity)
     result = run_flows(network, flows, transport, horizon_ns, keep_network,
-                       trace_name, cache_ratio, perf=perf)
+                       trace_name, cache_ratio, perf=perf,
+                       warmup_split_ns=warmup_split_ns)
     if store is not None:
         store.put(key, result)
     return result

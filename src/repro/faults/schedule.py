@@ -284,6 +284,12 @@ class FaultSchedule:
                 link.set_loss(event.loss_rate, rng)
                 label = (f"{kind.value} {event.loss_rate:.0%} "
                          f"{link.src.name}<->{link.dst.name}")
+            # Loss configuration is not a fault-count transition, but
+            # the hybrid engine must still observe it: a memoized-clean
+            # path over this link is no longer replayable.
+            on_fault = network.fabric.on_fault
+            if label and on_fault is not None:
+                on_fault()
         elif kind is FaultKind.VM_MIGRATE:
             label = self._fire_migration(network, event.target)
         else:

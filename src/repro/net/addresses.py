@@ -32,9 +32,17 @@ MAX_PODS = _POD_MASK + 1
 #: hypervisor, so this sentinel never appears on the wire.
 UNRESOLVED = -1
 
+#: Interning table for packed PIPs: every distinct address is boxed
+#: once and every later ``make_pip`` of the same coordinates returns
+#: the same object.  Addresses outgrow CPython's small-int cache, and
+#: at 100k+ VM scale each PIP is referenced from many tables (host,
+#: ToR attachment, mapping database, follow-me rules) — one canonical
+#: object per address keeps those references shared.
+_PIP_INTERN: dict[int, int] = {}
+
 
 def make_pip(pod: int, rack: int, host: int) -> int:
-    """Pack (pod, rack, host) into a physical IP.
+    """Pack (pod, rack, host) into an interned physical IP.
 
     Raises:
         ValueError: if any coordinate exceeds the field width.
@@ -45,7 +53,8 @@ def make_pip(pod: int, rack: int, host: int) -> int:
         raise ValueError(f"rack {rack} out of range [0, {_RACK_MASK}]")
     if not 0 <= host <= _HOST_MASK:
         raise ValueError(f"host {host} out of range [0, {_HOST_MASK}]")
-    return (pod << (_RACK_BITS + _HOST_BITS)) | (rack << _HOST_BITS) | host
+    pip = (pod << (_RACK_BITS + _HOST_BITS)) | (rack << _HOST_BITS) | host
+    return _PIP_INTERN.setdefault(pip, pip)
 
 
 def pip_pod(pip: int) -> int:

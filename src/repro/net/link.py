@@ -23,6 +23,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.packet import Packet
 
 
+#: Serialization-time caches shared by every link of a given line rate.
+#: ``wire_bytes -> ns`` is a pure function of (size, rate), and a
+#: topology has a handful of distinct rates but up to tens of thousands
+#: of links — one shared dict per rate replaces one dict per link.
+_SER_CACHES: dict[float, dict[int, int]] = {}
+
+
 class LinkStats:
     """Byte/packet/drop counters for one link direction."""
 
@@ -54,7 +61,7 @@ class Link:
         "engine",
         "src",
         "dst",
-        "rate_bps",
+        "_rate_bps",
         "propagation_ns",
         "buffer_bytes",
         "up",
@@ -83,7 +90,7 @@ class Link:
         self.engine = engine
         self.src = src
         self.dst = dst
-        self.rate_bps = rate_bps
+        self._rate_bps = rate_bps
         self.propagation_ns = propagation_ns
         self.buffer_bytes = buffer_bytes
         #: Administrative/physical state: a down link drops everything
@@ -98,14 +105,31 @@ class Link:
         #: Delivery callback bound once (dst never changes after
         #: wiring) — saves two attribute lookups per transmitted packet.
         self._deliver = dst.receive
-        #: Serialization times per wire size; traces use a handful of
-        #: distinct packet sizes, so this cache is tiny and hot.
-        self._ser_cache: dict[int, int] = {}
+        #: Serialization times per wire size, shared across all links
+        #: of this rate; traces use a handful of distinct packet sizes,
+        #: so this cache is tiny and hot.
+        self._ser_cache = _SER_CACHES.setdefault(rate_bps, {})
+        #: NOTE: ``rate_bps`` is a property; assigning it (tests that
+        #: throttle a live link) rebinds ``_ser_cache`` to the new
+        #: rate's shared dict so stale times are neither served nor
+        #: written into another rate's cache.
         #: True when ``src`` is an end-host hypervisor (set by the
         #: network builder).  ToRs consult this for misdelivery tagging
         #: instead of an isinstance check per packet; gateways attach
         #: at host ports too but deliberately stay False.
         self._src_is_host = False
+
+    @property
+    def rate_bps(self) -> float:
+        """Line rate in bits per second (hot paths read the slot)."""
+        return self._rate_bps
+
+    @rate_bps.setter
+    def rate_bps(self, rate_bps: float) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        self._rate_bps = rate_bps
+        self._ser_cache = _SER_CACHES.setdefault(rate_bps, {})
 
     def set_loss(self, rate: float, rng) -> None:
         """Configure random loss with probability ``rate`` per packet.
@@ -126,13 +150,13 @@ class Link:
         pending_ns = self._busy_until - now
         if pending_ns <= 0:
             return 0
-        return int(pending_ns * self.rate_bps / 8e9)
+        return int(pending_ns * self._rate_bps / 8e9)
 
     def serialization_ns(self, wire_bytes: int) -> int:
         """Time to clock ``wire_bytes`` onto the wire, in nanoseconds."""
         ns = self._ser_cache.get(wire_bytes)
         if ns is None:
-            ns = int(round(wire_bytes * 8e9 / self.rate_bps))
+            ns = int(round(wire_bytes * 8e9 / self._rate_bps))
             self._ser_cache[wire_bytes] = ns
         return ns
 
@@ -161,14 +185,14 @@ class Link:
         busy = self._busy_until
         size = packet._wire_bytes
         pending_ns = busy - now
-        backlog = int(pending_ns * self.rate_bps / 8e9) if pending_ns > 0 else 0
+        backlog = int(pending_ns * self._rate_bps / 8e9) if pending_ns > 0 else 0
         if backlog + size > self.buffer_bytes:
             stats.drops += 1
             return False
         start = busy if busy > now else now
         ser_ns = self._ser_cache.get(size)
         if ser_ns is None:
-            ser_ns = int(round(size * 8e9 / self.rate_bps))
+            ser_ns = int(round(size * 8e9 / self._rate_bps))
             self._ser_cache[size] = ser_ns
         finish = start + ser_ns
         self._busy_until = finish

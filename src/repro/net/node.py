@@ -106,9 +106,14 @@ class Switch(Node):
     Link attachment is performed by the topology builder:
 
     * ToR: ``host_links`` (PIP -> link) and ``up_links`` (to pod spines).
-    * Spine: ``down_links`` (rack index -> link to ToR) and ``up_links``
-      (to this spine's core group).
-    * Core: ``pod_links`` (pod index -> link to the peer spine).
+    * Spine: ``down_links`` (rack-indexed array of links to ToRs) and
+      ``up_links`` (to this spine's core group).
+    * Core: ``pod_links`` (pod-indexed array of links to peer spines).
+
+    ``down_links``/``pod_links`` are flat lists presized by the fabric
+    builder (the index domains are bounded by the topology spec, and
+    valid PIPs can only encode in-range coordinates), with ``None`` in
+    slots the lazy per-pod wiring has not reached yet.
 
     Attributes:
         switch_id: globally unique integer (also used as the identifier
@@ -144,8 +149,8 @@ class Switch(Node):
         self.rack = rack
         self.host_links: dict[int, Link] = {}
         self.up_links: list[Link] = []
-        self.down_links: dict[int, Link] = {}
-        self.pod_links: dict[int, Link] = {}
+        self.down_links: list[Link | None] = []
+        self.pod_links: list[Link | None] = []
         self.handler: SwitchHandler = NULL_HANDLER
         self.stats = SwitchStats()
         #: Owning fabric (set at construction by the topology builder);
@@ -270,7 +275,9 @@ class Switch(Node):
                     egress = self._ecmp_up(packet, dst)
         elif layer is _SPINE:
             if dst_pod == self.pod:
-                egress = self.down_links.get((dst >> 12) & 0x3FF)
+                rack = (dst >> 12) & 0x3FF
+                downs = self.down_links
+                egress = downs[rack] if rack < len(downs) else None
             else:
                 fabric = self.fabric
                 if fabric is None or fabric.fault_count == 0:
@@ -281,7 +288,8 @@ class Switch(Node):
                 else:
                     egress = self._ecmp_up(packet, dst)
         else:
-            egress = self.pod_links.get(dst_pod)
+            pods = self.pod_links
+            egress = pods[dst_pod] if dst_pod < len(pods) else None
         if egress is None:
             stats.drops += 1
             return
@@ -379,10 +387,10 @@ class Switch(Node):
             return self._ecmp_up(packet, dst)
         if layer == Layer.SPINE:
             if dst_pod == self.pod:
-                return self.down_links.get(pip_rack(dst))
+                return _indexed(self.down_links, pip_rack(dst))
             return self._ecmp_up(packet, dst)
         # Core: one link per pod.
-        return self.pod_links.get(dst_pod)
+        return _indexed(self.pod_links, dst_pod)
 
     def _ecmp_up(self, packet: Packet, dst: int) -> Link | None:
         ups = self.up_links
@@ -441,7 +449,8 @@ class Switch(Node):
         if self.layer == Layer.TOR:
             # peer is a pod spine.
             if dst_pod == self.pod:
-                return _down_link_usable(peer.down_links.get(pip_rack(dst)))
+                return _down_link_usable(_indexed(peer.down_links,
+                                                  pip_rack(dst)))
             # Committing to spine j also commits to core group j and to
             # spine j of the destination pod: need one live core path.
             return any(_core_path_usable(core_link, dst)
@@ -464,6 +473,11 @@ class Switch(Node):
         )
 
 
+def _indexed(links: list[Link | None], index: int) -> Link | None:
+    """Bounds-safe read of a presized port array (None when absent)."""
+    return links[index] if 0 <= index < len(links) else None
+
+
 def _down_link_usable(link: Link | None) -> bool:
     """A deterministic down-link is usable if up and its peer is alive."""
     if link is None or not link.up:
@@ -474,14 +488,15 @@ def _down_link_usable(link: Link | None) -> bool:
 
 def _core_down_usable(core: Switch, dst: int) -> bool:
     """Can ``core`` still deliver toward ``dst``'s pod and rack?"""
-    pod_link = core.pod_links.get(pip_pod(dst))
+    pod_link = _indexed(core.pod_links, pip_pod(dst))
     if pod_link is None or not pod_link.up:
         return False
     far_spine = pod_link.dst
     if isinstance(far_spine, Switch):
         if far_spine._failed:
             return False
-        return _down_link_usable(far_spine.down_links.get(pip_rack(dst)))
+        return _down_link_usable(_indexed(far_spine.down_links,
+                                          pip_rack(dst)))
     return True
 
 

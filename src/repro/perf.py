@@ -7,6 +7,9 @@ the measurement side of the bargain:
 * :class:`PhaseTimer` — named wall-clock phase accumulators built on
   ``time.perf_counter_ns`` (cheap enough to leave permanently wired
   into :func:`repro.experiments.runner.run_flows`);
+* :class:`PhaseMemoryTimer` — a :class:`PhaseTimer` that additionally
+  snapshots the Python heap (``tracemalloc``) and process peak RSS at
+  every phase boundary, powering ``python -m repro profile --memory``;
 * :class:`RunProfile` — a summary of one run (phase breakdown,
   events/sec, packets/sec) with a renderable table;
 * :func:`profile_experiment` — the engine behind
@@ -24,9 +27,26 @@ import cProfile
 import io
 import pstats
 import time
+import tracemalloc
 from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-Unix platforms
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_kb() -> float:
+    """Process peak resident set size in KiB (0.0 where unavailable).
+
+    ``ru_maxrss`` is kibibytes on Linux; the value is a high-water
+    mark, so successive reads are monotonically non-decreasing.
+    """
+    if resource is None:
+        return 0.0
+    return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 class PhaseTimer:
@@ -71,6 +91,47 @@ class PhaseTimer:
         return sum(self.phases_ns.values())
 
 
+class PhaseMemoryTimer(PhaseTimer):
+    """A :class:`PhaseTimer` that also snapshots memory per phase.
+
+    At each phase exit, records the phase's ``tracemalloc`` peak (reset
+    at phase entry, so peaks are attributed to the phase that caused
+    them), the Python-heap size still live at the boundary, and the
+    process peak RSS high-water mark.  The caller owns the tracing
+    lifecycle: call ``tracemalloc.start()`` before the first phase (or
+    the tracemalloc columns read zero).
+
+    Re-entered phases keep the maximum of their peaks and the latest
+    end-of-phase heap size.
+    """
+
+    __slots__ = ("memory_by_phase",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Phase name -> {"py_peak_kb", "py_end_kb", "rss_peak_kb"}.
+        self.memory_by_phase: dict[str, dict[str, float]] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        start = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter_ns() - start
+            self.phases_ns[name] = self.phases_ns.get(name, 0) + elapsed
+            current, peak = (tracemalloc.get_traced_memory()
+                             if tracemalloc.is_tracing() else (0, 0))
+            entry = self.memory_by_phase.setdefault(
+                name, {"py_peak_kb": 0.0, "py_end_kb": 0.0,
+                       "rss_peak_kb": 0.0})
+            entry["py_peak_kb"] = max(entry["py_peak_kb"], peak / 1024)
+            entry["py_end_kb"] = current / 1024
+            entry["rss_peak_kb"] = max(entry["rss_peak_kb"], peak_rss_kb())
+
+
 def timed_call(fn, /, *args, **kwargs):
     """Call ``fn`` and return ``(result, elapsed_wall_ns)``.
 
@@ -106,6 +167,10 @@ class RunProfile:
     fluid_rounds: int = 0
     fluid_packets: int = 0
     fluid_escalations_by_reason: dict[str, int] = field(default_factory=dict)
+    #: Per-phase memory snapshots (``--memory``): phase name ->
+    #: ``{"py_peak_kb", "py_end_kb", "rss_peak_kb"}``; empty when
+    #: memory profiling was off.
+    memory_by_phase: dict[str, dict[str, float]] = field(default_factory=dict)
     profile_text: str = ""
 
     @property
@@ -136,6 +201,10 @@ class RunProfile:
             "phases_ms": {name: ns / 1e6
                           for name, ns in sorted(self.phases_ns.items())},
         }
+        if self.memory_by_phase:
+            data["memory_by_phase"] = {
+                name: dict(entry)
+                for name, entry in sorted(self.memory_by_phase.items())}
         if self.fidelity == "hybrid":
             data["fluid"] = {
                 "adoptions": self.fluid_adoptions,
@@ -160,6 +229,11 @@ class RunProfile:
         ]
         for name, ns in sorted(self.phases_ns.items()):
             lines.append(f"phase {name:<10} {ns / 1e6:12.2f} ms")
+        for name, entry in sorted(self.memory_by_phase.items()):
+            lines.append(
+                f"mem   {name:<10} rss-peak {entry['rss_peak_kb'] / 1024:8.1f}"
+                f" MB  py-heap peak {entry['py_peak_kb'] / 1024:8.1f} MB"
+                f" (end {entry['py_end_kb'] / 1024:.1f} MB)")
         if self.fidelity == "hybrid":
             lines.append(f"fidelity         {'hybrid':>12}")
             lines.append(f"fluid adoptions  {self.fluid_adoptions:12d}"
@@ -180,9 +254,20 @@ def profile_experiment(spec, scheme_name: str, flows, num_vms: int,
                        cache_ratio: float, seed: int = 0,
                        trace_name: str = "",
                        with_cprofile: bool = False,
+                       with_memory: bool = False,
                        top: int = 25,
                        fidelity: str = "packet") -> tuple[RunProfile, object]:
     """Run one experiment under the phase timers (optionally cProfile).
+
+    Args:
+        with_memory: snapshot tracemalloc + peak RSS at every phase
+            boundary; the event loop is additionally split into a
+            ``run-warmup`` phase (through the last flow start plus
+            10 ms, the cache cold-start window) and a ``run-steady``
+            remainder, so build, warmup and steady-state memory show
+            up separately.  Tracing slows the run; wall-clock numbers
+            from a ``--memory`` profile are not comparable to plain
+            ones.
 
     Returns:
         ``(profile, result)`` — the wall-clock profile and the normal
@@ -190,15 +275,27 @@ def profile_experiment(spec, scheme_name: str, flows, num_vms: int,
         retained, so callers can inspect engine/pool counters).
     """
     from repro.experiments.runner import run_experiment
+    from repro.sim.engine import msec
 
-    timer = PhaseTimer()
+    timer = PhaseMemoryTimer() if with_memory else PhaseTimer()
+    warmup_split_ns = None
+    if with_memory:
+        tracemalloc.start()
+        last_start = max((flow.start_ns for flow in flows), default=0)
+        warmup_split_ns = last_start + msec(10)
     profiler = cProfile.Profile() if with_cprofile else None
     start = time.perf_counter_ns()
     if profiler is not None:
         profiler.enable()
-    result = run_experiment(spec, scheme_name, flows, num_vms, cache_ratio,
-                            seed, keep_network=True, trace_name=trace_name,
-                            perf=timer, fidelity=fidelity)
+    try:
+        result = run_experiment(spec, scheme_name, flows, num_vms,
+                                cache_ratio, seed, keep_network=True,
+                                trace_name=trace_name, perf=timer,
+                                fidelity=fidelity,
+                                warmup_split_ns=warmup_split_ns)
+    finally:
+        if with_memory:
+            tracemalloc.stop()
     if profiler is not None:
         profiler.disable()
     wall_ns = time.perf_counter_ns() - start
@@ -226,6 +323,8 @@ def profile_experiment(spec, scheme_name: str, flows, num_vms: int,
         fluid_rounds=result.fluid_rounds,
         fluid_packets=result.fluid_packets,
         fluid_escalations_by_reason=dict(result.fluid_escalations_by_reason),
+        memory_by_phase=(dict(timer.memory_by_phase)
+                         if isinstance(timer, PhaseMemoryTimer) else {}),
         profile_text=profile_text,
     )
     return profile, result

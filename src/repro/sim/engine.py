@@ -60,7 +60,8 @@ class Timer:
 
     ``deadline``/``seq`` form the same ordering key heap events use, so
     a fired timer interleaves with same-time events exactly as if it had
-    been pushed onto the heap.
+    been pushed onto the heap.  Timers order by that key directly, which
+    lets the engine's due list be a heap of Timer objects.
     """
 
     __slots__ = ("deadline", "seq", "callback", "args", "alive")
@@ -72,6 +73,11 @@ class Timer:
         self.callback = callback
         self.args = args
         self.alive = True
+
+    def __lt__(self, other: Timer) -> bool:
+        if self.deadline != other.deadline:
+            return self.deadline < other.deadline
+        return self.seq < other.seq
 
 
 class PeriodicTask:
@@ -114,14 +120,20 @@ class Engine:
         ['b', 'a']
     """
 
-    def __init__(self) -> None:
+    def __init__(self, wheel_slots: int = _WHEEL_SLOTS) -> None:
+        if wheel_slots < 1:
+            raise SimulationError(f"wheel_slots must be positive, got {wheel_slots}")
         self._queue: list[tuple[int, int, Callable[..., None], tuple]] = []
         self._sequence = 0
         self._now = 0
         self._events_processed = 0
         self._stopped = False
         # Hashed timer wheel (lazy deletion, swept in bucket order).
-        self._wheel: list[list[Timer]] = [[] for _ in range(_WHEEL_SLOTS)]
+        # The slot count scales with expected concurrent timers — large
+        # topologies pass a wider wheel so buckets stay short — without
+        # affecting event order, which is always (deadline, seq).
+        self._wheel_slots = wheel_slots
+        self._wheel: list[list[Timer]] = [[] for _ in range(wheel_slots)]
         self._live_timers = 0
         #: Absolute slot index up to which buckets have been swept.
         self._wheel_cursor = 0
@@ -224,11 +236,10 @@ class Engine:
         slot = deadline // _WHEEL_SLOT_NS
         if slot < self._wheel_cursor:
             # Deadline falls in the already-swept part of the current
-            # bucket sweep window: deliver via the due list directly.
-            self._due.append(timer)
-            self._due.sort(key=_timer_key)
+            # bucket sweep window: deliver via the due heap directly.
+            heapq.heappush(self._due, timer)
         else:
-            self._wheel[slot % _WHEEL_SLOTS].append(timer)
+            self._wheel[slot % self._wheel_slots].append(timer)
         if self._live_timers == 0 or deadline < self._timer_bound:
             self._timer_bound = deadline
         self._live_timers += 1
@@ -254,10 +265,10 @@ class Engine:
         first = self._wheel_cursor
         # One full revolution visits every bucket; going further would
         # revisit them.
-        last = min(limit_slot, first + _WHEEL_SLOTS - 1)
+        last = min(limit_slot, first + self._wheel_slots - 1)
         next_bound = None
         for abs_slot in range(first, last + 1):
-            bucket = wheel[abs_slot % _WHEEL_SLOTS]
+            bucket = wheel[abs_slot % self._wheel_slots]
             if not bucket:
                 continue
             keep = None
@@ -277,7 +288,7 @@ class Engine:
                 bucket.extend(keep)
         self._wheel_cursor = last if last > first else first
         if due:
-            due.sort(key=_timer_key)
+            heapq.heapify(due)
             self._timer_bound = due[0].deadline
         elif next_bound is not None:
             self._timer_bound = next_bound
@@ -364,11 +375,11 @@ class Engine:
                     if not due and self._timer_bound < sweep_limit:
                         self._sweep_wheel(sweep_limit)
                         while due and not due[0].alive:
-                            due.pop(0)
+                            heappop(due)
                     if due:
                         timer = due[0]
                         if not timer.alive:
-                            due.pop(0)
+                            heappop(due)
                             continue
                         if head is None or (timer.deadline, timer.seq) < head[:2]:
                             at = timer.deadline
@@ -376,7 +387,7 @@ class Engine:
                                 self._now = until
                                 self._events_processed = processed
                                 return until
-                            due.pop(0)
+                            heappop(due)
                             timer.alive = False
                             self._live_timers -= 1
                             self._now = at
@@ -419,7 +430,3 @@ class Engine:
                 and (exhausted or (not queue and not due and not self._live_timers)):
             self._now = until
         return self._now
-
-
-def _timer_key(timer: Timer) -> tuple[int, int]:
-    return (timer.deadline, timer.seq)

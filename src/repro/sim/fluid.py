@@ -23,11 +23,23 @@ Exactness contract (see docs/simulator.md "Hybrid fidelity"):
   tag, and delivery at the expected destination host;
 * learning-RNG draws are the one stateful effect that *is* replayed
   rather than escalated: the probe records every draw site through
-  ``SwitchV2P.learning_draw_observer``, and each analytic packet
-  repeats the real draw at commit time (``replay_learning_draw``), so
-  the shared RNG stream advances exactly as in packet mode — a
-  replayed draw that triggers emits real learning traffic and can
-  itself escalate flows through the cache observer;
+  ``SwitchV2P.learning_draw_observer``, each analytic packet's draws
+  are queued at the packet's virtual send time on a global heap, and
+  every fluid boundary (round begin/commit/escalation) replays the
+  due entries in virtual-time order across *all* flows
+  (``replay_learning_draw``), so the shared RNG stream advances in
+  the same global order as in packet mode — a replayed draw that
+  triggers emits real learning traffic and can itself escalate flows
+  through the cache observer;
+* a flow whose (src, dst) pair has walked clean twice in a row gets
+  its path signature (the set of on-path switches) memoized; while
+  the signature stays valid the flow may arm rounds *without*
+  re-walking a probe (at least every ``probe_every``-th round still
+  probes).  This is exact because every event that could dirty a
+  clean path — cache mutation, fabric fault, link-loss configuration,
+  VM migration/retirement, gateway change — flows through the
+  escalation entry points (the W402 lint premise), and each of those
+  wipes the memo wholesale;
 * any cache mutation anywhere on an adopted flow's path — from its own
   probe or from *other* traffic — escalates the flow back to packet
   level before the mutation's effects could be misattributed
@@ -37,11 +49,22 @@ Exactness contract (see docs/simulator.md "Hybrid fidelity"):
   fault transitions escalate via hooks in ``vnet.network`` and
   ``Fabric.note_fault``.
 
+Cross-flow link contention is modeled fluidly: when two or more
+adopted flows share a link, a max-min fair-share allocation
+(iterative water-filling over the shared links) stretches each
+reliable flow's round interval to its fair rate.  The allocation is
+recomputed lazily — only when the active fluid set changes (flow
+arrival, departure, escalation) — and never tightens an interval
+below the probe-measured isolated pacing, so a flow alone on its
+path behaves exactly as before.  Cache metrics are timing-
+independent; contention only refines FCT fidelity.
+
 Approximations (documented, bounded): fluid packets do not advance
-link ``_busy_until`` (no queueing contribution, no tail drops), random
-link loss applied mid-round is only observed at the next probe (at
-most one round of blindness), and mid-round escalation rounds the
-analytically-delivered count to the nearest whole packet.
+link ``_busy_until`` (no queueing contribution, no tail drops),
+queueing growth from packet-mode cross-traffic is only observed at
+the next real probe (at most ``probe_every`` rounds of blindness),
+and mid-round escalation rounds the analytically-delivered count to
+the nearest whole packet.
 
 Everything in this module that mutates simulator state (packets,
 links, switches, caches, transports, collector counters) lives in
@@ -53,6 +76,7 @@ for any module that declares ``FLUID_PATH_MODULE = True``.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any
 
 from repro.net.addresses import UNRESOLVED
@@ -131,6 +155,9 @@ class _WalkContext:
         "deltas",
         "counter_deltas",
         "switches",
+        "links",
+        "data_links",
+        "wire_bytes",
         "bottleneck_ns",
         "collector_before",
         "hits_before",
@@ -148,6 +175,13 @@ class _WalkContext:
         #: Same for ``collections.Counter`` entries: ``(counter, key, amount)``.
         self.counter_deltas: list[tuple[Any, Any, int]] = []
         self.switches: set[int] = set()
+        #: Links traversed so far (data walk first, then ACK walk).
+        self.links: list[Link] = []
+        #: The data packet's path links, frozen before the ACK walk —
+        #: the contention model allocates fair shares over these.
+        self.data_links: tuple[Link, ...] = ()
+        #: Wire size of the data probe (fair-share demand numerator).
+        self.wire_bytes = 0
         self.bottleneck_ns = 0
         self.collector_before: tuple[int, ...] = ()
         self.hits_before: dict[Any, int] = {}
@@ -196,8 +230,16 @@ class _FluidFlow:
         "sent",
         "round_size",
         "interval",
+        "iso_interval",
+        "share_interval",
         "t0",
         "timer",
+        "probed",
+        "skips_left",
+        "sig",
+        "links",
+        "wire_bytes",
+        "round_token",
         "deltas",
         "counter_deltas",
         "switch_ids",
@@ -226,8 +268,27 @@ class _FluidFlow:
         self.sent = 0
         self.round_size = 0
         self.interval = 1
+        #: Probe-measured isolated pacing (no cross-flow contention).
+        self.iso_interval = 1
+        #: Fair-share pacing under contention; 0 = unconstrained
+        #: (fall back to ``iso_interval``).
+        self.share_interval = 0
         self.t0 = 0
         self.timer = None
+        #: Whether the current round's first packet was a real probe
+        #: (False for rounds armed from a memoized-clean signature).
+        self.probed = True
+        #: Probe-free rounds remaining before the next forced probe.
+        self.skips_left = 0
+        #: Path signature of the last clean walk (frozen switch set).
+        self.sig: frozenset[int] | None = None
+        #: Data-path links of the last clean walk (contention model).
+        self.links: tuple[Link, ...] = ()
+        #: Wire bytes per data packet (fair-share demand numerator).
+        self.wire_bytes = 0
+        #: Liveness token of the queued draws of the current round:
+        #: ``[alive, credited_cutoff_ns]`` (see ``_queue_draws``).
+        self.round_token: list | None = None
         self.deltas: list[tuple[Any, str, int]] = []
         self.counter_deltas: list[tuple[Any, Any, int]] = []
         self.switch_ids: set[int] = set()
@@ -249,6 +310,21 @@ class FluidScheduler:
     #: crosses a gateway ToR draw learning RNG per packet and can
     #: never walk clean; this caps the retry cost).
     max_attempts = 8
+    #: Consecutive clean probes a (src, dst) VIP pair must produce
+    #: before its path signature is memoized for probe skipping.
+    warmup_clean_target = 2
+    #: Real-packet windows batched between adoption retries while a
+    #: pair is still warming up: cold caches mutate on most packets,
+    #: so re-probing every other window just burns walks.  Warmup
+    #: escalations do not charge the flow's adoption-attempt budget.
+    warmup_batch_windows = 4
+    #: Dirty warmup probes tolerated per pair before escalations start
+    #: charging the adoption-attempt budget again (bounds pairs that
+    #: never warm, e.g. under constant conflict eviction).
+    warmup_probe_cap = 4
+    #: A flow with a memoized-clean path signature re-walks a real
+    #: probe at least every ``probe_every``-th round.
+    probe_every = 8
 
     def __init__(self, network: VirtualNetwork) -> None:
         self.network = network
@@ -266,9 +342,26 @@ class FluidScheduler:
         #: Packets advanced analytically (never individually simulated).
         self.fluid_packets = 0
         self.adoption_rejects = 0
+        #: Rounds armed without a probe walk (memoized-clean paths).
+        self.probe_skips = 0
         self._flows: dict[int, _FluidFlow] = {}
         self._by_switch: dict[int, set[int]] = {}
         self._by_vip: dict[int, set[int]] = {}
+        #: Warmup ledger: ``(src_vip, dst_vip) -> (clean_streak,
+        #: dirty_probes)``; drives escalation batching and decides when
+        #: a pair's path signature becomes memoizable.
+        self._warmup: dict[tuple[int, int], tuple[int, int]] = {}
+        #: Path signatures proven clean ``warmup_clean_target`` times
+        #: in a row; wiped wholesale by every escalation entry point.
+        self._clean_sigs: set[frozenset[int]] = set()
+        #: Fair-share allocation is stale (active set changed) and must
+        #: be recomputed before the next round is armed.
+        self._alloc_dirty = False
+        #: Global virtual-time heap of pending analytic learning
+        #: draws: ``(due_ns, seq, switch, template, round_token)``.
+        self._draw_heap: list = []
+        self._draw_seq = 0
+        self._draining = False
         self._walking = False
         self._walking_ctx: _WalkContext | None = None
         self._deferred: list[int] = []
@@ -307,16 +400,16 @@ class FluidScheduler:
         """Can this scheme's flows be adopted at all?
 
         Requires the scheme to declare ``fluid_compatible`` and — for
-        caching schemes — every cache to expose an ``on_mutate`` slot
-        (set-associative caches do not yet; adoption is disabled
-        wholesale rather than risking unobserved mutations).
+        caching schemes — every cache to support ``attach_observer``
+        (alternative geometries without it disable adoption wholesale
+        rather than risking unobserved mutations).
         """
         if self._ready is None:
             scheme = self.scheme
             ok = bool(getattr(scheme, "fluid_compatible", False))
             caches = getattr(scheme, "caches", None)
             if ok and caches is not None:
-                ok = all(hasattr(cache, "on_mutate")
+                ok = all(hasattr(cache, "attach_observer")
                          for cache in caches.values())
             self._ready = ok
         return self._ready
@@ -345,7 +438,13 @@ class FluidScheduler:
     # ------------------------------------------------------------------
     # escalation entry points (network/fault hooks)
     # ------------------------------------------------------------------
+    # Every entry point wipes the clean-signature memo before anything
+    # else: the triggering event may have dirtied any memoized path —
+    # including paths of flows not currently registered — and probe
+    # skipping is only exact while no such event occurred since the
+    # last real probe.
     def escalate_switch(self, switch_id: int, reason: str) -> None:
+        self._clean_sigs = set()
         flow_ids = self._by_switch.get(switch_id)
         if not flow_ids:
             return
@@ -355,6 +454,7 @@ class FluidScheduler:
                 self._escalate(flow, reason)
 
     def escalate_vip(self, vip: int, reason: str = "vm-migration") -> None:
+        self._clean_sigs = set()
         flow_ids = self._by_vip.get(vip)
         if not flow_ids:
             return
@@ -364,10 +464,12 @@ class FluidScheduler:
                 self._escalate(flow, reason)
 
     def escalate_all(self, reason: str) -> None:
+        self._clean_sigs = set()
         for flow in list(self._flows.values()):
             self._escalate(flow, reason)
 
     def escalate_flow(self, flow_id: int, reason: str) -> None:
+        self._clean_sigs = set()
         flow = self._flows.get(flow_id)
         if flow is not None:
             self._escalate(flow, reason)
@@ -458,27 +560,46 @@ class FluidScheduler:
         Returns True when a round was armed; False when the probe was
         dirty and the flow was handed back to packet level (the
         transport is already restored and running on return).
+
+        A flow whose path signature is memoized clean skips the probe
+        walk entirely (bounded by ``probe_every``) and replays the
+        previous probe's deltas for the whole round.
         """
+        self._commit_due_draws()
+        if not adopting and flow.flow_id not in self._flows:
+            # A drained draw triggered a mutation that escalated this
+            # very flow; its transport is already restored and running.
+            return False
+        if (not adopting and flow.skips_left > 0 and flow.deltas
+                and flow.sig in self._clean_sigs):
+            flow.skips_left -= 1
+            self.probe_skips += 1
+            self._arm_round(flow, probed=False)
+            return True
         status, ctx, rtt = self._walk_round(flow)
         if status == _ST_CLEAN:
             flow.deltas = ctx.deltas
             flow.counter_deltas = ctx.counter_deltas
             flow.draw_sites = ctx.draw_sites
+            flow.links = ctx.data_links
+            flow.wire_bytes = ctx.wire_bytes
+            flow.sig = frozenset(ctx.switches)
+            if flow.kind == _RELIABLE:
+                flow.iso_interval = max(1, rtt // flow.window,
+                                        ctx.bottleneck_ns)
+            else:
+                flow.iso_interval = flow.sender.gap_ns
             if adopting:
                 self._register(flow, ctx.switches)
             elif not ctx.switches <= flow.switch_ids:
                 self._register_switches(flow, ctx.switches)
-            n = min(flow.window, flow.span - flow.sent)
-            if flow.kind == _RELIABLE:
-                interval = max(1, rtt // flow.window, ctx.bottleneck_ns)
-            else:
-                interval = flow.sender.gap_ns
-            flow.round_size = n
-            flow.interval = interval
-            flow.t0 = self.engine._now
-            flow.timer = self.engine.schedule_timer(
-                n * interval, self._commit, flow)
-            self.rounds += 1
+            key = (flow.src_vip, flow.dst_vip)
+            streak, dirty = self._warmup.get(key, (0, 0))
+            self._warmup[key] = (streak + 1, dirty)
+            if streak + 1 >= self.warmup_clean_target:
+                self._clean_sigs.add(flow.sig)
+                flow.skips_left = self.probe_every - 1
+            self._arm_round(flow, probed=True)
             self._process_deferred()
             return True
         # Dirty probe: hand the flow back.  The probe packet is real
@@ -502,6 +623,22 @@ class FluidScheduler:
         else:
             inflight = 1
             reason = "ack-consumed"
+        warming = False
+        if status == _ST_MUTATED:
+            # Cold-start signature: the pair's caches are still
+            # populating.  Reset the clean streak, and while the dirty-
+            # probe cap holds, batch a wider stretch of real packets
+            # before the next probe instead of charging the attempt
+            # budget ("-warmup" escalations in the per-reason stats).
+            key = (flow.src_vip, flow.dst_vip)
+            streak, dirty = self._warmup.get(key, (0, 0))
+            warming = (streak < self.warmup_clean_target
+                       and dirty < self.warmup_probe_cap)
+            self._warmup[key] = (0, dirty + 1)
+            if warming:
+                reason = "probe-mutated-warmup"
+        if flow.sig is not None:
+            self._clean_sigs.discard(flow.sig)
         if flow.kind == _UDP and status != _ST_MUTATED:
             # UDP senders track emissions, not deliveries: a diverted
             # or consumed probe was still emitted.
@@ -513,24 +650,155 @@ class FluidScheduler:
                                         if flow.kind == _UDP else 0)
         self._escalate_finish(flow, reason, inflight,
                               registered=not adopting,
-                              udp_resume_at=resume_at)
+                              udp_resume_at=resume_at, warmup=warming)
         self._process_deferred()
         return False
+
+    def _arm_round(self, flow: _FluidFlow, probed: bool) -> None:
+        """Schedule the commit timer and queue the round's draws."""
+        n = min(flow.window, flow.span - flow.sent)
+        interval = self._shared_interval(flow)
+        flow.round_size = n
+        flow.interval = interval
+        flow.t0 = self.engine._now
+        flow.probed = probed
+        flow.timer = self.engine.schedule_timer(n * interval,
+                                                self._commit, flow)
+        self.rounds += 1
+        if flow.draw_sites:
+            self._queue_draws(flow, n, probed)
+
+    def _shared_interval(self, flow: _FluidFlow) -> int:
+        """Per-packet pacing for the next round, contention included."""
+        if self._alloc_dirty:
+            self._commit_shares()
+        shared = flow.share_interval
+        iso = flow.iso_interval
+        return shared if shared > iso else iso
+
+    def _commit_shares(self) -> None:
+        """Max-min fair shares (iterative water-filling) over shared links.
+
+        A flow's demand is its isolated send rate (wire bytes per
+        isolated interval, bytes/ns); link capacity is the line rate.
+        Links carrying a single fluid flow never bind — the isolated
+        interval already respects the path's bottleneck serialization
+        time — so only links shared by two or more registered flows
+        enter the computation, and it runs only when the active set
+        changed (arrival, departure, escalation) since the last round
+        was armed.  The resulting ``share_interval`` stretches a
+        reliable flow's round pacing to its fair rate; UDP flows
+        contribute demand but keep their application-paced interval
+        (congestion costs them drops, not pacing, in packet mode).
+        Cache metrics are timing-independent, so this refines FCT
+        fidelity without touching the exactness contract.
+        """
+        self._alloc_dirty = False
+        flows = list(self._flows.values())
+        members: dict[Any, list[_FluidFlow]] = {}
+        for flow in flows:
+            flow.share_interval = 0
+            if flow.iso_interval <= 0 or not flow.wire_bytes:
+                continue
+            for link in flow.links:
+                group = members.get(link)
+                if group is None:
+                    members[link] = [flow]
+                else:
+                    group.append(flow)
+        shared = [(link, group) for link, group in members.items()
+                  if len(group) > 1]
+        if not shared:
+            return
+        shared_links = frozenset(link for link, _ in shared)
+        demand: dict[int, float] = {}
+        on_shared: dict[int, list[Any]] = {}
+        live: dict[int, _FluidFlow] = {}
+        for flow in flows:
+            links = [link for link in flow.links if link in shared_links]
+            if links:
+                fid = flow.flow_id
+                demand[fid] = flow.wire_bytes / flow.iso_interval
+                on_shared[fid] = links
+                live[fid] = flow
+        remaining = {link: link.rate_bps / 8e9 for link, _ in shared}
+        while live:
+            # The binding link: the smallest equal split of remaining
+            # capacity among a shared link's still-unfrozen users.
+            best_group = None
+            best_share = 0.0
+            for link, group in shared:
+                users = sum(1 for flow in group if flow.flow_id in live)
+                if users:
+                    share = remaining[link] / users
+                    if best_group is None or share < best_share:
+                        best_group, best_share = group, share
+            if best_group is None:
+                break
+            # Flows demanding less than the water level freeze at their
+            # demand and release capacity; when none do, the binding
+            # link's users freeze at the fair level.
+            low = [fid for fid in live if demand[fid] <= best_share]
+            if low:
+                chosen, level = low, None
+            else:
+                chosen = [flow.flow_id for flow in best_group
+                          if flow.flow_id in live]
+                level = best_share
+            for fid in chosen:
+                allotted = demand[fid] if level is None else level
+                flow = live.pop(fid)
+                for link in on_shared[fid]:
+                    left = remaining[link] - allotted
+                    remaining[link] = left if left > 0.0 else 0.0
+                if allotted <= 0.0 or flow.kind != _RELIABLE:
+                    continue
+                interval = int(flow.wire_bytes / allotted)
+                if interval > flow.iso_interval:
+                    flow.share_interval = interval
+
+    def _queue_draws(self, flow: _FluidFlow, n: int, probed: bool) -> None:
+        """Queue the round's analytic draws at their virtual due times.
+
+        The probe packet (when real) drew live during its walk, so a
+        probed round queues packets ``1..n-1``; a skipped round's
+        packets are all analytic (``0..n-1``).  Entries replay in
+        global virtual-time order across flows at the next fluid
+        boundary (:meth:`_commit_due_draws`) — per-flow draw order is
+        preserved, and cross-flow draws now interleave as their
+        packet-mode counterparts would, instead of clustering at each
+        flow's commit instant.
+        """
+        token = [True, -1]
+        flow.round_token = token
+        heap = self._draw_heap
+        seq = self._draw_seq
+        t0 = flow.t0
+        interval = flow.interval
+        sites = flow.draw_sites
+        for k in range(1 if probed else 0, n):
+            due = t0 + k * interval
+            for switch, template in sites:
+                seq += 1
+                heappush(heap, (due, seq, switch, template, token))
+        self._draw_seq = seq
 
     def _commit(self, flow: _FluidFlow) -> None:
         """Round timer fired: replay the probe's deltas for the round."""
         with self._fluid_phase():
             flow.timer = None
             n = flow.round_size
-            self._commit_deltas(flow, n - 1)
+            # A skipped round's "probe" slot is analytic too: replay
+            # the recorded deltas for all n packets instead of n - 1.
+            self._commit_deltas(flow, n - 1 if flow.probed else n)
             flow.sent += n
-            if flow.draw_sites:
-                self._commit_draws(flow, n - 1)
-                if flow.flow_id not in self._flows:
-                    # A replayed draw triggered a real cache insert and
-                    # the mutation observer escalated this very flow;
-                    # the transport is already restored at base + sent.
-                    return
+            flow.round_token = None
+            self._commit_due_draws()
+            if flow.flow_id not in self._flows:
+                # A replayed draw triggered a real cache insert and
+                # the mutation observer escalated this very flow;
+                # the transport is already restored at base + sent.
+                return
             if flow.sent >= flow.span:
                 # Tail handoff: the next send is due exactly now.
                 self._escalate_finish(flow, "tail", 0, registered=True,
@@ -553,26 +821,37 @@ class FluidScheduler:
             counter[key] += amount * times
         self.fluid_packets += times
 
-    def _commit_draws(self, flow: _FluidFlow, times: int) -> None:
-        """Repeat the probe's learning-RNG draws per analytic packet.
+    def _commit_due_draws(self) -> None:
+        """Replay every queued draw due by now, in virtual-time order.
 
         Each analytic packet must consume exactly the draws its real
         counterpart would have (same sites, same order) or the shared
         learning RNG — and every later draw in the run — diverges from
-        packet mode.  The draws run through the real scheme entry
-        point, so a draw that triggers emits real learning traffic or
+        packet mode.  Draws run through the real scheme entry point,
+        so a draw that triggers emits real learning traffic or
         performs a real ToR install, whose effects (including cache
         mutations that escalate flows via ``on_mutate``) land through
-        the normal code paths at commit time — at most one round later
-        than the packet-mode instant.
+        the normal code paths at the next fluid boundary after the
+        packet's virtual send time.
+
+        Escalation mid-drain is safe: the reentrancy guard keeps the
+        nested call a no-op, and the escalated round's token records a
+        credited-cutoff timestamp so its already-due entries still
+        replay while future-dated ones are discarded on arrival.
         """
-        if times <= 0:
+        heap = self._draw_heap
+        if not heap or self._draining:
             return
-        replay = self.scheme.replay_learning_draw
-        sites = flow.draw_sites
-        for _ in range(times):
-            for switch, template in sites:
-                replay(switch, template)
+        self._draining = True
+        try:
+            now = self.engine._now
+            replay = self.scheme.replay_learning_draw
+            while heap and heap[0][0] <= now:
+                due, _seq, switch, template, token = heappop(heap)
+                if token[0] or due <= token[1]:
+                    replay(switch, template)
+        finally:
+            self._draining = False
 
     # ------------------------------------------------------------------
     # escalation core
@@ -595,12 +874,16 @@ class FluidScheduler:
                     partial = n
                 elif partial < 1:
                     partial = 1
-                self._commit_deltas(flow, partial - 1)
+                # A skipped round's "probe" slot is analytic too.
+                self._commit_deltas(flow,
+                                    partial - 1 if flow.probed else partial)
                 flow.sent += partial
                 # The next packet is analytically due one interval
                 # after the last credited one (strictly in the future
                 # by the floor-division above).
                 resume_at = flow.t0 + partial * flow.interval
+            token = flow.round_token
+            flow.round_token = None
             self._escalate_finish(flow, reason, 0, registered=True,
                                   udp_resume_at=resume_at)
             # Credited packets' RNG draws replay only after the flow is
@@ -608,12 +891,19 @@ class FluidScheduler:
             # through the cache observer but can no longer re-enter
             # this one.  The resumed transport's own packets draw later
             # (at switch-arrival events), preserving packet-mode order.
-            if partial > 1 and flow.draw_sites:
-                self._commit_draws(flow, partial - 1)
+            # Future-dated entries of the cancelled round die: the
+            # token is marked dead with a credited cutoff — entries due
+            # by now (exactly the ``partial`` credited packets) still
+            # replay, whether drained here or by an enclosing drain.
+            if token is not None:
+                token[0] = False
+                token[1] = self.engine._now
+            self._commit_due_draws()
 
     def _escalate_finish(self, flow: _FluidFlow, reason: str,
                          inflight: int, registered: bool,
-                         udp_resume_at: int = 0) -> None:
+                         udp_resume_at: int = 0,
+                         warmup: bool = False) -> None:
         """Unregister + hand the transport back to packet level."""
         if registered:
             self._unregister(flow)
@@ -622,9 +912,15 @@ class FluidScheduler:
         by[reason] = by.get(reason, 0) + 1
         sender = flow.sender
         if reason != "tail":
-            sender._fluid_attempts += 1
+            # Warmup escalations batch a wider stretch of real-packet
+            # windows instead of charging the adoption-attempt budget:
+            # the pair's caches are still populating, and the batch
+            # both warms them and amortizes the next probe walk.
+            if not warmup:
+                sender._fluid_attempts += 1
+            batch = self.warmup_batch_windows if warmup else 2
             sender._fluid_retry_seq = (flow.base + flow.sent
-                                       + 2 * flow.window)
+                                       + batch * flow.window)
         if flow.kind == _RELIABLE:
             self._escalate_resume_reliable(
                 sender, flow.base + flow.sent, inflight)
@@ -667,6 +963,7 @@ class FluidScheduler:
     # ------------------------------------------------------------------
     def _register(self, flow: _FluidFlow, switches: set[int]) -> None:
         self._flows[flow.flow_id] = flow
+        self._alloc_dirty = True
         self._register_switches(flow, switches)
         self._by_vip.setdefault(flow.src_vip, set()).add(flow.flow_id)
         self._by_vip.setdefault(flow.dst_vip, set()).add(flow.flow_id)
@@ -680,6 +977,7 @@ class FluidScheduler:
 
     def _unregister(self, flow: _FluidFlow) -> None:
         self._flows.pop(flow.flow_id, None)
+        self._alloc_dirty = True
         for switch_id in flow.switch_ids:
             ids = self._by_switch.get(switch_id)
             if ids is not None:
@@ -715,7 +1013,9 @@ class FluidScheduler:
             data = src_host.new_packet(_DATA, flow.flow_id, seq,
                                        flow.payload, flow.src_vip,
                                        flow.dst_vip)
+            ctx.wire_bytes = data._wire_bytes
             result, d_data, dst_host = self._walk_packet(ctx, src_host, data)
+            ctx.data_links = tuple(ctx.links)
             if result != _DELIVERED:
                 status = (_ST_DATA_DIVERTED if result == _DIVERTED
                           else _ST_DATA_CONSUMED)
@@ -812,6 +1112,7 @@ class FluidScheduler:
             lstats.bytes += size
             deltas.append((lstats, "packets", 1))
             deltas.append((lstats, "bytes", size))
+            ctx.links.append(link)
             elapsed += ser + link.propagation_ns
             if ser > ctx.bottleneck_ns:
                 ctx.bottleneck_ns = ser
@@ -961,5 +1262,9 @@ class FluidScheduler:
                 sorted(self.escalations_by_reason.items())),
             "rounds": self.rounds,
             "fluid_packets": self.fluid_packets,
+            "probe_skips": self.probe_skips,
+            "warm_pairs": sum(
+                1 for streak, _dirty in self._warmup.values()
+                if streak >= self.warmup_clean_target),
             "active_flows": len(self._flows),
         }

@@ -104,7 +104,8 @@ def _check_wiring(network: VirtualNetwork) -> list[str]:
             if peer.layer != Layer.SPINE or peer.pod != pod:
                 issues.append(f"{tor.name} uplink reaches {peer.name}")
     for core in fabric.cores:
-        if set(core.pod_links) != set(range(spec.pods)):
+        if (len(core.pod_links) != spec.pods
+                or any(link is None for link in core.pod_links)):
             issues.append(f"{core.name} does not reach every pod")
     return issues
 

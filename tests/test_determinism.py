@@ -170,6 +170,59 @@ def test_sweep_identical_across_execution_modes(tmp_path):
         assert _result_dict(seq.result) == _result_dict(rep.result)
 
 
+def test_hybrid_k16_matches_packet_cache_metrics():
+    """Hybrid fidelity stays exact at k=16 scale, same seed.
+
+    This is the scale companion of tests/test_hybrid_fidelity: the
+    warmup-batched escalations, memoized clean-path probe skipping and
+    the shared-link contention recompute are all exercised by long
+    same-rack flow groups, and none of them may perturb a single cache
+    metric relative to packet fidelity.
+    """
+    from repro.transport.flow import FlowSpec
+
+    spec = FatTreeSpec(pods=16, racks_per_pod=4, servers_per_rack=4,
+                       spines_per_pod=4, num_cores=16,
+                       gateway_pods=(1, 5, 9, 13), gateways_per_pod=2)
+    # Same-rack source groups targeting one destination rack: flows
+    # share fabric links, so the max-min fair-share path runs; 400+
+    # packets per flow leaves room for warmup, skipping and steady
+    # rounds alike.
+    flows = [FlowSpec(src_vip=4 * i, dst_vip=4 * i + 130,
+                      size_bytes=600_000, start_ns=i * 2_000)
+             for i in range(12)]
+
+    def run(fidelity: str) -> RunResult:
+        network = build_network(spec, SwitchV2P(8192), 192, seed=13,
+                                fidelity=fidelity)
+        return run_flows(network, list(flows), trace_name="steady",
+                         keep_network=True)
+
+    def cache_metrics(result: RunResult) -> dict:
+        collector = result.collector
+        scheme = result.network.scheme
+        return {
+            "hit_rate": result.hit_rate,
+            "gateway_arrivals": collector.gateway_arrivals,
+            "misdeliveries": collector.misdeliveries,
+            "learning_packets": collector.learning_packets,
+            "invalidation_packets": collector.invalidation_packets,
+            "per_cache": sorted(
+                (switch_id, cache.stats.lookups, cache.stats.hits,
+                 cache.stats.insertions, cache.stats.evictions,
+                 cache.stats.invalidations)
+                for switch_id, cache in scheme.caches.items()),
+            "packets_sent": result.packets_sent,
+            "completion": result.completion_rate,
+        }
+
+    packet = run("packet")
+    hybrid = run("hybrid")
+    assert hybrid.fluid_adoptions > 0, "hybrid run never went fluid"
+    assert hybrid.fluid_packets > 0
+    assert cache_metrics(packet) == cache_metrics(hybrid)
+
+
 def test_run_experiment_twice_identical():
     """The one-call harness (scheme factory included) is deterministic."""
     flows = list(_hadoop_flows(48, 40, seed=9))

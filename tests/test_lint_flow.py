@@ -206,14 +206,20 @@ def test_dropping_fidelity_from_job_key_is_caught():
 
 
 def test_removing_cache_escalation_hook_is_caught():
-    # Treat the cache's own mutators as roots so this stays a two-file
-    # project instead of a full-tree walk.
+    # Treat the observed cache's own mutators as roots so this stays a
+    # two-file project instead of a full-tree walk.  The unobserved
+    # base class is escalation-exempt by design (attach_observer swaps
+    # instances to the observed subclass before any fluid adoption);
+    # the observed overrides are what W402 must hold to the contract.
     config = replace(
         load_config(REPO_ROOT / "pyproject.toml"),
         flow_entry_points=(
-            "repro.cache.set_associative.SetAssociativeCache.insert",
-            "repro.cache.set_associative.SetAssociativeCache.invalidate",
-            "repro.cache.set_associative.SetAssociativeCache.lookup"))
+            "repro.cache.set_associative._ObservedSetAssociativeCache"
+            ".insert",
+            "repro.cache.set_associative._ObservedSetAssociativeCache"
+            ".invalidate",
+            "repro.cache.set_associative._ObservedSetAssociativeCache"
+            ".lookup"))
     path = "repro/cache/set_associative.py"
     clean = run_project_rules(
         _repo_modules(config, path), [get_rule("W402")], config)

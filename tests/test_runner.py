@@ -66,3 +66,29 @@ def test_horizon_bounds_runaway_runs():
     result = run_flows(network, flows(5), horizon_ns=1_000)
     # The horizon cut the run short; flows incomplete but no hang.
     assert result.completion_rate < 1.0
+
+
+def test_warmup_split_is_result_neutral():
+    """Chunked engine runs (memory profiling) change no metrics."""
+    baseline = run_flows(build_network(tiny_spec(), SwitchV2P(64), num_vms=8),
+                         flows())
+    split = run_flows(build_network(tiny_spec(), SwitchV2P(64), num_vms=8),
+                      flows(), warmup_split_ns=300_000)
+    assert split.hit_rate == baseline.hit_rate
+    assert split.packets_sent == baseline.packets_sent
+    assert split.avg_fct_ns == baseline.avg_fct_ns
+    assert split.completion_rate == baseline.completion_rate
+
+
+def test_warmup_split_times_two_run_phases():
+    from repro.perf import PhaseMemoryTimer
+    timer = PhaseMemoryTimer()
+    network = build_network(tiny_spec(), SwitchV2P(64), num_vms=8)
+    run_flows(network, flows(), perf=timer, warmup_split_ns=300_000)
+    assert "run-warmup" in timer.phases_ns
+    assert "run-steady" in timer.phases_ns
+    assert "run" not in timer.phases_ns
+    # Memory snapshots recorded per phase; RSS high-water mark is
+    # always available on Linux even when tracemalloc is off.
+    assert timer.memory_by_phase["run-warmup"]["rss_peak_kb"] > 0
+    assert timer.memory_by_phase["run-steady"]["rss_peak_kb"] > 0
