@@ -1,0 +1,76 @@
+"""CI smoke check for gray failures and the self-healing mapping plane.
+
+The fail-stop chaos gate (``benchmarks/chaos_smoke.py``) proves the
+fuzz harness works; this gate proves the *gray* half of the fault model
+holds up end to end:
+
+1. a fixed-seed batch of gray-weighted fuzz trials (link degradation,
+   flaps, slow switches, gateway brownouts, cache bit flips) runs
+   *clean* on SwitchV2P with the full hardened configuration — the
+   anti-entropy audit on and the bounded-staleness oracle armed;
+2. the ``disabled-audit`` bug (the audit silently stopped) makes an
+   identical batch trip the bounded-staleness oracle: an injected bit
+   flip outlives the staleness promise with nothing left to repair it;
+3. the failing schedule is delta-debugged to a handful of events and
+   the written reproducer artifact re-trips the same oracle on replay.
+
+This is a hard pass/fail gate: it checks the gray fault model, the
+bounded-staleness promise and the reproducer pipeline, not speed.  Run
+it as ``PYTHONPATH=src python benchmarks/gray_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments.chaosfuzz import (
+    gray_chaos_params,
+    replay_reproducer,
+    run_chaos_fuzz,
+)
+
+#: Reduced workload so the whole gate finishes in CI-friendly time.
+PARAMS = gray_chaos_params(num_vms=16, num_flows=24)
+#: This seed's fourth trial lands a bit flip on an occupied, off-path
+#: cache line — the configuration the disabled-audit leg needs (an
+#: entry only the audit would ever repair).
+SEED = 3
+TRIALS = 6
+#: Largest acceptable minimized schedule (the acceptance bound).
+MAX_SHRUNK_EVENTS = 5
+
+
+def main() -> int:
+    # 1. hardened trials must be clean: gray faults within the
+    # generator's envelope never break the oracles when the audit runs.
+    clean = run_chaos_fuzz(trials=TRIALS, seed=SEED, schemes=("SwitchV2P",),
+                           params=PARAMS)
+    assert clean.clean, [str(v) for o in clean.failures for v in o.violations]
+    print(f"clean: {len(clean.outcomes)} gray trial runs, "
+          "bounded-staleness oracle held")
+
+    # 2+3. stop the audit -> staleness violation -> shrink -> replay.
+    with tempfile.TemporaryDirectory() as tmp:
+        buggy = run_chaos_fuzz(trials=TRIALS, seed=SEED,
+                               schemes=("SwitchV2P",), params=PARAMS,
+                               bug="disabled-audit", artifact_dir=tmp)
+        assert not buggy.clean, "disabled-audit never tripped an oracle"
+        oracle = buggy.failures[0].violations[0].oracle
+        assert oracle == "bounded-staleness", oracle
+        assert buggy.shrunk_events is not None
+        assert buggy.shrunk_events <= MAX_SHRUNK_EVENTS, buggy.shrunk_events
+        assert buggy.reproducer_path is not None
+        replayed = replay_reproducer(Path(buggy.reproducer_path))
+        assert any(v.oracle == oracle for v in replayed.violations), \
+            "reproducer artifact no longer re-trips the staleness oracle"
+        print(f"shrink: bounded-staleness violation minimized to "
+              f"{buggy.shrunk_events} event(s); replay re-trips it")
+
+    print("gray smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

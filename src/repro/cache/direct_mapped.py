@@ -188,6 +188,31 @@ class DirectMappedCache:
         self.stats.invalidations += 1
         return True
 
+    def corrupt_entry(self, ordinal: int, bit: int) -> tuple[int, int, int] | None:
+        """Flip ``bit`` of the value in the ``ordinal``-th occupied line.
+
+        Models an SRAM soft error in a live register array (fault
+        injection, never the data plane).  ``ordinal`` indexes occupied
+        lines in slot order, modulo occupancy, so fault schedules stay
+        valid whatever the cache holds.  Fires ``on_mutate`` — a bitflip
+        is a silent state change the fluid path must escalate for.
+
+        Returns:
+            ``(vip, old_pip, new_pip)`` for the corrupted line, or None
+            when the cache is empty (logged no-op).
+        """
+        occupied = [slot for slot, key in enumerate(self._keys) if key != _EMPTY]
+        if not occupied:
+            return None
+        slot = occupied[ordinal % len(occupied)]
+        old = self._values[slot]
+        new = old ^ (1 << bit)
+        self._values[slot] = new
+        cb = self.on_mutate
+        if cb is not None:
+            cb()
+        return (self._keys[slot], old, new)
+
     # ------------------------------------------------------------------
     # introspection (control plane / tests; does not touch access bits)
     # ------------------------------------------------------------------

@@ -152,6 +152,31 @@ class SetAssociativeCache:
         self.stats.invalidations += 1
         return True
 
+    def corrupt_entry(self, ordinal: int, bit: int) -> tuple[int, int, int] | None:
+        """Flip ``bit`` of the value in the ``ordinal``-th occupied entry.
+
+        SRAM soft-error injection; see
+        :meth:`repro.cache.direct_mapped.DirectMappedCache.corrupt_entry`.
+        Entries are enumerated set by set (LRU order within a set),
+        modulo occupancy.  Fires ``on_mutate`` when an observer is
+        attached; does not touch LRU position or access bits.
+
+        Returns:
+            ``(vip, old_pip, new_pip)``, or None on an empty cache.
+        """
+        occupied = [(entries, vip) for entries in self._sets for vip in entries]
+        if not occupied:
+            return None
+        entries, vip = occupied[ordinal % len(occupied)]
+        entry = entries[vip]
+        old = entry[0]
+        new = old ^ (1 << bit)
+        entry[0] = new
+        cb = self.on_mutate
+        if cb is not None:
+            cb()
+        return (vip, old, new)
+
     # ------------------------------------------------------------------
     def peek(self, vip: int) -> int | None:
         if self.num_sets == 0:

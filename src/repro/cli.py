@@ -238,6 +238,32 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_gray(args: argparse.Namespace) -> int:
+    """Graceful degradation: hardened vs unhardened under gray faults."""
+    from dataclasses import replace
+
+    from repro.experiments.graydegrade import (
+        GrayDegradeParams,
+        render_gray_table,
+        run_gray_experiment,
+    )
+    params = GrayDegradeParams()
+    overrides = {}
+    if args.flows is not None:
+        overrides["num_flows"] = args.flows
+    if args.vms is not None:
+        overrides["num_vms"] = args.vms
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.cache_ratio is not None:
+        overrides["cache_ratio"] = args.cache_ratio
+    if overrides:
+        params = replace(params, **overrides)
+    rows = run_gray_experiment(params, progress=_chaos_progress())
+    print(render_gray_table(rows))
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Chaos fuzzing: random fault schedules vs. the invariant oracles."""
     from dataclasses import replace
@@ -246,6 +272,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         BUGS,
         CHAOS_FUZZ_SCHEMES,
         ChaosFuzzParams,
+        gray_chaos_params,
         replay_reproducer,
         run_chaos_fuzz,
     )
@@ -265,7 +292,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"unknown bug {args.bug!r}; known: {', '.join(sorted(BUGS))}",
               file=sys.stderr)
         return 2
-    params = ChaosFuzzParams()
+    params = gray_chaos_params() if args.gray else ChaosFuzzParams()
     overrides = {}
     if args.flows is not None:
         overrides["num_flows"] = args.flows
@@ -349,6 +376,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         overrides["probe_interval_ns"] = usec(args.probe_interval_us)
     if args.reinstate_timeout_us is not None:
         overrides["reinstate_timeout_ns"] = usec(args.reinstate_timeout_us)
+    if args.anti_entropy_ms is not None:
+        overrides["anti_entropy_period_ns"] = msec(args.anti_entropy_ms)
+    if args.staleness_bound_ms is not None:
+        overrides["staleness_bound_ns"] = msec(args.staleness_bound_ms)
     if args.fidelity is not None:
         overrides["fidelity"] = args.fidelity
     if overrides:
@@ -537,6 +568,21 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--seed", type=int, default=None)
     faults_parser.set_defaults(func=cmd_faults)
 
+    gray_parser = subparsers.add_parser(
+        "gray",
+        help="graceful degradation: self-healing plane vs gray failures",
+        description="Run SwitchV2P through one gray episode — a gateway "
+                    "brownout overlapping a degraded cable, plus cache "
+                    "bit flips that nothing in the schedule repairs — "
+                    "with the self-healing plane (gray EWMA detector, "
+                    "anti-entropy audit, negative caching) on and off, "
+                    "and report in-window and post-window degradation.")
+    gray_parser.add_argument("--vms", type=int, default=None)
+    gray_parser.add_argument("--flows", type=int, default=None)
+    gray_parser.add_argument("--cache-ratio", type=float, default=None)
+    gray_parser.add_argument("--seed", type=int, default=None)
+    gray_parser.set_defaults(func=cmd_gray)
+
     chaos_parser = subparsers.add_parser(
         "chaos",
         help="chaos fuzzing: random fault schedules vs. invariant oracles",
@@ -562,10 +608,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--fidelity", choices=("packet", "hybrid"),
                               default=None,
                               help="simulation fidelity for the fuzz trials")
+    chaos_parser.add_argument("--gray", action="store_true",
+                              help="fuzz with the gray-failure kinds enabled "
+                                   "(degrade/flap/slow/brownout/bitflip) plus "
+                                   "the anti-entropy audit and the "
+                                   "bounded-staleness oracle")
     chaos_parser.add_argument("--bug", default=None, metavar="NAME",
                               help="inject a deliberate bug (harness "
                                    "self-test): skip-cache-flush, "
-                                   "misdelivery-loop, oracle-canary")
+                                   "misdelivery-loop, oracle-canary, "
+                                   "disabled-audit (pair with --gray)")
     chaos_parser.add_argument("--artifact-dir", default="chaos-artifacts",
                               metavar="DIR",
                               help="where failing trials write reproducer "
@@ -614,6 +666,14 @@ def build_parser() -> argparse.ArgumentParser:
                               default=None,
                               help="bound on detecting a recovered gateway "
                                    "(microseconds; default 2000)")
+    serve_parser.add_argument("--anti-entropy-ms", type=float, default=None,
+                              help="anti-entropy audit period reconciling "
+                                   "switch caches against the gateway "
+                                   "database (milliseconds; default off)")
+    serve_parser.add_argument("--staleness-bound-ms", type=float, default=None,
+                              help="bounded-staleness promise checked by the "
+                                   "oracle suite (milliseconds; default off; "
+                                   "must be >= the audit period)")
     serve_parser.add_argument("--report", default=None, metavar="PATH",
                               help="also write the SLO report JSON here")
     serve_parser.add_argument("--artifact-dir", default="serve-artifacts",

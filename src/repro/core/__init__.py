@@ -9,6 +9,7 @@ from repro.core.allocation import (
     AllocationPolicy,
     distribute_slots,
 )
+from repro.core.antientropy import AntiEntropyAuditor
 from repro.core.config import SwitchV2PConfig
 from repro.core.hybrid import HybridSwitchV2P
 from repro.core.multitenant import (
@@ -21,6 +22,7 @@ from repro.core.protocol import SwitchV2P
 from repro.core.roles import Role, assign_roles
 
 __all__ = [
+    "AntiEntropyAuditor",
     "SwitchV2P",
     "SwitchV2PConfig",
     "Role",

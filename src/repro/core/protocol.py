@@ -130,6 +130,17 @@ class SwitchV2P(CachingScheme):
         self.spillovers_reinserted = 0
         self.promotions_sent = 0
         self.promotions_admitted = 0
+        #: Negative cache: ``(vip, stale_pip) -> hold-down expiry``.
+        #: Populated on invalidations when ``negative_ttl_ns > 0``;
+        #: stays empty otherwise, so every guard below short-circuits
+        #: on one falsy dict test.  The expiry check reads the live
+        #: clock, which the fluid fast path cannot replay exactly —
+        #: enabling the feature therefore opts the scheme out of
+        #: fluid adoption (runs stay packet-level, still correct).
+        self._negative: dict[tuple[int, int], int] = {}
+        self.negative_blocks = 0
+        if self.config.negative_ttl_ns > 0:
+            self.fluid_compatible = False
         #: Learning-RNG consumption counter.  The hybrid-fidelity probe
         #: walk snapshots it: an analytic packet that skipped a draw its
         #: real counterpart would have made desynchronizes the stream,
@@ -304,7 +315,9 @@ class SwitchV2P(CachingScheme):
                     packet.spill_entry = result.evicted
         elif role is _ROLE_SPINE or role is _ROLE_GATEWAY_SPINE:
             # Conservative admission: never evict a hot line.
-            if packet.resolved and cache is not None:
+            if packet.resolved and cache is not None and not (
+                    self._negative
+                    and self._negative_blocks(packet.dst_vip, packet.outer_dst)):
                 result = cache.insert(packet.dst_vip, packet.outer_dst, True)
                 if result.evicted is not None and config.enable_spillover:
                     packet.spill_entry = result.evicted
@@ -314,18 +327,46 @@ class SwitchV2P(CachingScheme):
             if config.learning_packet_on_new_only and resolved \
                     and cache is not None:
                 already_known = cache.peek(packet.dst_vip) == packet.outer_dst
-            if resolved and cache is not None:
+            if resolved and cache is not None and not (
+                    self._negative
+                    and self._negative_blocks(packet.dst_vip, packet.outer_dst)):
                 result = cache.insert(packet.dst_vip, packet.outer_dst)
                 if result.evicted is not None and config.enable_spillover:
                     packet.spill_entry = result.evicted
             if resolved and not already_known:
                 self._maybe_send_learning_packet(switch, packet)
-        elif role is None and packet.resolved and cache is not None:
+        elif role is None and packet.resolved and cache is not None and not (
+                self._negative
+                and self._negative_blocks(packet.dst_vip, packet.outer_dst)):
             # Role-unaware ablation: greedy destination learning.
             result = cache.insert(packet.dst_vip, packet.outer_dst)
             if result.evicted is not None and config.enable_spillover:
                 packet.spill_entry = result.evicted
         return True
+
+    # ------------------------------------------------------------------
+    # negative caching (gray-failure hardening)
+    # ------------------------------------------------------------------
+    def _negative_blocks(self, vip: int, pip: int) -> bool:
+        """True while ``(vip, pip)`` is inside its post-invalidation
+        hold-down window.  Expired entries are pruned on access."""
+        expiry = self._negative.get((vip, pip))
+        if expiry is None:
+            return False
+        assert self.network is not None
+        if self.network.engine.now >= expiry:
+            del self._negative[(vip, pip)]
+            return False
+        self.negative_blocks += 1
+        return True
+
+    def _note_negative(self, vip: int, stale_pip: int) -> None:
+        """Open a hold-down window for a just-invalidated mapping."""
+        ttl = self.config.negative_ttl_ns
+        if ttl <= 0:
+            return
+        assert self.network is not None
+        self._negative[(vip, stale_pip)] = self.network.engine.now + ttl
 
     # ------------------------------------------------------------------
     # learning policies
@@ -336,6 +377,8 @@ class SwitchV2P(CachingScheme):
         if role == Role.CORE or cache is None:
             return  # Cores learn from promotions only (Table 1).
         vip, pip = packet._spill_entry
+        if self._negative and self._negative_blocks(vip, pip):
+            return
         conservative = role in (Role.SPINE, Role.GATEWAY_SPINE)
         result = cache.insert(vip, pip, only_if_clear=conservative)
         if result.admitted:
@@ -348,6 +391,9 @@ class SwitchV2P(CachingScheme):
         if cache is None:
             return
         vip, pip = packet._promote_entry
+        if self._negative and self._negative_blocks(vip, pip):
+            packet.promote_entry = None
+            return
         result = cache.insert(vip, pip, only_if_clear=True)
         packet.promote_entry = None
         if result.admitted:
@@ -417,6 +463,8 @@ class SwitchV2P(CachingScheme):
         cache = self.cache_of(switch)
         if cache is None:
             return
+        if self._negative and self._negative_blocks(mapping[0], mapping[1]):
+            return
         cache.insert(mapping[0], mapping[1])
 
     # ------------------------------------------------------------------
@@ -428,6 +476,8 @@ class SwitchV2P(CachingScheme):
             return
         if packet.hit_switch is None or packet.carried_mapping is None:
             return
+        if self.config.negative_ttl_ns > 0:
+            self._note_negative(*packet.carried_mapping)
         if packet.hit_switch == switch.switch_id:
             return  # The tagged packet itself will fix the local cache.
         if self.config.enable_timestamp_vector and not self._timestamp_allows(
@@ -486,4 +536,6 @@ class SwitchV2P(CachingScheme):
         if cache is None:
             return
         vip, stale_pip = packet.carried_mapping
+        if self.config.negative_ttl_ns > 0:
+            self._note_negative(vip, stale_pip)
         cache.invalidate(vip, stale_pip)

@@ -84,6 +84,14 @@ class ChaosFuzzParams:
     #: Simulation fidelity the trials run under; hybrid trials exercise
     #: the fluid fast path against the same invariant oracles.
     fidelity: str = "packet"
+    #: Self-healing mapping plane: when positive, the anti-entropy
+    #: audit sweeps switch caches at this period.  0 keeps the
+    #: historical lazy-invalidation-only protocol.
+    anti_entropy_period_ns: int = 0
+    #: When positive, arms the bounded-staleness runtime oracle with
+    #: this bound (plus one audit period of slack).  Requires the
+    #: audit: without repair the bound is unenforceable.
+    staleness_bound_ns: int = 0
     fuzz: FuzzConfig = FuzzConfig()
 
     def horizon_ns(self, schedule: FaultSchedule) -> int:
@@ -97,7 +105,27 @@ class ChaosFuzzParams:
         last_event = schedule.last_event_ns()
         busy_ns = max(self.arrival_span_ns,
                       last_event if last_event is not None else 0)
+        if self.anti_entropy_period_ns > 0:
+            # Leave the audit at least two full sweeps after the last
+            # disruption so the staleness bound is testable.
+            grace_ns = max(grace_ns, 2 * self.anti_entropy_period_ns + msec(1))
         return busy_ns + grace_ns
+
+
+def gray_chaos_params(**overrides) -> ChaosFuzzParams:
+    """Trial parameters for a gray-failure campaign.
+
+    Gray fault kinds mixed in (:func:`repro.faults.fuzz.gray_fuzz_config`),
+    the anti-entropy audit running at 1 ms, and the bounded-staleness
+    oracle armed with a matching bound.  Keyword overrides pass through
+    to :class:`ChaosFuzzParams`.
+    """
+    from repro.faults.fuzz import gray_fuzz_config
+    kwargs: dict = dict(fuzz=gray_fuzz_config(),
+                        anti_entropy_period_ns=msec(1),
+                        staleness_bound_ns=msec(1))
+    kwargs.update(overrides)
+    return ChaosFuzzParams(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -166,12 +194,27 @@ def _bug_oracle_canary(network: VirtualNetwork, suite: OracleSuite) -> None:
     suite.arm_canary()
 
 
+def _bug_disabled_audit(network: VirtualNetwork, suite: OracleSuite) -> None:
+    """The anti-entropy audit silently stops sweeping.
+
+    Models a wedged control-plane reconciliation job.  Under a gray
+    schedule that corrupts or strands a cache entry off the traffic
+    path, nothing repairs it any more, so the bounded-staleness oracle
+    must trip.  Run with gray trial parameters
+    (:func:`gray_chaos_params`); without the audit/oracle armed this
+    injector is a no-op and the trial stays green.
+    """
+    if network.anti_entropy is not None:
+        network.anti_entropy.stop()
+
+
 #: name -> injector(network, suite).  Injectors patch the per-run scheme
 #: instance (never the class), so no cleanup is needed.
 BUGS = {
     "skip-cache-flush": _bug_skip_cache_flush,
     "misdelivery-loop": _bug_misdelivery_loop,
     "oracle-canary": _bug_oracle_canary,
+    "disabled-audit": _bug_disabled_audit,
 }
 
 
@@ -229,6 +272,15 @@ def run_one_trial(scheme_name: str, events, params: ChaosFuzzParams,
         network.enable_gateway_failover(
             probe_interval_ns=params.probe_interval_ns,
             miss_threshold=params.miss_threshold)
+    if params.anti_entropy_period_ns > 0:
+        network.enable_anti_entropy(params.anti_entropy_period_ns,
+                                    params.staleness_bound_ns)
+    if params.staleness_bound_ns > 0:
+        suite.configure_staleness(
+            params.staleness_bound_ns,
+            audit_period_ns=params.anti_entropy_period_ns,
+            check_interval_ns=max(usec(100),
+                                  params.staleness_bound_ns // 4))
     if bug is not None:
         BUGS[bug](network, suite)
     schedule.apply(network)

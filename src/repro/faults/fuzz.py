@@ -51,6 +51,15 @@ class FuzzConfig:
         switch_weight / link_weight / loss_weight / gateway_weight /
             migrate_weight: relative probability of each disruption
             kind; a zero weight removes the kind from the mix.
+        degrade_weight / flap_weight / slow_weight / brownout_weight /
+            bitflip_weight: relative probability of the gray-failure
+            kinds (lossy+slow link, port flapping, slow switch,
+            gateway brownout, SRAM bit flip).  All default to 0 so the
+            historical fail-stop mix — and every schedule derived from
+            it — is unchanged; gray campaigns opt in explicitly (e.g.
+            :func:`gray_fuzz_config`).
+        max_extra_latency_ns: ceiling on the latency inflation drawn
+            for degrade/slow/brownout events.
     """
 
     window_ns: int = msec(4)
@@ -65,6 +74,12 @@ class FuzzConfig:
     loss_weight: float = 1.5
     gateway_weight: float = 2.0
     migrate_weight: float = 2.0
+    degrade_weight: float = 0.0
+    flap_weight: float = 0.0
+    slow_weight: float = 0.0
+    brownout_weight: float = 0.0
+    bitflip_weight: float = 0.0
+    max_extra_latency_ns: int = usec(100)
 
     def __post_init__(self) -> None:
         if self.window_ns <= 0:
@@ -80,6 +95,25 @@ class FuzzConfig:
                    self.gateway_weight, self.migrate_weight)
         if any(w < 0 for w in weights) or sum(weights) <= 0:
             raise ValueError("fault-kind weights must be >= 0 and not all 0")
+        gray = (self.degrade_weight, self.flap_weight, self.slow_weight,
+                self.brownout_weight, self.bitflip_weight)
+        if any(w < 0 for w in gray):
+            raise ValueError("gray fault-kind weights must be >= 0")
+        if self.max_extra_latency_ns < 0:
+            raise ValueError("max_extra_latency_ns must be non-negative")
+
+
+def gray_fuzz_config(**overrides) -> FuzzConfig:
+    """A :class:`FuzzConfig` with the gray-failure kinds switched on.
+
+    The default mix keeps the fail-stop kinds (a gray campaign should
+    still exercise their interactions) and gives every gray kind equal
+    say.  Keyword overrides pass straight through to the dataclass.
+    """
+    kwargs = dict(degrade_weight=2.0, flap_weight=1.5, slow_weight=1.5,
+                  brownout_weight=2.0, bitflip_weight=1.0)
+    kwargs.update(overrides)
+    return FuzzConfig(**kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -168,7 +202,12 @@ def generate_schedule(spec: FatTreeSpec, num_vms: int,
             ("link", config.link_weight, bool(cables)),
             ("loss", config.loss_weight, bool(cables)),
             ("gateway", config.gateway_weight, spec.num_gateways > 0),
-            ("migrate", config.migrate_weight, num_vms > 0 and bool(slots))):
+            ("migrate", config.migrate_weight, num_vms > 0 and bool(slots)),
+            ("degrade", config.degrade_weight, bool(cables)),
+            ("flap", config.flap_weight, bool(cables)),
+            ("slow", config.slow_weight, bool(switches)),
+            ("brownout", config.brownout_weight, spec.num_gateways > 0),
+            ("bitflip", config.bitflip_weight, bool(switches))):
         if weight > 0 and viable:
             kinds.append(kind)
             weights.append(weight)
@@ -212,6 +251,43 @@ def generate_schedule(spec: FatTreeSpec, num_vms: int,
             schedule.crash_gateway(at_ns, index)
             if recover:
                 schedule.restart_gateway(at_ns + outage_ns, index)
+        elif kind == "degrade":
+            a_loc, b_loc = cables[int(rng.integers(len(cables)))]
+            rate = 0.05 + float(rng.random()) * (config.max_loss_rate - 0.05)
+            extra = int(rng.integers(0, config.max_extra_latency_ns + 1))
+            schedule.degrade_link(at_ns, a_loc, b_loc, rate, extra)
+            if recover:
+                schedule.degrade_link(at_ns + outage_ns, a_loc, b_loc, 0.0, 0)
+        elif kind == "flap":
+            a_loc, b_loc = cables[int(rng.integers(len(cables)))]
+            period_ns = int(rng.integers(usec(50), usec(400) + 1))
+            cycles = 1 + int(rng.integers(0, 4))
+            # A flap always ends with the link up: self-healing by
+            # construction, no paired recovery event needed.
+            schedule.flap_link(at_ns, a_loc, b_loc, period_ns, cycles)
+        elif kind == "slow":
+            where = switches[int(rng.integers(len(switches)))]
+            extra = 1 + int(rng.integers(0, config.max_extra_latency_ns))
+            schedule.add(FaultEvent(at_ns, FaultKind.SWITCH_SLOW, where,
+                                    extra_ns=extra))
+            if recover:
+                schedule.add(FaultEvent(at_ns + outage_ns,
+                                        FaultKind.SWITCH_SLOW, where))
+        elif kind == "brownout":
+            index = int(rng.integers(spec.num_gateways))
+            rate = 0.05 + float(rng.random()) * (config.max_loss_rate - 0.05)
+            extra = int(rng.integers(0, config.max_extra_latency_ns + 1))
+            schedule.brownout_gateway(at_ns, index, rate, extra)
+            if recover:
+                schedule.brownout_gateway(at_ns + outage_ns, index)
+        elif kind == "bitflip":
+            where = switches[int(rng.integers(len(switches)))]
+            # Corruption is a point event; the anti-entropy audit (or
+            # lazy invalidation) is the recovery path, not a schedule
+            # event.  ``entry`` indexes occupied lines mod occupancy.
+            schedule.add(FaultEvent(at_ns, FaultKind.CACHE_BITFLIP, where,
+                                    count=int(rng.integers(0, 1 << 16)),
+                                    bit=int(rng.integers(0, 24))))
         else:  # migrate: churn, never needs a recovery event
             vip = int(rng.integers(num_vms))
             pod, rack, host = slots[int(rng.integers(len(slots)))]

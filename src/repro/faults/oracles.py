@@ -127,6 +127,16 @@ class OracleSuite:
         self._seen_structural: set[str] = set()
         self._seen_coherence: set[tuple] = set()
         self._finished = False
+        #: The watched fault schedule (if any); its ``corruptions`` log
+        #: tells the coherence oracle which unpublished (vip, pip)
+        #: pairs are injected bit flips — those are the *staleness*
+        #: oracle's to bound, not unpublished-mapping violations.
+        self._schedule: FaultSchedule | None = None
+        #: Bounded-staleness oracle state (off until configured).
+        self._staleness_bound_ns = 0
+        self._staleness_slack_ns = 0
+        self._bad_first_seen: dict[tuple, int] = {}
+        self._seen_stale: set[tuple] = set()
         network.database.subscribe(self._on_mapping_update)
         network.database.subscribe_removal(self._on_mapping_removal)
         self._wrap_hosts()
@@ -198,8 +208,45 @@ class OracleSuite:
         the same timestamps but later in insertion order, so each one
         observes the fabric with its fault applied.
         """
+        self._schedule = schedule
         for event in schedule.events:
             self.network.engine.schedule(event.at_ns, self._structural_sweep)
+
+    def configure_staleness(self, bound_ns: int, audit_period_ns: int = 0,
+                            check_interval_ns: int = 0) -> None:
+        """Arm the bounded-staleness oracle.
+
+        A cache entry is *bad* the moment it disagrees with the
+        authoritative database (migration, retirement or corruption).
+        The oracle tracks when each bad entry was first observed and
+        reports a violation if one is still being served more than
+        ``bound_ns + audit_period_ns`` later — i.e. the anti-entropy
+        audit had a full period to repair it and did not.
+
+        Args:
+            bound_ns: the advertised staleness bound.
+            audit_period_ns: grace added on top of the bound (one full
+                audit period, since a sweep that starts just before an
+                entry goes bad cannot repair it).
+            check_interval_ns: when positive, a recurring engine timer
+                re-checks at this cadence so violations surface mid-run
+                (chaos trials); otherwise checks run only from
+                :meth:`periodic_check` and :meth:`finish`.
+        """
+        if bound_ns <= 0:
+            raise ValueError(f"staleness bound must be positive, got {bound_ns}")
+        if audit_period_ns < 0 or check_interval_ns < 0:
+            raise ValueError("staleness oracle periods must be non-negative")
+        self._staleness_bound_ns = bound_ns
+        self._staleness_slack_ns = audit_period_ns
+        if check_interval_ns > 0:
+            self.network.engine.schedule_timer(
+                check_interval_ns, self._staleness_tick, check_interval_ns)
+
+    def _staleness_tick(self, interval_ns: int) -> None:
+        self._check_staleness(self.network.engine.now)
+        self.network.engine.schedule_timer(
+            interval_ns, self._staleness_tick, interval_ns)
 
     # ------------------------------------------------------------------
     # oracles
@@ -231,7 +278,9 @@ class OracleSuite:
         event that caused it, not at the end of a multi-minute run.
         """
         self._structural_sweep()
-        self._check_cache_coherence(self.network.engine.now)
+        now = self.network.engine.now
+        self._check_cache_coherence(now)
+        self._check_staleness(now)
 
     def arm_canary(self) -> None:
         """Arm the synthetic always-failing oracle (harness self-test)."""
@@ -253,6 +302,7 @@ class OracleSuite:
         self._structural_sweep()
         self._check_conservation(horizon_ns)
         self._check_cache_coherence(horizon_ns)
+        self._check_staleness(horizon_ns)
         self._check_liveness(horizon_ns)
         if self._canary:
             self._report("canary", horizon_ns,
@@ -272,7 +322,8 @@ class OracleSuite:
             link_drops += link.stats.drops
             link_lost += link.stats.lost
         host_drops = sum(host.unroutable_drops for host in network.hosts)
-        gateway_drops = sum(gw.dropped_while_failed + gw.resolution_failures
+        gateway_drops = sum(gw.dropped_while_failed + gw.dropped_brownout
+                            + gw.resolution_failures
                             for gw in network.gateways)
         in_flight = self._in_flight()
         accounted = (delivered + switch_drops + link_drops + link_lost
@@ -317,17 +368,32 @@ class OracleSuite:
                 count += 1
         return count
 
+    def _corruption_pairs(self) -> set[tuple[int, int]]:
+        """(vip, pip) pairs injected by CACHE_BITFLIP events so far."""
+        if self._schedule is None or not self._schedule.corruptions:
+            return set()
+        return {(vip, new_pip)
+                for _switch_id, vip, _old_pip, new_pip
+                in self._schedule.corruptions}
+
     def _check_cache_coherence(self, horizon_ns: int) -> None:
         scheme = self.network.scheme
         cache_of = getattr(scheme, "cache_of", None)
         if cache_of is None:
             return
         db_get = self.network.database.get
+        corrupted = self._corruption_pairs()
         for switch in self.network.fabric.switches:
             cache = cache_of(switch)
             if cache is None:
                 continue
             for vip, pip, _abit in cache.entries():
+                if (vip, pip) in corrupted:
+                    # A deliberately injected bit flip: unpublished by
+                    # construction.  The staleness oracle bounds how
+                    # long it may survive; re-flagging it here would
+                    # fail every schedule containing the fault itself.
+                    continue
                 if (vip, pip) not in self._published:
                     key = (switch.name, vip, pip, "unpublished")
                     if key not in self._seen_coherence:
@@ -347,6 +413,49 @@ class OracleSuite:
                             f"{switch.name} caches vip {vip} -> "
                             f"{format_pip(pip)} but the vip never migrated "
                             f"away from {format_pip(db_get(vip))}")
+
+    def _check_staleness(self, now_ns: int) -> None:
+        """Bounded staleness: no bad entry outlives bound + slack.
+
+        Tracks the first time each disagreeing (switch, vip, pip)
+        triple is observed; entries repaired between checks drop out of
+        tracking.  Detection granularity is the check cadence, so run
+        with ``check_interval_ns`` well under the bound.
+        """
+        bound = self._staleness_bound_ns
+        if not bound:
+            return
+        scheme = self.network.scheme
+        cache_of = getattr(scheme, "cache_of", None)
+        if cache_of is None:
+            return
+        db_get = self.network.database.get
+        limit = bound + self._staleness_slack_ns
+        first_seen = self._bad_first_seen
+        current_bad = set()
+        for switch in self.network.fabric.switches:
+            cache = cache_of(switch)
+            if cache is None:
+                continue
+            for vip, pip, _abit in cache.entries():
+                if db_get(vip) == pip:
+                    continue
+                key = (switch.name, vip, pip)
+                current_bad.add(key)
+                first = first_seen.setdefault(key, now_ns)
+                if now_ns - first > limit and key not in self._seen_stale:
+                    self._seen_stale.add(key)
+                    self._report(
+                        "bounded-staleness", now_ns,
+                        f"{switch.name} still serves vip {vip} -> "
+                        f"{format_pip(pip)} {now_ns - first}ns after it went "
+                        f"bad (bound {bound}ns + audit slack "
+                        f"{self._staleness_slack_ns}ns)")
+        # Entries repaired since the last check leave tracking, so a
+        # re-corruption later restarts its clock.
+        if len(current_bad) != len(first_seen):
+            self._bad_first_seen = {key: seen for key, seen in first_seen.items()
+                                    if key in current_bad}
 
     def _check_liveness(self, horizon_ns: int) -> None:
         hung = [record for record in self.network.collector.flows.values()

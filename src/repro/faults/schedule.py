@@ -49,6 +49,29 @@ class FaultKind(Enum):
     #: exercise the lazy-invalidation path (stale caches, follow-me,
     #: misdelivery re-forwarding) alongside failures.
     VM_MIGRATE = "vm-migrate"
+    # --- gray failures: degraded, not dead ---------------------------
+    #: A lossy, slow cable: per-packet random loss plus propagation
+    #: latency inflation on both directions.  Rate 0 and extra 0 heal.
+    LINK_DEGRADE = "link-degrade"
+    #: A flapping port: ``count`` down/up cycles, each half lasting
+    #: ``period_ns``, starting the moment the event fires.
+    LINK_FLAP = "link-flap"
+    #: A switch whose control CPU or pipeline is overloaded: every
+    #: forwarded packet is held ``extra_ns`` before egress.  0 heals.
+    SWITCH_SLOW = "switch-slow"
+    #: A browned-out gateway: still up, but sheds a fraction of
+    #: arrivals (``loss_rate``) and adds queueing delay (``extra_ns``)
+    #: to the rest.  The binary failure detector never sees it — only
+    #: the gray (EWMA) detector can fail it out.  0/0 heals.
+    GATEWAY_BROWNOUT = "gateway-brownout"
+    #: Silent SRAM corruption: XOR bit ``bit`` into the PIP of the
+    #: ``count``-th occupied line of the located switch's cache.
+    CACHE_BITFLIP = "cache-bitflip"
+
+
+#: Kinds whose ``loss_rate`` field is meaningful (and range-checked).
+_LOSSY_KINDS = frozenset((FaultKind.LINK_LOSS, FaultKind.LINK_DEGRADE,
+                          FaultKind.GATEWAY_BROWNOUT))
 
 
 @dataclass(frozen=True)
@@ -62,19 +85,42 @@ class FaultEvent:
             ``("spine", pod, index)``, ``("core", index)``,
             ``("gateway", index)`` or ``("link", kind..., ...)`` where a
             link is located by its two switch endpoints.
-        loss_rate: only for LINK_LOSS — per-packet loss probability.
+        loss_rate: LINK_LOSS / LINK_DEGRADE per-packet loss
+            probability; GATEWAY_BROWNOUT per-arrival shed probability.
+        extra_ns: LINK_DEGRADE propagation inflation, SWITCH_SLOW
+            per-packet forwarding delay, GATEWAY_BROWNOUT added
+            queueing delay (all absolute, not cumulative; 0 heals).
+        period_ns: LINK_FLAP half-period (time down == time up).
+        count: LINK_FLAP cycle count; CACHE_BITFLIP occupied-line
+            ordinal (modulo occupancy at fire time).
+        bit: CACHE_BITFLIP bit index XORed into the stored PIP.
     """
 
     at_ns: int
     kind: FaultKind
     target: tuple
     loss_rate: float = 0.0
+    extra_ns: int = 0
+    period_ns: int = 0
+    count: int = 0
+    bit: int = 0
 
     def __post_init__(self) -> None:
         if self.at_ns < 0:
             raise ValueError(f"fault time must be >= 0, got {self.at_ns}")
-        if self.kind is FaultKind.LINK_LOSS and not 0.0 <= self.loss_rate <= 1.0:
+        if self.kind in _LOSSY_KINDS and not 0.0 <= self.loss_rate <= 1.0:
             raise ValueError(f"loss rate must be in [0, 1], got {self.loss_rate}")
+        if self.extra_ns < 0 or self.period_ns < 0 or self.count < 0:
+            raise ValueError(
+                f"extra_ns/period_ns/count must be >= 0, got "
+                f"{self.extra_ns}/{self.period_ns}/{self.count}")
+        if self.kind is FaultKind.LINK_FLAP and (
+                self.period_ns <= 0 or self.count < 1):
+            raise ValueError(
+                f"link flap needs period_ns > 0 and count >= 1, got "
+                f"period_ns={self.period_ns}, count={self.count}")
+        if not 0 <= self.bit < 64:
+            raise ValueError(f"bit index must be in [0, 64), got {self.bit}")
 
 
 class FaultSchedule:
@@ -97,6 +143,11 @@ class FaultSchedule:
         self.events: list[FaultEvent] = []
         #: (fired_at_ns, description) log filled in as events fire.
         self.fired: list[tuple[int, str]] = []
+        #: ``(switch_id, vip, old_pip, new_pip)`` per CACHE_BITFLIP that
+        #: actually corrupted a live line.  Oracles consult this so a
+        #: deliberately injected corruption is not reported as a
+        #: protocol coherence bug — only its *persistence* is.
+        self.corruptions: list[tuple[int, int, int, int]] = []
 
     # ------------------------------------------------------------------
     # builders
@@ -183,27 +234,95 @@ class FaultSchedule:
                                    ("vm", int(vip), int(pod), int(rack),
                                     int(host_index))))
 
+    # --- gray failures ------------------------------------------------
+    def degrade_link(self, at_ns: int, a_locator: tuple, b_locator: tuple,
+                     rate: float = 0.0, extra_ns: int = 0) -> FaultSchedule:
+        """Make the cable lossy and slow (rate 0 + extra 0 heals it)."""
+        return self.add(FaultEvent(at_ns, FaultKind.LINK_DEGRADE,
+                                   ("link", a_locator, b_locator),
+                                   loss_rate=rate, extra_ns=int(extra_ns)))
+
+    def link_degradation(self, a_locator: tuple, b_locator: tuple,
+                         start_ns: int, duration_ns: int, rate: float,
+                         extra_ns: int = 0) -> FaultSchedule:
+        """Degrade at ``start_ns``, heal ``duration_ns`` later."""
+        self.degrade_link(start_ns, a_locator, b_locator, rate, extra_ns)
+        return self.degrade_link(start_ns + duration_ns, a_locator, b_locator)
+
+    def flap_link(self, at_ns: int, a_locator: tuple, b_locator: tuple,
+                  period_ns: int, count: int = 1) -> FaultSchedule:
+        """Flap the cable: ``count`` down/up cycles of ``period_ns`` halves."""
+        return self.add(FaultEvent(at_ns, FaultKind.LINK_FLAP,
+                                   ("link", a_locator, b_locator),
+                                   period_ns=int(period_ns), count=int(count)))
+
+    def slow_switch(self, at_ns: int, layer: str, where: Any,
+                    extra_ns: int) -> FaultSchedule:
+        """Inflate the switch's forwarding delay by ``extra_ns`` (0 heals)."""
+        return self.add(FaultEvent(at_ns, FaultKind.SWITCH_SLOW,
+                                   _switch_locator(layer, where),
+                                   extra_ns=int(extra_ns)))
+
+    def switch_slowdown(self, layer: str, where: Any, start_ns: int,
+                        duration_ns: int, extra_ns: int) -> FaultSchedule:
+        """Slow at ``start_ns``, restore full speed ``duration_ns`` later."""
+        self.slow_switch(start_ns, layer, where, extra_ns)
+        return self.slow_switch(start_ns + duration_ns, layer, where, 0)
+
+    def brownout_gateway(self, at_ns: int, index: int, drop_rate: float = 0.0,
+                         extra_ns: int = 0) -> FaultSchedule:
+        """Brown out the gateway: shed + delay arrivals (0/0 heals)."""
+        return self.add(FaultEvent(at_ns, FaultKind.GATEWAY_BROWNOUT,
+                                   ("gateway", index), loss_rate=drop_rate,
+                                   extra_ns=int(extra_ns)))
+
+    def gateway_brownout(self, index: int, start_ns: int, duration_ns: int,
+                         drop_rate: float, extra_ns: int = 0) -> FaultSchedule:
+        """Brownout window: degrade at ``start_ns``, heal after the window."""
+        self.brownout_gateway(start_ns, index, drop_rate, extra_ns)
+        return self.brownout_gateway(start_ns + duration_ns, index)
+
+    def flip_cache_bit(self, at_ns: int, layer: str, where: Any,
+                       entry: int = 0, bit: int = 0) -> FaultSchedule:
+        """Corrupt one live line of the located switch's SRAM cache."""
+        return self.add(FaultEvent(at_ns, FaultKind.CACHE_BITFLIP,
+                                   _switch_locator(layer, where),
+                                   count=int(entry), bit=int(bit)))
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def has_gateway_events(self) -> bool:
         return any(event.kind in (FaultKind.GATEWAY_CRASH,
                                   FaultKind.GATEWAY_RESTART,
-                                  FaultKind.GATEWAY_DRAIN)
+                                  FaultKind.GATEWAY_DRAIN,
+                                  FaultKind.GATEWAY_BROWNOUT)
                    for event in self.events)
 
     def first_fault_ns(self) -> int | None:
         """Time of the earliest fault (not recovery) event, if any."""
         starts = [e.at_ns for e in self.events
                   if e.kind in (FaultKind.SWITCH_FAIL, FaultKind.LINK_DOWN,
-                                FaultKind.LINK_LOSS, FaultKind.GATEWAY_CRASH)]
+                                FaultKind.LINK_LOSS, FaultKind.GATEWAY_CRASH,
+                                FaultKind.LINK_FLAP, FaultKind.CACHE_BITFLIP)
+                  or _is_gray_onset(e)]
         return min(starts, default=None)
 
     def last_recovery_ns(self) -> int | None:
-        """Time of the latest recovery event, if any."""
-        ends = [e.at_ns for e in self.events
-                if e.kind in (FaultKind.SWITCH_RECOVER, FaultKind.LINK_UP,
-                              FaultKind.GATEWAY_RESTART)]
+        """Time of the latest recovery event, if any.
+
+        A LINK_FLAP counts as recovering when its last up half-cycle
+        lands; a gray event with zeroed degradation *is* the recovery.
+        """
+        ends = []
+        for e in self.events:
+            if e.kind in (FaultKind.SWITCH_RECOVER, FaultKind.LINK_UP,
+                          FaultKind.GATEWAY_RESTART):
+                ends.append(e.at_ns)
+            elif e.kind is FaultKind.LINK_FLAP:
+                ends.append(e.at_ns + (2 * e.count - 1) * e.period_ns)
+            elif e.kind in _GRAY_HEALABLE and not _is_gray_onset(e):
+                ends.append(e.at_ns)
         return max(ends, default=None)
 
     def last_event_ns(self) -> int | None:
@@ -214,12 +333,23 @@ class FaultSchedule:
     # serialization (reproducer artifacts)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Plain-data form of the schedule (events only, not ``fired``)."""
-        return {"events": [
-            {"at_ns": e.at_ns, "kind": e.kind.value,
-             "target": _listify(e.target), "loss_rate": e.loss_rate}
-            for e in self.events
-        ]}
+        """Plain-data form of the schedule (events only, not ``fired``).
+
+        The gray-failure fields are emitted only when nonzero so
+        pre-gray reproducer artifacts stay byte-stable and hand-written
+        schedules stay terse; :meth:`from_dict` defaults them to 0.
+        """
+        events = []
+        for e in self.events:
+            entry: dict[str, Any] = {"at_ns": e.at_ns, "kind": e.kind.value,
+                                     "target": _listify(e.target),
+                                     "loss_rate": e.loss_rate}
+            for key in ("extra_ns", "period_ns", "count", "bit"):
+                value = getattr(e, key)
+                if value:
+                    entry[key] = value
+            events.append(entry)
+        return {"events": events}
 
     @classmethod
     def from_dict(cls, data: dict) -> FaultSchedule:
@@ -290,18 +420,85 @@ class FaultSchedule:
             on_fault = network.fabric.on_fault
             if label and on_fault is not None:
                 on_fault()
+        elif kind is FaultKind.LINK_DEGRADE:
+            rng = network.streams.stream("fault-link-loss")
+            label = ""
+            for link in self._find_links(network, event.target):
+                link.set_loss(event.loss_rate, rng)
+                link.set_extra_latency(event.extra_ns)
+                label = (f"{kind.value} {event.loss_rate:.0%} "
+                         f"+{event.extra_ns}ns "
+                         f"{link.src.name}<->{link.dst.name}")
+            # Same hybrid-visibility rule as LINK_LOSS: degradation is
+            # not a fault-count transition but invalidates clean memos
+            # (latency changes are read live by the walk; loss diverts).
+            on_fault = network.fabric.on_fault
+            if label and on_fault is not None:
+                on_fault()
+        elif kind is FaultKind.LINK_FLAP:
+            links = self._find_links(network, event.target)
+            engine = network.engine
+            for cycle in range(event.count):
+                down_after = 2 * cycle * event.period_ns
+                engine.schedule_after(down_after, self._set_links,
+                                      network, links, False)
+                engine.schedule_after(down_after + event.period_ns,
+                                      self._set_links, network, links, True)
+            label = (f"{kind.value} x{event.count} "
+                     f"half-period {event.period_ns}ns "
+                     f"{links[0].src.name}<->{links[0].dst.name}")
+        elif kind is FaultKind.SWITCH_SLOW:
+            switch = self._find_switch(network, event.target)
+            switch.set_slowdown(event.extra_ns)
+            label = f"{kind.value} +{event.extra_ns}ns {switch.name}"
+        elif kind is FaultKind.CACHE_BITFLIP:
+            label = self._fire_bitflip(network, event)
         elif kind is FaultKind.VM_MIGRATE:
             label = self._fire_migration(network, event.target)
         else:
             gateway = self._find_gateway(network, event.target)
+            label = f"{kind.value} {gateway.name}"
             if kind is FaultKind.GATEWAY_CRASH:
                 gateway.fail()
             elif kind is FaultKind.GATEWAY_DRAIN:
                 network.mark_gateway_down(gateway)
+            elif kind is FaultKind.GATEWAY_BROWNOUT:
+                network.set_gateway_brownout(gateway, event.loss_rate,
+                                             event.extra_ns)
+                label = (f"{kind.value} {event.loss_rate:.0%} "
+                         f"+{event.extra_ns}ns {gateway.name}")
             else:
                 gateway.recover()
-            label = f"{kind.value} {gateway.name}"
         self.fired.append((network.engine.now, label))
+
+    @staticmethod
+    def _set_links(network: VirtualNetwork, links: list[Link],
+                   up: bool) -> None:
+        """One flap half-cycle: toggle both directions of the cable."""
+        for link in links:
+            network.fabric.set_link_state(link, up)
+
+    def _fire_bitflip(self, network: VirtualNetwork,
+                      event: FaultEvent) -> str:
+        """Corrupt one live cache line on the located switch.
+
+        Schemes without per-switch caches (or with an empty cache at
+        the located switch) make this a logged no-op, so one schedule
+        stays applicable across schemes.
+        """
+        switch = self._find_switch(network, event.target)
+        cache_of = getattr(network.scheme, "cache_of", None)
+        cache = cache_of(switch) if cache_of is not None else None
+        corrupt = getattr(cache, "corrupt_entry", None)
+        flipped = corrupt(event.count, event.bit) if corrupt is not None \
+            else None
+        if flipped is None:
+            return (f"{FaultKind.CACHE_BITFLIP.value} {switch.name} "
+                    f"skipped: no corruptible cache entry")
+        vip, old_pip, new_pip = flipped
+        self.corruptions.append((switch.switch_id, vip, old_pip, new_pip))
+        return (f"{FaultKind.CACHE_BITFLIP.value} {switch.name} "
+                f"vip {vip}: {old_pip} -> {new_pip} (bit {event.bit})")
 
     @staticmethod
     def _fire_migration(network: VirtualNetwork, target: tuple) -> str:
@@ -351,11 +548,29 @@ class FaultSchedule:
 
 
 #: Locator validators per fault family; see :class:`FaultEvent`.
-_SWITCH_KINDS = frozenset((FaultKind.SWITCH_FAIL, FaultKind.SWITCH_RECOVER))
+_SWITCH_KINDS = frozenset((FaultKind.SWITCH_FAIL, FaultKind.SWITCH_RECOVER,
+                           FaultKind.SWITCH_SLOW, FaultKind.CACHE_BITFLIP))
 _LINK_KINDS = frozenset((FaultKind.LINK_DOWN, FaultKind.LINK_UP,
-                         FaultKind.LINK_LOSS))
+                         FaultKind.LINK_LOSS, FaultKind.LINK_DEGRADE,
+                         FaultKind.LINK_FLAP))
 _GW_KINDS = frozenset((FaultKind.GATEWAY_CRASH, FaultKind.GATEWAY_RESTART,
-                       FaultKind.GATEWAY_DRAIN))
+                       FaultKind.GATEWAY_DRAIN, FaultKind.GATEWAY_BROWNOUT))
+
+#: Gray kinds where a zeroed event is the heal, not a fault onset.
+_GRAY_HEALABLE = frozenset((FaultKind.LINK_DEGRADE, FaultKind.SWITCH_SLOW,
+                            FaultKind.GATEWAY_BROWNOUT))
+
+#: Every field a serialized event may carry; anything else is rejected
+#: loudly (reproducers are hand-editable — a typoed knob must not be
+#: silently dropped into a subtly different replay).
+_EVENT_FIELDS = frozenset(("at_ns", "kind", "target", "loss_rate",
+                           "extra_ns", "period_ns", "count", "bit"))
+
+
+def _is_gray_onset(event: FaultEvent) -> bool:
+    """True when a gray-healable event actually degrades something."""
+    return (event.kind in _GRAY_HEALABLE
+            and (event.loss_rate > 0.0 or event.extra_ns > 0))
 
 
 def _event_from_dict(entry: Any, index: int) -> FaultEvent:
@@ -367,6 +582,10 @@ def _event_from_dict(entry: Any, index: int) -> FaultEvent:
     missing = [key for key in ("at_ns", "kind", "target") if key not in entry]
     if missing:
         raise ValueError(f"{where}: missing field(s) {', '.join(missing)}")
+    unknown = sorted(set(entry) - _EVENT_FIELDS)
+    if unknown:
+        raise ValueError(f"{where}: unknown field(s) {', '.join(unknown)}; "
+                         f"known fields: {', '.join(sorted(_EVENT_FIELDS))}")
     raw_kind = entry["kind"]
     try:
         kind = FaultKind(raw_kind)
@@ -379,11 +598,19 @@ def _event_from_dict(entry: Any, index: int) -> FaultEvent:
     try:
         at_ns = int(entry["at_ns"])
         loss_rate = float(entry.get("loss_rate", 0.0))
+        extra_ns = int(entry.get("extra_ns", 0))
+        period_ns = int(entry.get("period_ns", 0))
+        count = int(entry.get("count", 0))
+        bit = int(entry.get("bit", 0))
     except (TypeError, ValueError) as exc:
-        raise ValueError(f"{where}: non-numeric at_ns/loss_rate "
+        raise ValueError(f"{where}: non-numeric event field "
                          f"({exc})") from None
-    return FaultEvent(at_ns=at_ns, kind=kind, target=target,
-                      loss_rate=loss_rate)
+    try:
+        return FaultEvent(at_ns=at_ns, kind=kind, target=target,
+                          loss_rate=loss_rate, extra_ns=extra_ns,
+                          period_ns=period_ns, count=count, bit=bit)
+    except ValueError as exc:
+        raise ValueError(f"{where}: {exc}") from None
 
 
 def _is_switch_locator(value: Any) -> bool:

@@ -72,6 +72,8 @@ class Collector:
         self.gateway_unavailable_drops = 0
         #: Packets lost at crashed gateways (summed at finalize).
         self.gateway_crash_drops = 0
+        #: Packets shed by browned-out gateways (summed at finalize).
+        self.gateway_brownout_drops = 0
 
     # ------------------------------------------------------------------
     # recording

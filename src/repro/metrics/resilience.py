@@ -50,6 +50,9 @@ class ResilienceSummary:
     gateway_crash_drops: int
     gateway_unavailable_drops: int
     unroutable_drops: int
+    #: Packets shed by browned-out (gray-degraded) gateways; 0 for
+    #: fail-stop-only schedules.
+    gateway_brownout_drops: int = 0
 
     @property
     def hit_rate_dip(self) -> float:
@@ -105,6 +108,7 @@ class ResilienceProbe:
             gateway_crash_drops=collector.gateway_crash_drops,
             gateway_unavailable_drops=collector.gateway_unavailable_drops,
             unroutable_drops=sum(host.unroutable_drops for host in hosts),
+            gateway_brownout_drops=collector.gateway_brownout_drops,
         )
 
     def _time_to_recover(self, last_recovery_ns: int | None, baseline: float,

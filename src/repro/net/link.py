@@ -67,6 +67,7 @@ class Link:
         "up",
         "loss_rate",
         "_loss_rng",
+        "_base_propagation_ns",
         "_busy_until",
         "stats",
         "_deliver",
@@ -100,6 +101,9 @@ class Link:
         #: Per-packet random loss probability (bit errors, flaky optics).
         self.loss_rate = 0.0
         self._loss_rng = None
+        #: Healthy propagation delay; :meth:`set_extra_latency` inflates
+        #: ``propagation_ns`` relative to this (gray link degradation).
+        self._base_propagation_ns = propagation_ns
         self._busy_until = 0
         self.stats = LinkStats()
         #: Delivery callback bound once (dst never changes after
@@ -144,6 +148,18 @@ class Link:
             raise ValueError(f"loss rate must be in [0, 1], got {rate}")
         self.loss_rate = rate
         self._loss_rng = rng if rate > 0.0 else None
+
+    def set_extra_latency(self, extra_ns: int) -> None:
+        """Inflate propagation delay by ``extra_ns`` over the healthy base.
+
+        Gray degradation (congested optics, rerouted patch panel): the
+        inflation is absolute, not cumulative — a second call replaces
+        the first, and 0 restores the built delay.  In-flight packets
+        keep the delay that was current when they were transmitted.
+        """
+        if extra_ns < 0:
+            raise ValueError(f"negative latency inflation: {extra_ns}")
+        self.propagation_ns = self._base_propagation_ns + extra_ns
 
     def queue_backlog_bytes(self, now: int) -> int:
         """Bytes currently waiting or in transmission on this link."""

@@ -138,6 +138,7 @@ class Switch(Node):
         "attached_pips",
         "fabric",
         "_failed",
+        "_slow_ns",
         "_ecmp_memo",
     )
 
@@ -158,6 +159,9 @@ class Switch(Node):
         #: no-fault forwarding path stays cheap.
         self.fabric: Fabric | None = None
         self._failed = False
+        #: Gray SWITCH_SLOW state: extra per-packet forwarding delay in
+        #: ns (0 = healthy; the hot path pays one falsy check for it).
+        self._slow_ns = 0
         #: Memoized ECMP choices: (flow_id ^ dst) -> egress link.  Only
         #: written while the fabric is fault-free (the hash is a pure
         #: function of the key then); flushed by the fabric on every
@@ -213,6 +217,22 @@ class Switch(Node):
         if reset is not None:
             reset(self)
 
+    def set_slowdown(self, extra_ns: int) -> None:
+        """Gray failure: hold every forwarded packet ``extra_ns`` (0 heals).
+
+        Unlike :meth:`fail`, the switch stays up — caches keep serving,
+        routing is unchanged — so this is *not* a fault-count
+        transition.  The hybrid engine must still observe it (an
+        analytic walk cannot replicate the hold), hence the explicit
+        ``on_fault`` ping that invalidates memoized-clean paths.
+        """
+        if extra_ns < 0:
+            raise ValueError(f"negative slowdown: {extra_ns}")
+        self._slow_ns = extra_ns
+        fabric = self.fabric
+        if fabric is not None and fabric.on_fault is not None:
+            fabric.on_fault()
+
     # ------------------------------------------------------------------
     # data path
     # ------------------------------------------------------------------
@@ -248,6 +268,13 @@ class Switch(Node):
             packet.target_switch = None
 
         if not self.handler.on_switch(self, packet, link):
+            return
+        slow = self._slow_ns
+        if slow:
+            # Gray SWITCH_SLOW: the overloaded pipeline holds the packet
+            # before egress; routing happens at release time so a fault
+            # landing inside the hold is still honoured.
+            self.fabric.engine.schedule_after(slow, self.forward, packet)
             return
         # Inlined forward()/next_hop(): ECMP up, exact down, host
         # delivery at ToRs (see next_hop() for the commented version).

@@ -69,6 +69,17 @@ class ServiceConfig:
     probe_interval_ns: int = msec(1)
     reinstate_timeout_ns: int = msec(2)
 
+    # --- self-healing mapping plane (defaults off: fail-stop-only runs
+    # are byte-identical to builds that predate gray failures) ---
+    #: Period of the anti-entropy audit reconciling switch caches
+    #: against the gateway mapping database; 0 disables the audit.
+    anti_entropy_period_ns: int = 0
+    #: Bounded-staleness promise the run is checked against (the
+    #: oracle suite's bounded-staleness oracle); 0 disables the check.
+    #: When nonzero, must be >= the audit period (one full sweep must
+    #: fit inside the bound, or the promise is unkeepable).
+    staleness_bound_ns: int = 0
+
     # --- transport give-up (bounds the drain horizon) ---
     max_retransmits: int = 8
     max_rto_ns: int = msec(4)
@@ -102,6 +113,15 @@ class ServiceConfig:
         if self.fidelity not in ("packet", "hybrid"):
             raise ValueError(
                 f"fidelity must be 'packet' or 'hybrid', got {self.fidelity!r}")
+        if self.anti_entropy_period_ns < 0 or self.staleness_bound_ns < 0:
+            raise ValueError("anti-entropy period and staleness bound "
+                             "must be >= 0")
+        if (self.staleness_bound_ns > 0 and self.anti_entropy_period_ns > 0
+                and self.staleness_bound_ns < self.anti_entropy_period_ns):
+            raise ValueError(
+                f"staleness bound {self.staleness_bound_ns} ns is tighter "
+                f"than the audit period {self.anti_entropy_period_ns} ns — "
+                "one full sweep must fit inside the bound")
 
     def drain_grace_ns(self) -> int:
         """Quiet time after ``duration_ns`` for in-flight flows to end.

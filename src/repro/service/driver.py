@@ -93,6 +93,8 @@ class ServiceResult:
     peak_retained_records: int = 0
     gateway_failovers: int = 0
     gateway_reinstatements: int = 0
+    audit_sweeps: int = 0
+    audit_repairs: int = 0
     reproducer_path: str | None = None
 
     @property
@@ -172,6 +174,16 @@ class ServiceDriver:
         # probe/reinstatement tuning from the NetworkConfig fields.
         self.schedule.apply(self.network)
         self.suite.watch_schedule(self.schedule)
+        if config.anti_entropy_period_ns > 0:
+            self.network.enable_anti_entropy(
+                config.anti_entropy_period_ns,
+                staleness_bound_ns=config.staleness_bound_ns)
+        if config.staleness_bound_ns > 0:
+            self.suite.configure_staleness(
+                config.staleness_bound_ns,
+                audit_period_ns=config.anti_entropy_period_ns,
+                check_interval_ns=min(config.window_ns,
+                                      max(config.staleness_bound_ns // 4, 1)))
         self.player = TrafficPlayer(self.network, TransportConfig(
             max_retransmits=config.max_retransmits,
             max_rto_ns=config.max_rto_ns))
@@ -387,6 +399,10 @@ class ServiceDriver:
             gateway_failovers=self.network.gateway_failovers,
             gateway_reinstatements=(detector.reinstatements
                                     if detector is not None else 0),
+            audit_sweeps=(self.network.anti_entropy.sweeps
+                          if self.network.anti_entropy is not None else 0),
+            audit_repairs=(self.network.anti_entropy.repairs
+                           if self.network.anti_entropy is not None else 0),
             reproducer_path=self._reproducer_path,
         )
 

@@ -56,6 +56,8 @@ def build_report(result: ServiceResult) -> dict:
             "migrations": result.migrations,
             "gateway_failovers": result.gateway_failovers,
             "gateway_reinstatements": result.gateway_reinstatements,
+            "audit_sweeps": result.audit_sweeps,
+            "audit_repairs": result.audit_repairs,
             "peak_retained_records": result.peak_retained_records,
         },
         "slo": {
@@ -167,6 +169,10 @@ def render_report(report: dict) -> str:
          if slo["worst_window_hit_ratio"] is not None else "n/a"],
         ["gateway failovers/reinstatements",
          f"{totals['gateway_failovers']}/{totals['gateway_reinstatements']}"],
+        # .get(): reports saved before the anti-entropy audit existed
+        # lack these totals and must still render.
+        ["anti-entropy sweeps/repairs",
+         f"{totals.get('audit_sweeps', 0)}/{totals.get('audit_repairs', 0)}"],
         ["peak retained flow records", totals["peak_retained_records"]],
         ["invariant violations", slo["violation_count"]],
     ]

@@ -1105,6 +1105,12 @@ class FluidScheduler:
                 # real simulation handles translation/misdelivery.
                 self._reinject_transmit(elapsed, node, link, packet)
                 return _DIVERTED, elapsed, None
+            if is_switch and dst._slow_ns:
+                # Gray-slow switch: the held-then-forwarded pipeline
+                # reorders against concurrent traffic, so replay the
+                # hop (and everything after it) at packet level.
+                self._reinject_transmit(elapsed, node, link, packet)
+                return _DIVERTED, elapsed, None
             size = packet._wire_bytes
             ser = link.serialization_ns(size)
             lstats = link.stats

@@ -47,7 +47,11 @@ class Gateway(Node):
         "packets_processed",
         "resolution_failures",
         "dropped_while_failed",
+        "dropped_brownout",
         "failed",
+        "brownout_drop_rate",
+        "brownout_extra_ns",
+        "_brownout_rng",
         "on_packet",
     )
 
@@ -72,10 +76,20 @@ class Gateway(Node):
         #: Packets that arrived while the gateway was crashed (black-
         #: holed until hypervisor-side failover kicks in, §2.4).
         self.dropped_while_failed = 0
+        #: Packets shed while browned out (overflowing software queue;
+        #: distinct from crash drops so the conservation oracle can
+        #: account for them separately).
+        self.dropped_brownout = 0
         #: A crashed gateway black-holes everything it receives; the
         #: mapping database itself is external and stays authoritative,
         #: so a restarted gateway resumes immediately.
         self.failed = False
+        #: Gray brownout state (overload, not crash): a browned-out
+        #: gateway sheds a fraction of arrivals and serves the rest
+        #: with inflated processing latency.  Both default off.
+        self.brownout_drop_rate = 0.0
+        self.brownout_extra_ns = 0
+        self._brownout_rng = None
         #: Observer hook invoked for every packet the gateway handles
         #: (schemes/metrics subscribe to count gateway load).
         self.on_packet: Callable[[Packet], None] | None = None
@@ -92,6 +106,28 @@ class Gateway(Node):
         self.failed = False
         self._busy_until = 0
 
+    def set_brownout(self, drop_rate: float, extra_ns: int, rng=None) -> None:
+        """Enter (or leave, with zeros) a brownout episode.
+
+        Args:
+            drop_rate: fraction of arrivals shed by the overflowing
+                software queue, in [0, 1].
+            extra_ns: extra per-packet processing latency while the
+                gateway is saturated.
+            rng: ``random()``-bearing generator for the shed decision;
+                required when ``drop_rate`` is positive so drops are
+                reproducible for a fixed seed.
+        """
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError(f"drop rate must be in [0, 1], got {drop_rate}")
+        if extra_ns < 0:
+            raise ValueError(f"negative latency inflation: {extra_ns}")
+        if drop_rate > 0.0 and rng is None:
+            raise ValueError("brownout with positive drop rate needs an rng")
+        self.brownout_drop_rate = drop_rate
+        self.brownout_extra_ns = extra_ns
+        self._brownout_rng = rng if drop_rate > 0.0 else None
+
     def receive(self, packet: Packet, link=None) -> None:
         packet.gateway_visits += 1
         if self.on_packet is not None:
@@ -101,6 +137,12 @@ class Gateway(Node):
             self.on_packet(packet)
         if self.failed:
             self.dropped_while_failed += 1
+            return
+        if self._brownout_rng is not None \
+                and self._brownout_rng.random() < self.brownout_drop_rate:
+            # Shed by the overflowing software queue; senders see a
+            # timeout, not an error, exactly like a crash drop.
+            self.dropped_brownout += 1
             return
         self.packets_processed += 1
         # Translation happens on arrival; packets then sit in the
@@ -120,7 +162,7 @@ class Gateway(Node):
         # translated, so any stale-mapping protection is moot.
         packet.misdelivery_tag = False
         packet.carried_mapping = None
-        delay = self.processing_ns
+        delay = self.processing_ns + self.brownout_extra_ns
         if self.service_ns:
             now = self.engine.now
             start = self._busy_until if self._busy_until > now else now

@@ -31,6 +31,12 @@ class MappingDatabase:
         self._table: dict[int, int] = {}
         self.version = 0
         self.updates = 0
+        #: Per-VIP generation counter, bumped on every set/remove of
+        #: that VIP.  A mapping learned at generation g is provably
+        #: stale once ``generation(vip) > g`` — the anti-entropy audit
+        #: and the staleness oracle compare against this, which a
+        #: global ``version`` cannot express per entry.
+        self._generations: dict[int, int] = {}
         self._listeners: list[Callable[[int, int, int], None]] = []
         self._removal_listeners: list[Callable[[int, int], None]] = []
 
@@ -56,6 +62,7 @@ class MappingDatabase:
         self._table[vip] = pip
         self.version += 1
         self.updates += 1
+        self._generations[vip] = self._generations.get(vip, 0) + 1
         for listener in self._listeners:
             listener(vip, old, pip)
 
@@ -65,8 +72,13 @@ class MappingDatabase:
         if old is not None:
             self.version += 1
             self.updates += 1
+            self._generations[vip] = self._generations.get(vip, 0) + 1
             for listener in self._removal_listeners:
                 listener(vip, old)
+
+    def generation(self, vip: int) -> int:
+        """Monotonic per-VIP mutation count (0 for a never-set VIP)."""
+        return self._generations.get(vip, 0)
 
     def items(self):
         return self._table.items()

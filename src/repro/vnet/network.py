@@ -96,6 +96,9 @@ class VirtualNetwork:
         self.live_gateways: list[Gateway] = []
         self.failure_detector: GatewayFailureDetector | None = None
         self.gateway_failovers = 0
+        #: Anti-entropy auditor reconciling switch caches against the
+        #: authoritative database; None until enabled.
+        self.anti_entropy = None
         self._gateway_salt = int(self.streams.stream("gateway-lb").integers(0, 2**31))
         #: Per-flow gateway choice memo; ``gateway_for`` is a pure
         #: function of (flow_id, salt, pool), so entries stay valid
@@ -305,6 +308,34 @@ class VirtualNetwork:
             self.failure_detector.start()
         return self.failure_detector
 
+    def set_gateway_brownout(self, gateway: Gateway, drop_rate: float,
+                             extra_ns: int) -> None:
+        """Put ``gateway`` into (or, with zeros, out of) a brownout.
+
+        The shed decision draws from the named ``gateway-brownout``
+        stream so runs are reproducible for a fixed seed.  The fluid
+        path already diverts every gateway-bound packet, so no extra
+        escalation is needed for RNG parity; flows are still escalated
+        because their steady-state service latency changed.
+        """
+        rng = self.streams.stream("gateway-brownout") if drop_rate > 0.0 else None
+        gateway.set_brownout(drop_rate, extra_ns, rng)
+        if self.fluid is not None:
+            self.fluid.escalate_all("gateway-brownout")
+
+    def enable_anti_entropy(self, period_ns: int, staleness_bound_ns: int = 0):
+        """Start the periodic cache-vs-database reconciliation audit.
+
+        Idempotent; returns the :class:`repro.core.AntiEntropyAuditor`.
+        See that class for the bounded-staleness argument.
+        """
+        if self.anti_entropy is None:
+            from repro.core.antientropy import AntiEntropyAuditor
+            self.anti_entropy = AntiEntropyAuditor(
+                self, period_ns, staleness_bound_ns=staleness_bound_ns)
+            self.anti_entropy.start()
+        return self.anti_entropy
+
     def mark_gateway_down(self, gateway: Gateway) -> None:
         """Remove a gateway from the load-balancing pool (failover)."""
         if gateway in self.live_gateways:
@@ -359,6 +390,8 @@ class VirtualNetwork:
         collector.drops = sum(switch.stats.drops for switch in self.fabric.switches)
         collector.gateway_crash_drops = sum(
             gateway.dropped_while_failed for gateway in self.gateways)
+        collector.gateway_brownout_drops = sum(
+            gateway.dropped_brownout for gateway in self.gateways)
 
     # ------------------------------------------------------------------
     # analysis helpers

@@ -18,6 +18,7 @@ from repro.experiments.chaosfuzz import (
     BUGS,
     ChaosFuzzParams,
     fuzz_flows,
+    gray_chaos_params,
     replay_reproducer,
     run_chaos_fuzz,
     run_one_trial,
@@ -31,6 +32,7 @@ from repro.faults import (
     ddmin,
     generate_schedule,
 )
+from repro.faults.fuzz import gray_fuzz_config
 from repro.sim.engine import msec, usec
 from repro.transport.flow import FlowSpec
 from repro.transport.player import TrafficPlayer
@@ -56,11 +58,22 @@ def one_of_each_schedule() -> FaultSchedule:
             .link_outage(("tor", 0, 0), ("spine", 0, 0), usec(200), usec(300))
             .link_loss(usec(250), ("tor", 0, 1), ("spine", 0, 1), 0.25)
             .gateway_outage(0, usec(300), usec(400))
-            .migrate_vm(usec(350), vip=3, pod=0, rack=1, host_index=0))
+            .migrate_vm(usec(350), vip=3, pod=0, rack=1, host_index=0)
+            # gray kinds: every serialized field must survive the trip
+            .link_degradation(("tor", 0, 0), ("spine", 0, 1),
+                              usec(400), usec(200), 0.125, usec(5))
+            .flap_link(usec(450), ("tor", 0, 1), ("spine", 0, 0),
+                       period_ns=usec(60), count=3)
+            .switch_slowdown("core", 0, usec(500), usec(100), usec(7))
+            .gateway_brownout(0, usec(550), usec(150), 0.5, usec(9))
+            .flip_cache_bit(usec(600), "tor", (0, 0), entry=2, bit=20))
 
 
 def test_schedule_json_round_trip():
     schedule = one_of_each_schedule()
+    assert {e.kind for e in schedule.events} >= {
+        FaultKind.LINK_DEGRADE, FaultKind.LINK_FLAP, FaultKind.SWITCH_SLOW,
+        FaultKind.GATEWAY_BROWNOUT, FaultKind.CACHE_BITFLIP}
     restored = FaultSchedule.from_json(schedule.to_json())
     assert restored.events == schedule.events
     # Locators come back as tuples, not JSON lists.
@@ -75,6 +88,22 @@ def test_schedule_dict_round_trip_preserves_loss_rate():
     restored = FaultSchedule.from_dict(schedule.to_dict())
     assert restored.events[0].loss_rate == 0.125
     assert restored.events[0].kind is FaultKind.LINK_LOSS
+
+
+def test_schedule_from_dict_rejects_unknown_fields_loudly():
+    # Reproducers are hand-editable: a typoed knob must fail loudly,
+    # never be silently dropped into a subtly different replay.
+    data = one_of_each_schedule().to_dict()
+    data["events"][0]["bitflip_bit"] = 7
+    with pytest.raises(ValueError, match=r"events\[0\].*unknown field"):
+        FaultSchedule.from_dict(data)
+    with pytest.raises(ValueError, match="unknown FaultKind"):
+        FaultSchedule.from_dict({"events": [
+            {"at_ns": 0, "kind": "cache-bitflipp", "target": ["tor", 0, 0]}]})
+    # A locator that cannot address the kind's object is also loud.
+    with pytest.raises(ValueError, match="malformed switch locator"):
+        FaultSchedule.from_dict({"events": [
+            {"at_ns": 0, "kind": "cache-bitflip", "target": ["gateway", 0]}]})
 
 
 def test_last_event_ns_counts_migrations():
@@ -165,6 +194,22 @@ def test_generate_schedule_respects_kind_weights():
     schedule = generate_schedule(tiny_spec(), num_vms=8, config=config, seed=5)
     assert schedule.events
     assert all(e.kind is FaultKind.VM_MIGRATE for e in schedule.events)
+
+
+def test_gray_fuzz_config_mixes_gray_kinds_deterministically():
+    config = gray_fuzz_config(mean_events=24)
+    a = generate_schedule(tiny_spec(), num_vms=8, config=config, seed=4)
+    b = generate_schedule(tiny_spec(), num_vms=8, config=config, seed=4)
+    assert a.to_json() == b.to_json()
+    gray = {FaultKind.LINK_DEGRADE, FaultKind.LINK_FLAP,
+            FaultKind.SWITCH_SLOW, FaultKind.GATEWAY_BROWNOUT,
+            FaultKind.CACHE_BITFLIP}
+    assert {e.kind for e in a.events} & gray
+    # The stock config never emits gray kinds: existing seeds replay
+    # byte-identically.
+    stock = generate_schedule(tiny_spec(), num_vms=8,
+                              config=FuzzConfig(mean_events=24), seed=4)
+    assert not {e.kind for e in stock.events} & gray
 
 
 def test_fuzz_config_validation():
@@ -395,6 +440,28 @@ def test_shrink_and_replay_round_trip(tmp_path):
     assert any(v.oracle == target_oracle for v in replayed.violations)
 
 
+def test_bug_disabled_audit_trips_bounded_staleness(tmp_path):
+    """Stopping the anti-entropy audit breaks the staleness promise.
+
+    Gray-weighted trials with the audit on are clean; the identical
+    batch with the audit silently stopped leaves an injected bit flip
+    unrepaired past the bound, and the minimized schedule replays.
+    Seed 3 is the one ``benchmarks/gray_smoke.py`` uses: one of its
+    first six trials lands a flip on an occupied, off-path cache line.
+    """
+    params = gray_chaos_params(num_vms=16, num_flows=24)
+    result = run_chaos_fuzz(trials=6, seed=3, schemes=("SwitchV2P",),
+                            params=params, bug="disabled-audit",
+                            artifact_dir=tmp_path)
+    assert result.failures
+    oracle = result.failures[0].violations[0].oracle
+    assert oracle == "bounded-staleness"
+    assert result.shrunk_events is not None
+    assert result.shrunk_events <= 5
+    replayed = replay_reproducer(result.reproducer_path)
+    assert any(v.oracle == "bounded-staleness" for v in replayed.violations)
+
+
 def test_chaos_fuzz_stock_trials_are_clean():
     result = run_chaos_fuzz(trials=2, seed=1, schemes=("SwitchV2P", "GwCache"),
                             params=SMALL_PARAMS)
@@ -417,4 +484,4 @@ def test_replay_rejects_foreign_artifacts(tmp_path):
 def test_bug_registry_names_are_stable():
     # CI and EXPERIMENTS.md reference these by name.
     assert set(BUGS) == {"skip-cache-flush", "misdelivery-loop",
-                         "oracle-canary"}
+                         "oracle-canary", "disabled-audit"}

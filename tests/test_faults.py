@@ -162,6 +162,146 @@ def test_unknown_locator_raises():
 
 
 # ----------------------------------------------------------------------
+# gray failures: degraded, not dead
+# ----------------------------------------------------------------------
+def test_gray_event_validation():
+    with pytest.raises(ValueError):  # a flap needs a period and a count
+        FaultEvent(0, FaultKind.LINK_FLAP,
+                   ("link", ("tor", 0, 0), ("spine", 0, 0)))
+    with pytest.raises(ValueError):  # PIPs are 64-bit at most
+        FaultSchedule().flip_cache_bit(0, "tor", (0, 0), entry=0, bit=64)
+    with pytest.raises(ValueError):  # brownout shed rate is a probability
+        FaultSchedule().brownout_gateway(0, 0, drop_rate=1.5)
+    with pytest.raises(ValueError):  # degradation never speeds a link up
+        FaultEvent(0, FaultKind.LINK_DEGRADE,
+                   ("link", ("tor", 0, 0), ("spine", 0, 0)),
+                   loss_rate=0.1, extra_ns=-1)
+
+
+def test_link_degradation_inflates_then_heals():
+    network = small_network(NoCache(), num_vms=8)
+    tor = network.fabric.tors[(0, 0)]
+    spine = network.fabric.spines[(0, 0)]
+    up = network.fabric.link_between(tor, spine)
+    down = network.fabric.link_between(spine, tor)
+    base_ns = up.propagation_ns
+    schedule = FaultSchedule().link_degradation(
+        ("tor", 0, 0), ("spine", 0, 0), msec(1), msec(2), 0.25, usec(5))
+    schedule.apply(network)
+    network.engine.run(until=msec(2))
+    assert up.loss_rate == 0.25 and down.loss_rate == 0.25
+    assert up.propagation_ns == base_ns + usec(5)
+    assert up.up and down.up  # degraded, not cut
+    network.engine.run(until=msec(4))
+    assert up.loss_rate == 0.0 and down.loss_rate == 0.0
+    assert up.propagation_ns == base_ns
+    assert any("link-degrade" in label for _, label in schedule.fired)
+
+
+def test_link_flap_cycles_and_ends_up():
+    network = small_network(NoCache(), num_vms=8)
+    tor = network.fabric.tors[(0, 0)]
+    spine = network.fabric.spines[(0, 0)]
+    up = network.fabric.link_between(tor, spine)
+    down = network.fabric.link_between(spine, tor)
+    schedule = FaultSchedule().flap_link(
+        msec(1), ("tor", 0, 0), ("spine", 0, 0),
+        period_ns=usec(100), count=2)
+    schedule.apply(network)
+    # Half-cycles: down at 1ms, up at 1.1ms, down at 1.2ms, up at 1.3ms.
+    network.engine.run(until=msec(1) + usec(50))
+    assert not up.up and not down.up
+    network.engine.run(until=msec(1) + usec(150))
+    assert up.up and down.up
+    network.engine.run(until=msec(1) + usec(250))
+    assert not up.up and not down.up
+    network.engine.run(until=msec(2))
+    assert up.up and down.up  # a flap is self-healing by construction
+    assert schedule.last_recovery_ns() == msec(1) + 3 * usec(100)
+
+
+def test_switch_slowdown_applies_then_heals():
+    network = small_network(NoCache(), num_vms=8)
+    spine = network.fabric.spines[(0, 0)]
+    schedule = FaultSchedule().switch_slowdown(
+        "spine", (0, 0), msec(1), msec(1), usec(10))
+    schedule.apply(network)
+    network.engine.run(until=msec(1) + usec(1))
+    assert spine._slow_ns == usec(10)
+    assert not spine.failed  # slow, not dead: caches keep serving
+    network.engine.run(until=msec(3))
+    assert spine._slow_ns == 0
+
+
+def test_gateway_brownout_sheds_reproducibly_then_heals():
+    def brownout_drops(seed):
+        network = small_network(NoCache(), num_vms=8, seed=seed)
+        gateway = network.gateways[0]
+        schedule = FaultSchedule().gateway_brownout(
+            0, msec(1), msec(6), drop_rate=0.5, extra_ns=usec(20))
+        schedule.apply(network)
+        player = TrafficPlayer(network)
+        records = player.add_flows(steady_flows(12, span_ns=usec(500)))
+        network.run(until=msec(40))
+        # Healed after the window; shed arrivals were retransmitted.
+        assert gateway.brownout_drop_rate == 0.0
+        assert gateway.brownout_extra_ns == 0
+        assert all(record.completed for record in records)
+        assert network.collector.gateway_brownout_drops \
+            == gateway.dropped_brownout
+        return gateway.dropped_brownout
+
+    drops = brownout_drops(0)
+    assert drops > 0
+    assert drops == brownout_drops(0)  # named-stream RNG: reproducible
+
+
+def test_brownout_with_positive_rate_requires_rng():
+    network = small_network(NoCache(), num_vms=8)
+    with pytest.raises(ValueError):
+        network.gateways[0].set_brownout(0.5, 0, None)
+
+
+def test_cache_bitflip_corrupts_live_line_and_logs():
+    scheme = SwitchV2P(total_cache_slots=400)
+    network = small_network(scheme, num_vms=8)
+    player = TrafficPlayer(network)
+    player.add_flows(steady_flows(4))
+    network.run(until=msec(5))
+    victim = next(switch for switch in network.fabric.switches
+                  if scheme.cache_of(switch) is not None
+                  and scheme.cache_of(switch).occupancy() > 0)
+    cache = scheme.cache_of(victim)
+    schedule = FaultSchedule().flip_cache_bit(
+        network.engine.now + usec(1), victim.layer.name.lower(),
+        _coords(network, victim), entry=0, bit=3)
+    schedule.apply(network)
+    network.engine.run(until=network.engine.now + usec(2))
+    assert len(schedule.corruptions) == 1
+    switch_id, vip, old_pip, new_pip = schedule.corruptions[0]
+    assert switch_id == victim.switch_id
+    assert new_pip == old_pip ^ (1 << 3)
+    assert cache.peek(vip) == new_pip  # the line now serves the bad PIP
+
+
+def test_cache_bitflip_without_corruptible_line_is_logged_noop():
+    # NoCache has no switch caches at all; the event must not crash.
+    network = small_network(NoCache(), num_vms=8)
+    schedule = FaultSchedule().flip_cache_bit(usec(10), "tor", (0, 0))
+    schedule.apply(network)
+    network.engine.run(until=usec(20))
+    assert schedule.corruptions == []
+    assert any("skipped" in label for _, label in schedule.fired)
+    # A cold (empty) cache is equally a logged no-op.
+    cold = small_network(SwitchV2P(total_cache_slots=400), num_vms=8)
+    schedule2 = FaultSchedule().flip_cache_bit(usec(10), "tor", (0, 0))
+    schedule2.apply(cold)
+    cold.engine.run(until=usec(20))
+    assert schedule2.corruptions == []
+    assert any("skipped" in label for _, label in schedule2.fired)
+
+
+# ----------------------------------------------------------------------
 # gateway faults and hypervisor failover
 # ----------------------------------------------------------------------
 def test_gateway_events_enable_failover_detector():

@@ -19,6 +19,7 @@ import pytest
 from repro.core import SwitchV2P
 from repro.experiments.chaosfuzz import ChaosFuzzParams, run_chaos_fuzz
 from repro.experiments.runner import build_network, run_flows
+from repro.faults import FaultSchedule
 from repro.net.topology import FatTreeSpec
 from repro.service.config import ServiceConfig
 from repro.service.driver import run_service
@@ -118,6 +119,38 @@ def test_packet_mode_reports_no_fluid_state(tcp_pair):
     assert packet.fluid_adoptions == 0
     assert packet.fluid_packets == 0
     assert packet.fluid_escalations_by_reason == {}
+
+
+def test_gray_schedule_cache_metrics_exact():
+    """Gray faults (degraded cable + SRAM bit flip) preserve exactness.
+
+    A LINK_DEGRADE diverts loss decisions and invalidates memoized
+    paths; a CACHE_BITFLIP fires the mutation observer and escalates
+    affected flows.  With both in one schedule, a same-seed hybrid run
+    must still reproduce packet-mode cache metrics bit-exactly.
+    """
+    def run_gray(fidelity):
+        network = build_network(FatTreeSpec(), SwitchV2P(16384), 64, seed=7,
+                                fidelity=fidelity)
+        # Degrade mid-flow and heal before the tail; flip bit 1 (host
+        # field) of a warmed ToR line so the corruption points at a
+        # real-but-wrong host and misdelivery repair gets exercised.
+        schedule = (FaultSchedule()
+                    .link_degradation(("tor", 0, 0), ("spine", 0, 0),
+                                      usec(150), usec(250), 0.05, usec(2))
+                    .flip_cache_bit(usec(200), "tor", (0, 0),
+                                    entry=0, bit=1))
+        schedule.apply(network)
+        result = run_flows(network, _steady_flows(), trace_name="steady",
+                           keep_network=True)
+        return result, schedule
+
+    packet, packet_schedule = run_gray("packet")
+    hybrid, hybrid_schedule = run_gray("hybrid")
+    assert packet_schedule.corruptions, "the flip must hit a live line"
+    assert packet_schedule.corruptions == hybrid_schedule.corruptions
+    assert hybrid.fluid_adoptions > 0, "hybrid run never went fluid"
+    assert _cache_metrics(packet) == _cache_metrics(hybrid)
 
 
 # ----------------------------------------------------------------------
